@@ -1,0 +1,62 @@
+// Ka-band sensitivity (paper §6: the BP-vs-ISL attenuation gap "would be
+// even higher for Ka-band communication, which is affected more by
+// weather"). Re-runs the Fig. 6 experiment with Ka-band gateway
+// frequencies (28.5 GHz up / 18.7 GHz down) next to the Ku baseline.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/attenuation_study.hpp"
+#include "core/report.hpp"
+#include "core/stats.hpp"
+#include "itur/slant_path.hpp"
+
+using namespace leosim;
+using namespace leosim::core;
+
+int main(int argc, char** argv) {
+  bench::BenchConfig config = bench::ParseFlags(argc, argv);
+  if (config.num_pairs > 250) {
+    config.num_pairs = 250;
+  }
+  bench::PrintConfig(config, "Ablation: Ku vs Ka band attenuation gap");
+
+  const std::vector<data::City> cities = bench::MakeCities(config);
+  const std::vector<CityPair> pairs = bench::MakePairs(config, cities);
+
+  PrintBanner(std::cout, "median worst-link attenuation at 0.5% exceedance (dB)");
+  Table table({"band", "up/down (GHz)", "BP median", "ISL median", "gap (dB)",
+               "gap (rx power)"});
+
+  struct Band {
+    const char* name;
+    double up, down;
+  };
+  for (const Band band : {Band{"Ku", 14.25, 11.7}, Band{"Ka", 28.5, 18.7}}) {
+    Scenario scenario = Scenario::Starlink();
+    scenario.radio.uplink_freq_ghz = band.up;
+    scenario.radio.downlink_freq_ghz = band.down;
+    const NetworkModel bp(scenario,
+                          bench::MakeOptions(config, ConnectivityMode::kBentPipe),
+                          cities);
+    const NetworkModel isl(scenario,
+                           bench::MakeOptions(config, ConnectivityMode::kIslOnly),
+                           cities);
+    AttenuationOptions options;
+    const AttenuationDistributions result =
+        RunAttenuationStudy(bp, isl, pairs, 0.0, options);
+    const double bp_median = Median(result.bp_db);
+    const double isl_median = Median(result.isl_db);
+    const double gap = bp_median - isl_median;
+    const double power_ratio = itur::ReceivedPowerFraction(isl_median) /
+                               std::max(itur::ReceivedPowerFraction(bp_median), 1e-9);
+    table.AddRow({band.name,
+                  FormatDouble(band.up, 2) + "/" + FormatDouble(band.down, 1),
+                  FormatDouble(bp_median), FormatDouble(isl_median),
+                  FormatDouble(gap), FormatDouble((power_ratio - 1.0) * 100.0, 0) + "%"});
+  }
+  table.Print(std::cout);
+  std::printf("\npaper §6: the Ku-band median gap is >1 dB; Ka-band widens it "
+              "because rain attenuation grows super-linearly with frequency.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Routing-policy ablation (paper §5's future-work direction): the paper
+// routes over greedy edge-disjoint shortest paths and notes that a scheme
+// minimising the maximum utilisation "can offer higher throughput, albeit
+// at the cost of increased latency". This bench quantifies that trade-off
+// on the hybrid Starlink network, and also compares the greedy disjoint
+// pair against the Suurballe/Bhandari optimal pair (DESIGN.md §5).
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/report.hpp"
+#include "core/routing.hpp"
+
+using namespace leosim;
+using namespace leosim::core;
+
+int main(int argc, char** argv) {
+  bench::BenchConfig config = bench::ParseFlags(argc, argv);
+  // Yen-based policies are costlier per pair; trim the default matrix.
+  if (config.num_pairs > 200) {
+    config.num_pairs = 200;
+  }
+  bench::PrintConfig(config, "Ablation: routing policies (Starlink hybrid, k=2)");
+
+  const std::vector<data::City> cities = bench::MakeCities(config);
+  const std::vector<CityPair> pairs = bench::MakePairs(config, cities);
+  const NetworkModel hybrid(Scenario::Starlink(),
+                            bench::MakeOptions(config, ConnectivityMode::kHybrid),
+                            cities);
+
+  PrintBanner(std::cout, "throughput / latency / utilisation by routing policy");
+  Table table({"policy", "total (Gbps)", "mean path latency (ms)",
+               "max link util", "subflows"});
+  for (const RoutingPolicy policy :
+       {RoutingPolicy::kDisjointGreedy, RoutingPolicy::kDisjointOptimalPair,
+        RoutingPolicy::kMinMaxUtilisation, RoutingPolicy::kCongestionAware}) {
+    const PolicyThroughputResult r =
+        RunThroughputWithPolicy(hybrid, pairs, 2, 0.0, policy);
+    table.AddRow({std::string(ToString(policy)),
+                  FormatDouble(r.throughput.total_gbps, 1),
+                  FormatDouble(r.mean_path_latency_ms, 2),
+                  FormatDouble(r.max_link_utilisation, 2),
+                  std::to_string(r.throughput.subflows)});
+  }
+  table.Print(std::cout);
+  std::printf("\nexpected shape: load-aware policies raise throughput under "
+              "contention and pay for it with longer paths; the greedy\n"
+              "disjoint scheme the paper uses stays near the optimal pair on "
+              "LEO snapshot graphs, justifying its simplicity.\n");
+  return 0;
+}

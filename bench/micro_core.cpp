@@ -1,0 +1,223 @@
+// Library micro-benchmarks (google-benchmark), including the ablations
+// DESIGN.md §5 calls out: spherical vs WGS84 conversions and indexed vs
+// brute-force visibility.
+#include <benchmark/benchmark.h>
+
+#include "core/network_builder.hpp"
+#include "core/traffic_matrix.hpp"
+#include "data/city_catalog.hpp"
+#include "flow/maxmin.hpp"
+#include "geo/geodesic.hpp"
+#include "graph/bidirectional.hpp"
+#include "graph/disjoint_paths.hpp"
+#include "graph/yen.hpp"
+#include "ground/relay_grid.hpp"
+#include "itur/slant_path.hpp"
+#include "link/visibility.hpp"
+#include "orbit/walker.hpp"
+
+namespace {
+
+using namespace leosim;
+
+void BM_GeodeticToEcefSpherical(benchmark::State& state) {
+  const geo::GeodeticCoord g{47.4, 8.5, 0.4};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geo::GeodeticToEcef(g));
+  }
+}
+BENCHMARK(BM_GeodeticToEcefSpherical);
+
+void BM_GeodeticToEcefWgs84(benchmark::State& state) {
+  const geo::GeodeticCoord g{47.4, 8.5, 0.4};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geo::GeodeticToEcefWgs84(g));
+  }
+}
+BENCHMARK(BM_GeodeticToEcefWgs84);
+
+void BM_GreatCircleDistance(benchmark::State& state) {
+  const geo::GeodeticCoord a{51.5, -0.13, 0.0};
+  const geo::GeodeticCoord b{-33.9, 151.2, 0.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geo::GreatCircleDistanceKm(a, b));
+  }
+}
+BENCHMARK(BM_GreatCircleDistance);
+
+void BM_PropagateStarlink(benchmark::State& state) {
+  const auto c = orbit::Constellation::WalkerDelta(orbit::StarlinkShell1());
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.PositionsEcef(t));
+    t += 60.0;
+  }
+  state.SetItemsProcessed(state.iterations() * c.NumSatellites());
+}
+BENCHMARK(BM_PropagateStarlink);
+
+void BM_VisibilityIndexBuild(benchmark::State& state) {
+  const auto c = orbit::Constellation::WalkerDelta(orbit::StarlinkShell1());
+  const auto sats = c.PositionsEcef(0.0);
+  const double coverage = geo::CoverageRadiusKm(550.0, 25.0);
+  for (auto _ : state) {
+    const link::SatelliteIndex index(sats, coverage);
+    benchmark::DoNotOptimize(&index);
+  }
+}
+BENCHMARK(BM_VisibilityIndexBuild);
+
+void BM_VisibilityQueryIndexed(benchmark::State& state) {
+  const auto c = orbit::Constellation::WalkerDelta(orbit::StarlinkShell1());
+  const auto sats = c.PositionsEcef(0.0);
+  const link::SatelliteIndex index(sats, geo::CoverageRadiusKm(550.0, 25.0));
+  const geo::Vec3 gt = geo::GeodeticToEcef({48.9, 2.35, 0.0});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Visible(gt, 25.0));
+  }
+}
+BENCHMARK(BM_VisibilityQueryIndexed);
+
+void BM_VisibilityQueryBrute(benchmark::State& state) {
+  const auto c = orbit::Constellation::WalkerDelta(orbit::StarlinkShell1());
+  const auto sats = c.PositionsEcef(0.0);
+  const geo::Vec3 gt = geo::GeodeticToEcef({48.9, 2.35, 0.0});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(link::VisibleSatellitesBruteForce(gt, sats, 25.0));
+  }
+}
+BENCHMARK(BM_VisibilityQueryBrute);
+
+core::NetworkModel& SharedHybridModel() {
+  static core::NetworkModel model = [] {
+    core::NetworkOptions options;
+    options.mode = core::ConnectivityMode::kHybrid;
+    options.relay_spacing_deg = 3.0;
+    return core::NetworkModel(core::Scenario::Starlink(), options,
+                              data::AnchorCities());
+  }();
+  return model;
+}
+
+void BM_SnapshotBuild(benchmark::State& state) {
+  const core::NetworkModel& model = SharedHybridModel();
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.BuildSnapshot(t));
+    t += 900.0;
+  }
+}
+BENCHMARK(BM_SnapshotBuild);
+
+void BM_DijkstraSnapshot(benchmark::State& state) {
+  const auto snap = SharedHybridModel().BuildSnapshot(0.0);
+  int i = 0;
+  for (auto _ : state) {
+    const int a = i % snap.num_cities;
+    const int b = (i * 7 + 41) % snap.num_cities;
+    benchmark::DoNotOptimize(
+        graph::ShortestPath(snap.graph, snap.CityNode(a), snap.CityNode(b)));
+    ++i;
+  }
+}
+BENCHMARK(BM_DijkstraSnapshot);
+
+void BM_BidirectionalDijkstra(benchmark::State& state) {
+  const auto snap = SharedHybridModel().BuildSnapshot(0.0);
+  int i = 0;
+  for (auto _ : state) {
+    const int a = i % snap.num_cities;
+    const int b = (i * 7 + 41) % snap.num_cities;
+    benchmark::DoNotOptimize(graph::BidirectionalShortestPath(
+        snap.graph, snap.CityNode(a), snap.CityNode(b)));
+    ++i;
+  }
+}
+BENCHMARK(BM_BidirectionalDijkstra);
+
+void BM_KDisjointPaths(benchmark::State& state) {
+  auto snap = SharedHybridModel().BuildSnapshot(0.0);
+  int i = 0;
+  for (auto _ : state) {
+    const int a = i % snap.num_cities;
+    const int b = (i * 7 + 41) % snap.num_cities;
+    benchmark::DoNotOptimize(graph::KEdgeDisjointShortestPaths(
+        snap.graph, snap.CityNode(a), snap.CityNode(b),
+        static_cast<int>(state.range(0))));
+    ++i;
+  }
+}
+BENCHMARK(BM_KDisjointPaths)->Arg(1)->Arg(4);
+
+void BM_YenKShortest(benchmark::State& state) {
+  auto snap = SharedHybridModel().BuildSnapshot(0.0);
+  int i = 0;
+  for (auto _ : state) {
+    const int a = i % snap.num_cities;
+    const int b = (i * 7 + 41) % snap.num_cities;
+    benchmark::DoNotOptimize(graph::KShortestPaths(
+        snap.graph, snap.CityNode(a), snap.CityNode(b),
+        static_cast<int>(state.range(0))));
+    ++i;
+  }
+}
+BENCHMARK(BM_YenKShortest)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_MaxMinAllocate(benchmark::State& state) {
+  // Synthetic network: 2000 links, 5000 flows of ~8 hops.
+  flow::FlowNetwork net;
+  for (int l = 0; l < 2000; ++l) {
+    net.AddLink(20.0 + (l % 5) * 20.0);
+  }
+  uint64_t x = 12345;
+  auto next = [&x] {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return x;
+  };
+  for (int f = 0; f < 5000; ++f) {
+    std::vector<flow::LinkId> path;
+    for (int h = 0; h < 8; ++h) {
+      path.push_back(static_cast<flow::LinkId>(next() % 2000));
+    }
+    net.AddFlow(std::move(path));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flow::MaxMinFairAllocate(net));
+  }
+}
+BENCHMARK(BM_MaxMinAllocate);
+
+void BM_SlantPathAttenuation(benchmark::State& state) {
+  const itur::SlantPathConfig config{14.25, 0.7, 0.5};
+  const geo::GeodeticCoord gt{5.0, 110.0, 0.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(itur::SlantPathAttenuationDb(gt, 35.0, config, 0.5));
+  }
+}
+BENCHMARK(BM_SlantPathAttenuation);
+
+void BM_RelayGridBuild(benchmark::State& state) {
+  const auto& cities = data::AnchorCities();
+  ground::RelayGridConfig config;
+  config.spacing_deg = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ground::BuildRelayGrid(cities, config));
+  }
+}
+BENCHMARK(BM_RelayGridBuild)->Arg(4)->Arg(2);
+
+void BM_SampleCityPairs(benchmark::State& state) {
+  const auto& cities = data::AnchorCities();
+  core::TrafficMatrixOptions options;
+  options.num_pairs = 500;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::SampleCityPairs(cities, options));
+  }
+}
+BENCHMARK(BM_SampleCityPairs);
+
+}  // namespace
+
+BENCHMARK_MAIN();

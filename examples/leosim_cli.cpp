@@ -1,0 +1,181 @@
+// leosim_cli — a small command-line front end over the library, the way a
+// downstream user would poke at the system without writing code.
+//
+//   leosim_cli route <cityA> <cityB> [--bp]        shortest path + RTT
+//   leosim_cli visible <city>                      satellites in view now
+//   leosim_cli attenuation <city> [freq_ghz]       ITU-R budget at the site
+//   leosim_cli pairs <count>                       sample a traffic matrix
+//   leosim_cli cities [substring]                  list known cities
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/attenuation_study.hpp"
+#include "core/network_builder.hpp"
+#include "core/traffic_matrix.hpp"
+#include "data/cities.hpp"
+#include "geo/geodesic.hpp"
+#include "graph/dijkstra.hpp"
+#include "itur/slant_path.hpp"
+#include "link/visibility.hpp"
+
+using namespace leosim;
+
+namespace {
+
+int Usage() {
+  std::printf(
+      "usage: leosim_cli <command> [args]\n"
+      "  route <cityA> <cityB> [--bp]   shortest path + RTT (hybrid default)\n"
+      "  visible <city>                 satellites visible right now\n"
+      "  attenuation <city> [freq_ghz]  ITU-R attenuation budget\n"
+      "  pairs <count>                  sample a >2000 km traffic matrix\n"
+      "  cities [substring]             list known cities\n");
+  return 2;
+}
+
+int FindCityIndex(const std::vector<data::City>& cities, const std::string& name) {
+  for (int i = 0; i < static_cast<int>(cities.size()); ++i) {
+    if (cities[static_cast<size_t>(i)].name == name) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+int CmdRoute(const std::string& a, const std::string& b, bool bent_pipe) {
+  core::NetworkOptions options;
+  options.mode =
+      bent_pipe ? core::ConnectivityMode::kBentPipe : core::ConnectivityMode::kHybrid;
+  options.relay_spacing_deg = 3.0;
+  const core::NetworkModel model(core::Scenario::Starlink(), options,
+                                 data::AnchorCities());
+  const int ia = FindCityIndex(model.cities(), a);
+  const int ib = FindCityIndex(model.cities(), b);
+  if (ia < 0 || ib < 0) {
+    std::printf("unknown city (try `leosim_cli cities`)\n");
+    return 1;
+  }
+  const auto snap = model.BuildSnapshot(0.0);
+  const auto path =
+      graph::ShortestPath(snap.graph, snap.CityNode(ia), snap.CityNode(ib));
+  if (!path.has_value()) {
+    std::printf("%s and %s are not connected under %s connectivity\n", a.c_str(),
+                b.c_str(), bent_pipe ? "bent-pipe" : "hybrid");
+    return 1;
+  }
+  std::printf("%s -> %s (%s): RTT %.1f ms, %d hops\n", a.c_str(), b.c_str(),
+              bent_pipe ? "bent-pipe" : "hybrid", 2.0 * path->distance,
+              path->HopCount());
+  int sats = 0;
+  int ground = 0;
+  for (const graph::NodeId n : path->nodes) {
+    if (snap.IsSat(n)) {
+      ++sats;
+    } else if (n != snap.CityNode(ia) && n != snap.CityNode(ib)) {
+      ++ground;
+    }
+  }
+  std::printf("  %d satellites, %d intermediate ground hops\n", sats, ground);
+  return 0;
+}
+
+int CmdVisible(const std::string& name) {
+  if (!data::HasCity(name)) {
+    std::printf("unknown city\n");
+    return 1;
+  }
+  const data::City& city = data::FindCity(name);
+  const core::Scenario scenario = core::Scenario::Starlink();
+  const auto constellation = orbit::Constellation::WalkerDelta(scenario.shell);
+  const auto sats = constellation.PositionsEcef(0.0);
+  const link::SatelliteIndex index(
+      sats, geo::CoverageRadiusKm(scenario.shell.altitude_km,
+                                  scenario.radio.min_elevation_deg) +
+                100.0);
+  const geo::Vec3 gt = geo::GeodeticToEcef(city.Coord());
+  const auto visible = index.Visible(gt, scenario.radio.min_elevation_deg);
+  std::printf("%s sees %zu Starlink satellites (e >= %.0f deg):\n", name.c_str(),
+              visible.size(), scenario.radio.min_elevation_deg);
+  for (const int sat : visible) {
+    const auto id = constellation.IdOf(sat);
+    std::printf("  sat %4d (plane %2d slot %2d): elevation %5.1f deg, range %6.0f km\n",
+                sat, id.plane, id.slot,
+                geo::ElevationAngleDeg(gt, sats[static_cast<size_t>(sat)]),
+                gt.DistanceTo(sats[static_cast<size_t>(sat)]));
+  }
+  return 0;
+}
+
+int CmdAttenuation(const std::string& name, double freq) {
+  if (!data::HasCity(name)) {
+    std::printf("unknown city\n");
+    return 1;
+  }
+  const data::City& city = data::FindCity(name);
+  itur::SlantPathConfig config;
+  config.frequency_ghz = freq;
+  std::printf("%s at %.2f GHz, 30 deg elevation:\n", name.c_str(), freq);
+  for (const double p : {1.0, 0.5, 0.1, 0.01}) {
+    const auto b = itur::SlantPathAttenuation(city.Coord(), 30.0, config, p);
+    std::printf("  %5.2f%% exceedance: %.2f dB total "
+                "(gas %.2f, cloud %.2f, rain %.2f, scint %.2f)\n",
+                p, b.total_db, b.gas_db, b.cloud_db, b.rain_db,
+                b.scintillation_db);
+  }
+  return 0;
+}
+
+int CmdPairs(int count) {
+  core::TrafficMatrixOptions options;
+  options.num_pairs = count;
+  const auto& cities = data::AnchorCities();
+  const auto pairs = core::SampleCityPairs(cities, options);
+  for (const core::CityPair& p : pairs) {
+    const auto& a = cities[static_cast<size_t>(p.a)];
+    const auto& b = cities[static_cast<size_t>(p.b)];
+    std::printf("%-20s %-20s %6.0f km\n", a.name.c_str(), b.name.c_str(),
+                geo::GreatCircleDistanceKm(a.Coord(), b.Coord()));
+  }
+  return 0;
+}
+
+int CmdCities(const std::string& filter) {
+  int shown = 0;
+  for (const data::City& c : data::AnchorCities()) {
+    if (!filter.empty() && c.name.find(filter) == std::string::npos) {
+      continue;
+    }
+    std::printf("%-24s %7.2f %8.2f  pop %.0fk\n", c.name.c_str(), c.latitude_deg,
+                c.longitude_deg, c.population_k);
+    ++shown;
+  }
+  std::printf("(%d cities)\n", shown);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  const std::string command = argv[1];
+  if (command == "route" && argc >= 4) {
+    const bool bp = argc >= 5 && std::strcmp(argv[4], "--bp") == 0;
+    return CmdRoute(argv[2], argv[3], bp);
+  }
+  if (command == "visible" && argc >= 3) {
+    return CmdVisible(argv[2]);
+  }
+  if (command == "attenuation" && argc >= 3) {
+    return CmdAttenuation(argv[2], argc >= 4 ? std::atof(argv[3]) : 14.25);
+  }
+  if (command == "pairs" && argc >= 3) {
+    return CmdPairs(std::atoi(argv[2]));
+  }
+  if (command == "cities") {
+    return CmdCities(argc >= 3 ? argv[2] : "");
+  }
+  return Usage();
+}

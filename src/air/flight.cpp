@@ -1,0 +1,30 @@
+#include "air/flight.hpp"
+
+#include <algorithm>
+
+#include "geo/geodesic.hpp"
+
+namespace leosim::air {
+
+Flight::Flight(const geo::GeodeticCoord& origin, const geo::GeodeticCoord& destination,
+               double departure_time_sec, double cruise_speed_km_h,
+               double cruise_altitude_km)
+    : origin_(origin),
+      destination_(destination),
+      departure_time_sec_(departure_time_sec),
+      cruise_altitude_km_(cruise_altitude_km),
+      route_length_km_(geo::GreatCircleDistanceKm(origin, destination)),
+      duration_sec_(route_length_km_ / std::max(cruise_speed_km_h, 1.0) * 3600.0) {}
+
+std::optional<geo::GeodeticCoord> Flight::PositionAt(double time_sec) const {
+  if (!InFlightAt(time_sec)) {
+    return std::nullopt;
+  }
+  const double fraction =
+      duration_sec_ > 0.0 ? (time_sec - departure_time_sec_) / duration_sec_ : 0.0;
+  geo::GeodeticCoord pos = geo::IntermediatePoint(origin_, destination_, fraction);
+  pos.altitude_km = cruise_altitude_km_;
+  return pos;
+}
+
+}  // namespace leosim::air

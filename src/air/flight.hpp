@@ -1,0 +1,45 @@
+// A single commercial flight flying a great-circle track between two
+// airports at constant cruise speed and altitude.
+#pragma once
+
+#include <optional>
+
+#include "geo/coordinates.hpp"
+
+namespace leosim::air {
+
+// Typical long-haul cruise parameters.
+inline constexpr double kDefaultCruiseSpeedKmPerHour = 900.0;
+inline constexpr double kDefaultCruiseAltitudeKm = 11.0;
+
+class Flight {
+ public:
+  Flight(const geo::GeodeticCoord& origin, const geo::GeodeticCoord& destination,
+         double departure_time_sec,
+         double cruise_speed_km_h = kDefaultCruiseSpeedKmPerHour,
+         double cruise_altitude_km = kDefaultCruiseAltitudeKm);
+
+  double departure_time_sec() const { return departure_time_sec_; }
+  double arrival_time_sec() const { return departure_time_sec_ + duration_sec_; }
+  double duration_sec() const { return duration_sec_; }
+  double route_length_km() const { return route_length_km_; }
+
+  bool InFlightAt(double time_sec) const {
+    return time_sec >= departure_time_sec_ && time_sec <= arrival_time_sec();
+  }
+
+  // Aircraft position at `time_sec`, or nullopt when on the ground.
+  // Altitude is the cruise altitude for the whole flight (climb/descent
+  // detail is irrelevant at constellation scale).
+  std::optional<geo::GeodeticCoord> PositionAt(double time_sec) const;
+
+ private:
+  geo::GeodeticCoord origin_;
+  geo::GeodeticCoord destination_;
+  double departure_time_sec_;
+  double cruise_altitude_km_;
+  double route_length_km_;
+  double duration_sec_;
+};
+
+}  // namespace leosim::air

@@ -1,0 +1,104 @@
+#include "air/schedule.hpp"
+
+#include <cmath>
+
+#include "data/airports.hpp"
+#include "data/rng.hpp"
+
+namespace leosim::air {
+
+namespace {
+
+constexpr double kDaySec = 86400.0;
+
+std::vector<Route> MakeDefaultRoutes() {
+  return {
+      // --- North Atlantic corridor (dense) ---
+      {"JFK", "LHR", 18}, {"JFK", "CDG", 10}, {"EWR", "LHR", 10}, {"BOS", "LHR", 7},
+      {"YYZ", "LHR", 7},  {"IAD", "LHR", 6},  {"JFK", "FRA", 7},  {"JFK", "AMS", 6},
+      {"ORD", "LHR", 6},  {"ATL", "LHR", 5},  {"MIA", "LHR", 4},  {"MIA", "MAD", 4},
+      {"YUL", "CDG", 5},  {"JFK", "MAD", 4},  {"JFK", "LIS", 3},  {"BOS", "KEF", 3},
+      {"JFK", "DUB", 4},  {"ORD", "FRA", 5},  {"IAD", "CDG", 4},  {"ATL", "AMS", 3},
+      {"JFK", "ZRH", 3},  {"EWR", "FRA", 4},  {"YYZ", "FRA", 3},  {"BOS", "CDG", 3},
+      {"ORD", "AMS", 3},  {"IAD", "FRA", 3},  {"JFK", "FCO", 3},  {"ATL", "CDG", 4},
+      {"KEF", "LHR", 4},  {"DFW", "LHR", 4},  {"SEA", "LHR", 2},  {"DEN", "LHR", 2},
+      // --- South Atlantic (sparse; mostly the Brazil-Iberia narrows) ---
+      {"GRU", "LIS", 4},  {"GRU", "MAD", 3},  {"GRU", "CDG", 3},  {"GRU", "LHR", 2},
+      {"GIG", "LIS", 2},  {"GRU", "FRA", 2},  {"EZE", "MAD", 3},  {"EZE", "FCO", 1},
+      {"REC", "LIS", 2},  {"FOR", "LIS", 1},  {"EZE", "CDG", 1},  {"GIG", "LHR", 1},
+      // True southern crossings are nearly empty:
+      {"GRU", "JNB", 1},  {"GRU", "CPT", 1},  {"GRU", "LOS", 1},  {"EZE", "JNB", 1},
+      // --- Trans-Pacific ---
+      {"LAX", "NRT", 8},  {"SFO", "NRT", 6},  {"LAX", "HND", 5},  {"SFO", "HND", 4},
+      {"SEA", "NRT", 4},  {"YVR", "NRT", 3},  {"LAX", "ICN", 5},  {"SFO", "ICN", 4},
+      {"LAX", "PVG", 4},  {"SFO", "PVG", 4},  {"LAX", "SYD", 4},  {"SFO", "SYD", 2},
+      {"LAX", "AKL", 2},  {"HNL", "NRT", 4},  {"LAX", "HNL", 12}, {"SFO", "HNL", 8},
+      {"HNL", "SYD", 2},  {"ANC", "NRT", 1},  {"YVR", "HKG", 3},  {"SEA", "ICN", 2},
+      {"PPT", "LAX", 1},  {"HNL", "AKL", 1},
+      // --- Indian Ocean / Gulf / Kangaroo route ---
+      {"SIN", "SYD", 6},  {"SIN", "PER", 4},  {"DXB", "SYD", 3},  {"SIN", "LHR", 6},
+      {"DXB", "LHR", 10}, {"DOH", "LHR", 6},  {"BOM", "DXB", 8},  {"DEL", "DXB", 6},
+      {"SIN", "DEL", 4},  {"SIN", "BOM", 3},  {"CMB", "SIN", 3},  {"DXB", "JNB", 3},
+      {"JNB", "SYD", 1},  {"JNB", "PER", 1},  {"NBO", "BOM", 2},  {"DXB", "CDG", 6},
+      {"DXB", "GRU", 1},  {"DOH", "SYD", 2},  {"AUH", "SYD", 1},  {"MAA", "SIN", 3},
+      {"DXB", "SIN", 5},  {"DXB", "HKG", 4},
+      // --- Intra-Asia & Oceania over water ---
+      {"HKG", "NRT", 8},  {"SIN", "HKG", 8},  {"SIN", "NRT", 5},  {"MNL", "NRT", 4},
+      {"SIN", "CGK", 10}, {"HKG", "SYD", 3},  {"NRT", "SYD", 3},  {"ICN", "SIN", 4},
+      {"TPE", "NRT", 5},  {"HKG", "MNL", 5},  {"BKK", "NRT", 4},  {"AKL", "SYD", 10},
+      {"AKL", "NAN", 3},  {"KUL", "SIN", 8},  {"CGK", "SIN", 6},  {"PEK", "NRT", 5},
+      {"PVG", "NRT", 6},  {"ICN", "NRT", 6},  {"BNE", "AKL", 3},  {"MEL", "AKL", 3},
+      // --- Europe <-> Africa / Middle East over the Mediterranean ---
+      {"CMN", "CDG", 3},  {"CAI", "CDG", 3},  {"JNB", "LHR", 3},  {"LOS", "LHR", 3},
+      {"NBO", "LHR", 2},  {"ADD", "IAD", 1},  {"DKR", "CDG", 2},  {"TLV", "CDG", 3},
+      {"IST", "LHR", 5},  {"CPT", "LHR", 2},
+      // --- Intra-Americas over the Caribbean ---
+      {"MIA", "GRU", 3},  {"MIA", "BOG", 4},  {"MIA", "LIM", 3},  {"JFK", "GRU", 2},
+      {"MIA", "EZE", 2},  {"MEX", "BOG", 2},  {"PTY", "MIA", 4},  {"MIA", "CCS", 1},
+      {"MIA", "SCL", 1},  {"ATL", "GRU", 1},
+  };
+}
+
+}  // namespace
+
+const std::vector<Route>& DefaultIntercontinentalRoutes() {
+  static const std::vector<Route> routes = MakeDefaultRoutes();
+  return routes;
+}
+
+int TotalDailyFlights(const std::vector<Route>& routes) {
+  int total = 0;
+  for (const Route& r : routes) {
+    total += 2 * r.flights_per_day;
+  }
+  return total;
+}
+
+std::vector<Flight> GenerateFlights(const std::vector<Route>& routes, int num_days,
+                                    double frequency_scale, uint64_t seed,
+                                    double start_time_sec) {
+  data::SplitMix64 rng(seed);
+  std::vector<Flight> flights;
+  for (const Route& route : routes) {
+    const auto& from = data::FindAirport(route.from_iata);
+    const auto& to = data::FindAirport(route.to_iata);
+    const int per_day = static_cast<int>(
+        std::ceil(route.flights_per_day * std::max(frequency_scale, 0.0)));
+    for (int day = 0; day < num_days; ++day) {
+      for (int direction = 0; direction < 2; ++direction) {
+        const auto& origin = direction == 0 ? from : to;
+        const auto& destination = direction == 0 ? to : from;
+        for (int k = 0; k < per_day; ++k) {
+          // Spread departures through the day, with up to half-slot jitter.
+          const double slot = kDaySec / per_day;
+          const double departure =
+              start_time_sec + day * kDaySec + (k + rng.Uniform(0.0, 0.5)) * slot;
+          flights.emplace_back(origin.Coord(), destination.Coord(), departure);
+        }
+      }
+    }
+  }
+  return flights;
+}
+
+}  // namespace leosim::air

@@ -1,0 +1,42 @@
+// Synthetic daily flight schedule (substitute for the FlightAware 1-day
+// trace the paper used; DESIGN.md §3).
+//
+// The schedule is a list of (airport pair, daily frequency) routes whose
+// relative densities reflect real intercontinental traffic: the North
+// Atlantic corridor carries an order of magnitude more flights than the
+// South Atlantic, the trans-Pacific sits in between, and the Indian Ocean
+// is crossed mostly via Gulf/South-East-Asian hubs. This asymmetry is the
+// mechanism behind the paper's Maceio-Durban detour (Fig. 3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "air/flight.hpp"
+
+namespace leosim::air {
+
+struct Route {
+  std::string from_iata;
+  std::string to_iata;
+  // Departures per day in EACH direction.
+  int flights_per_day{1};
+};
+
+// The built-in intercontinental route table (~90 routes).
+const std::vector<Route>& DefaultIntercontinentalRoutes();
+
+// Total scheduled departures per day (both directions) in a route table.
+int TotalDailyFlights(const std::vector<Route>& routes);
+
+// Expands a route table into concrete flights over `num_days` days
+// starting at `start_time_sec`. Departures are spread uniformly through
+// each day with deterministic jitter. A scale factor multiplies every
+// route's frequency (rounding up), letting experiments densify or thin the
+// air traffic.
+std::vector<Flight> GenerateFlights(const std::vector<Route>& routes, int num_days,
+                                    double frequency_scale = 1.0, uint64_t seed = 4242,
+                                    double start_time_sec = 0.0);
+
+}  // namespace leosim::air

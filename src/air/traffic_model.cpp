@@ -1,0 +1,41 @@
+#include "air/traffic_model.hpp"
+
+#include <utility>
+
+#include "data/landmask.hpp"
+
+namespace leosim::air {
+
+AirTrafficModel::AirTrafficModel(double frequency_scale, uint64_t seed)
+    // Two days of departures starting one day early, so long-haul flights
+    // that departed "yesterday" are still airborne at t = 0.
+    : flights_(GenerateFlights(DefaultIntercontinentalRoutes(), 2, frequency_scale,
+                               seed, -86400.0)) {}
+
+AirTrafficModel::AirTrafficModel(std::vector<Flight> flights)
+    : flights_(std::move(flights)) {}
+
+std::vector<geo::GeodeticCoord> AirTrafficModel::AirbornePositions(
+    double time_sec) const {
+  std::vector<geo::GeodeticCoord> positions;
+  for (const Flight& f : flights_) {
+    if (auto pos = f.PositionAt(time_sec)) {
+      positions.push_back(*pos);
+    }
+  }
+  return positions;
+}
+
+std::vector<geo::GeodeticCoord> AirTrafficModel::OverWaterPositions(
+    double time_sec) const {
+  const data::LandMask& mask = data::LandMask::Instance();
+  std::vector<geo::GeodeticCoord> over_water;
+  for (const geo::GeodeticCoord& pos : AirbornePositions(time_sec)) {
+    if (mask.IsWater(pos.latitude_deg, pos.longitude_deg)) {
+      over_water.push_back(pos);
+    }
+  }
+  return over_water;
+}
+
+}  // namespace leosim::air

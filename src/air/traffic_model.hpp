@@ -1,0 +1,39 @@
+// Snapshot queries over a day of synthetic air traffic: which aircraft are
+// airborne at time t, and which of those are over water (the only ones the
+// paper allows as bent-pipe relays, supplementing on-land ground stations).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "air/flight.hpp"
+#include "air/schedule.hpp"
+#include "geo/coordinates.hpp"
+
+namespace leosim::air {
+
+class AirTrafficModel {
+ public:
+  // Builds the default one-day model. `frequency_scale` thins (<1) or
+  // densifies (>1) every route. Flights are generated for 2 days starting
+  // one day early, so queries anywhere inside [0, 86400) see steady-state
+  // traffic that departed "yesterday".
+  explicit AirTrafficModel(double frequency_scale = 1.0, uint64_t seed = 4242);
+
+  // Custom flight list.
+  explicit AirTrafficModel(std::vector<Flight> flights);
+
+  const std::vector<Flight>& flights() const { return flights_; }
+
+  // Positions of every airborne aircraft at `time_sec`.
+  std::vector<geo::GeodeticCoord> AirbornePositions(double time_sec) const;
+
+  // Positions of airborne aircraft currently over water (land-mask test on
+  // the sub-aircraft point).
+  std::vector<geo::GeodeticCoord> OverWaterPositions(double time_sec) const;
+
+ private:
+  std::vector<Flight> flights_;
+};
+
+}  // namespace leosim::air

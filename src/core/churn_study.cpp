@@ -1,0 +1,148 @@
+#include "core/churn_study.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+#include "graph/dijkstra.hpp"
+
+namespace leosim::core {
+
+namespace {
+
+int CityIndexByName(const std::vector<data::City>& cities, const std::string& name) {
+  for (int i = 0; i < static_cast<int>(cities.size()); ++i) {
+    if (cities[static_cast<size_t>(i)].name == name) {
+      return i;
+    }
+  }
+  throw std::invalid_argument("city not in list: " + name);
+}
+
+double Jaccard(const std::set<graph::NodeId>& a, const std::set<graph::NodeId>& b) {
+  if (a.empty() && b.empty()) {
+    return 1.0;
+  }
+  int intersection = 0;
+  for (const graph::NodeId n : a) {
+    if (b.contains(n)) {
+      ++intersection;
+    }
+  }
+  const int union_size = static_cast<int>(a.size() + b.size()) - intersection;
+  return union_size == 0 ? 1.0 : static_cast<double>(intersection) / union_size;
+}
+
+ChurnStats ChurnForPair(const NetworkModel& model, int idx_a, int idx_b,
+                        const SnapshotSchedule& schedule) {
+  ChurnStats stats;
+  std::set<graph::NodeId> prev_nodes;
+  double prev_rtt = -1.0;
+  bool have_prev = false;
+  int jaccard_steps = 0;
+  int jitter_steps = 0;
+  double jaccard_sum = 0.0;
+  double jitter_sum = 0.0;
+  for (const double t : schedule.Times()) {
+    const auto snap = model.BuildSnapshot(t);
+    const auto path = graph::ShortestPath(snap.graph, snap.CityNode(idx_a),
+                                          snap.CityNode(idx_b));
+    ++stats.snapshots;
+    if (!path.has_value()) {
+      prev_nodes.clear();
+      have_prev = false;
+      prev_rtt = -1.0;
+      continue;
+    }
+    const std::set<graph::NodeId> nodes(path->nodes.begin(), path->nodes.end());
+    const double rtt = 2.0 * path->distance;
+    if (have_prev) {
+      if (nodes != prev_nodes) {
+        ++stats.path_changes;
+      }
+      jaccard_sum += Jaccard(prev_nodes, nodes);
+      ++jaccard_steps;
+      jitter_sum += std::fabs(rtt - prev_rtt);
+      ++jitter_steps;
+    }
+    prev_nodes = nodes;
+    prev_rtt = rtt;
+    have_prev = true;
+  }
+  stats.mean_jaccard = jaccard_steps > 0 ? jaccard_sum / jaccard_steps : 1.0;
+  stats.rtt_jitter_ms = jitter_steps > 0 ? jitter_sum / jitter_steps : 0.0;
+  return stats;
+}
+
+}  // namespace
+
+ChurnStats RunChurnStudy(const NetworkModel& model, const std::string& city_a,
+                         const std::string& city_b,
+                         const SnapshotSchedule& schedule) {
+  return ChurnForPair(model, CityIndexByName(model.cities(), city_a),
+                      CityIndexByName(model.cities(), city_b), schedule);
+}
+
+AggregateChurn RunAggregateChurnStudy(const NetworkModel& model,
+                                      const std::vector<CityPair>& pairs,
+                                      const SnapshotSchedule& schedule) {
+  // Snapshot-major loop: each snapshot graph is built once and routed for
+  // every pair (building snapshots dominates the cost).
+  struct PairState {
+    std::set<graph::NodeId> prev_nodes;
+    double prev_rtt{-1.0};
+    bool have_prev{false};
+    int changes{0};
+    int steps{0};
+    double jaccard_sum{0.0};
+    double jitter_sum{0.0};
+  };
+  std::vector<PairState> state(pairs.size());
+
+  const std::vector<double> times = schedule.Times();
+  for (const double t : times) {
+    const auto snap = model.BuildSnapshot(t);
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      PairState& ps = state[i];
+      const auto path = graph::ShortestPath(snap.graph, snap.CityNode(pairs[i].a),
+                                            snap.CityNode(pairs[i].b));
+      if (!path.has_value()) {
+        ps.have_prev = false;
+        continue;
+      }
+      const std::set<graph::NodeId> nodes(path->nodes.begin(), path->nodes.end());
+      const double rtt = 2.0 * path->distance;
+      if (ps.have_prev) {
+        if (nodes != ps.prev_nodes) {
+          ++ps.changes;
+        }
+        ps.jaccard_sum += Jaccard(ps.prev_nodes, nodes);
+        ps.jitter_sum += std::fabs(rtt - ps.prev_rtt);
+        ++ps.steps;
+      }
+      ps.prev_nodes = nodes;
+      ps.prev_rtt = rtt;
+      ps.have_prev = true;
+    }
+  }
+
+  AggregateChurn agg;
+  for (const PairState& ps : state) {
+    if (ps.steps == 0) {
+      continue;
+    }
+    agg.mean_change_rate += static_cast<double>(ps.changes) / ps.steps;
+    agg.mean_jaccard += ps.jaccard_sum / ps.steps;
+    agg.mean_rtt_jitter_ms += ps.jitter_sum / ps.steps;
+    ++agg.pairs_evaluated;
+  }
+  if (agg.pairs_evaluated > 0) {
+    agg.mean_change_rate /= agg.pairs_evaluated;
+    agg.mean_jaccard /= agg.pairs_evaluated;
+    agg.mean_rtt_jitter_ms /= agg.pairs_evaluated;
+  }
+  return agg;
+}
+
+}  // namespace leosim::core

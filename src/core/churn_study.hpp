@@ -1,0 +1,41 @@
+// Route-stability (churn) study: how often and how much the end-to-end
+// path changes between snapshots. Fig. 2(b) shows the RTT consequence;
+// this quantifies the underlying routing churn — relevant for transport
+// protocols and for the QoE argument the paper cites (gaming suffers from
+// latency *variation*, not just latency).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/latency_study.hpp"
+#include "core/network_builder.hpp"
+#include "core/traffic_matrix.hpp"
+
+namespace leosim::core {
+
+struct ChurnStats {
+  int snapshots{0};
+  int path_changes{0};          // consecutive snapshots with different node sets
+  double mean_jaccard{1.0};     // similarity of consecutive paths' node sets
+  double rtt_jitter_ms{0.0};    // mean |RTT(t+1) - RTT(t)| over reachable steps
+};
+
+// Churn of one pair's shortest path across the schedule.
+ChurnStats RunChurnStudy(const NetworkModel& model, const std::string& city_a,
+                         const std::string& city_b,
+                         const SnapshotSchedule& schedule);
+
+// Aggregate churn over a pair set: averages of the per-pair stats.
+struct AggregateChurn {
+  double mean_change_rate{0.0};  // fraction of steps with a path change
+  double mean_jaccard{1.0};
+  double mean_rtt_jitter_ms{0.0};
+  int pairs_evaluated{0};
+};
+
+AggregateChurn RunAggregateChurnStudy(const NetworkModel& model,
+                                      const std::vector<CityPair>& pairs,
+                                      const SnapshotSchedule& schedule);
+
+}  // namespace leosim::core

@@ -1,0 +1,45 @@
+#include "core/coverage_study.hpp"
+
+#include "geo/geodesic.hpp"
+#include "link/visibility.hpp"
+#include "orbit/walker.hpp"
+
+namespace leosim::core {
+
+std::vector<CoverageRow> RunCoverageStudy(const Scenario& scenario,
+                                          const CoverageStudyOptions& options) {
+  orbit::Constellation constellation;
+  constellation.AddShell(scenario.shell);
+  const double coverage = geo::CoverageRadiusKm(scenario.shell.altitude_km,
+                                                scenario.radio.min_elevation_deg);
+
+  std::vector<CoverageRow> rows;
+  rows.reserve(options.latitudes_deg.size());
+  for (const double lat : options.latitudes_deg) {
+    rows.push_back({lat, 0.0, 0.0});
+  }
+
+  int samples = 0;
+  for (double t = 0.0; t <= options.duration_sec; t += options.step_sec) {
+    const std::vector<geo::Vec3> sats = constellation.PositionsEcef(t);
+    const link::SatelliteIndex index(sats, coverage + 100.0);
+    ++samples;
+    for (CoverageRow& row : rows) {
+      const geo::Vec3 gt =
+          geo::GeodeticToEcef({row.latitude_deg, options.longitude_deg, 0.0});
+      const size_t visible =
+          index.Visible(gt, scenario.radio.min_elevation_deg).size();
+      row.mean_visible += static_cast<double>(visible);
+      if (static_cast<int>(visible) >= options.min_satellites) {
+        row.availability += 1.0;
+      }
+    }
+  }
+  for (CoverageRow& row : rows) {
+    row.mean_visible /= samples;
+    row.availability /= samples;
+  }
+  return rows;
+}
+
+}  // namespace leosim::core

@@ -1,0 +1,81 @@
+#include "core/gso_network_study.hpp"
+
+#include "graph/dijkstra.hpp"
+
+namespace leosim::core {
+
+namespace {
+
+GsoModeImpact CompareMode(const Scenario& scenario,
+                          const std::vector<data::City>& cities,
+                          const std::vector<CityPair>& pairs,
+                          NetworkOptions options, const GsoNetworkOptions& gso) {
+  options.apply_gso_exclusion = false;
+  const NetworkModel plain(scenario, options, cities);
+  options.apply_gso_exclusion = true;
+  options.gso_separation_deg = gso.separation_deg;
+  const NetworkModel excluded(scenario, options, cities);
+
+  const auto plain_snap = plain.BuildSnapshot(gso.time_sec);
+  const auto excl_snap = excluded.BuildSnapshot(gso.time_sec);
+
+  GsoModeImpact impact;
+  impact.pairs = static_cast<int>(pairs.size());
+  double rtt_without_sum = 0.0;
+  double rtt_with_sum = 0.0;
+  int both = 0;
+  for (const CityPair& pair : pairs) {
+    const auto p0 = graph::ShortestPath(plain_snap.graph, plain_snap.CityNode(pair.a),
+                                        plain_snap.CityNode(pair.b));
+    const auto p1 = graph::ShortestPath(excl_snap.graph, excl_snap.CityNode(pair.a),
+                                        excl_snap.CityNode(pair.b));
+    if (p0.has_value()) {
+      ++impact.reachable_without_exclusion;
+    }
+    if (p1.has_value()) {
+      ++impact.reachable_with_exclusion;
+    }
+    if (p0.has_value() && p1.has_value()) {
+      rtt_without_sum += 2.0 * p0->distance;
+      rtt_with_sum += 2.0 * p1->distance;
+      ++both;
+    }
+  }
+  if (both > 0) {
+    impact.mean_rtt_without_ms = rtt_without_sum / both;
+    impact.mean_rtt_with_ms = rtt_with_sum / both;
+  }
+  return impact;
+}
+
+}  // namespace
+
+std::vector<CityPair> CrossHemispherePairs(const std::vector<data::City>& cities,
+                                           const std::vector<CityPair>& pairs) {
+  std::vector<CityPair> crossing;
+  for (const CityPair& pair : pairs) {
+    const double lat_a = cities[static_cast<size_t>(pair.a)].latitude_deg;
+    const double lat_b = cities[static_cast<size_t>(pair.b)].latitude_deg;
+    if (lat_a * lat_b < 0.0) {
+      crossing.push_back(pair);
+    }
+  }
+  return crossing;
+}
+
+GsoNetworkResult RunGsoNetworkStudy(const Scenario& scenario,
+                                    const std::vector<data::City>& cities,
+                                    const std::vector<CityPair>& pairs,
+                                    const NetworkOptions& base_options,
+                                    const GsoNetworkOptions& gso) {
+  GsoNetworkResult result;
+  NetworkOptions bp = base_options;
+  bp.mode = ConnectivityMode::kBentPipe;
+  result.bent_pipe = CompareMode(scenario, cities, pairs, bp, gso);
+  NetworkOptions hybrid = base_options;
+  hybrid.mode = ConnectivityMode::kHybrid;
+  result.hybrid = CompareMode(scenario, cities, pairs, hybrid, gso);
+  return result;
+}
+
+}  // namespace leosim::core

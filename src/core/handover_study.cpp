@@ -1,0 +1,85 @@
+#include "core/handover_study.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "geo/geodesic.hpp"
+#include "link/visibility.hpp"
+#include "orbit/walker.hpp"
+
+namespace leosim::core {
+
+HandoverStats RunHandoverStudy(const Scenario& scenario,
+                               const geo::GeodeticCoord& terminal,
+                               const HandoverStudyOptions& options) {
+  const orbit::Constellation constellation =
+      orbit::Constellation::WalkerDelta(scenario.shell);
+  const geo::Vec3 gt = geo::GeodeticToEcef(terminal);
+  const double coverage = geo::CoverageRadiusKm(scenario.shell.altitude_km,
+                                                scenario.radio.min_elevation_deg);
+
+  // Track per-satellite visibility intervals over the sampled window.
+  std::map<int, double> pass_start;  // satellite -> time it rose
+  std::vector<double> completed_durations;
+  int visible_sum = 0;
+  int samples = 0;
+  int outage_samples = 0;
+  int endings = 0;
+
+  std::vector<int> previous;
+  for (double t = 0.0; t <= options.duration_sec; t += options.step_sec) {
+    const std::vector<geo::Vec3> sats = constellation.PositionsEcef(t);
+    const link::SatelliteIndex index(sats, coverage + 100.0);
+    const std::vector<int> visible =
+        index.Visible(gt, scenario.radio.min_elevation_deg);
+
+    visible_sum += static_cast<int>(visible.size());
+    ++samples;
+    if (visible.empty()) {
+      ++outage_samples;
+    }
+
+    // Risers: in `visible` but not in `previous`.
+    for (const int sat : visible) {
+      if (!std::binary_search(previous.begin(), previous.end(), sat)) {
+        pass_start.emplace(sat, t);
+      }
+    }
+    // Setters: in `previous` but not in `visible`.
+    for (const int sat : previous) {
+      if (!std::binary_search(visible.begin(), visible.end(), sat)) {
+        ++endings;
+        const auto it = pass_start.find(sat);
+        if (it != pass_start.end()) {
+          completed_durations.push_back(t - it->second);
+          pass_start.erase(it);
+        }
+      }
+    }
+    previous = visible;
+  }
+
+  HandoverStats stats;
+  stats.completed_passes = static_cast<int>(completed_durations.size());
+  if (!completed_durations.empty()) {
+    double sum = 0.0;
+    double max = 0.0;
+    double min = std::numeric_limits<double>::infinity();
+    for (const double d : completed_durations) {
+      sum += d;
+      max = std::max(max, d);
+      min = std::min(min, d);
+    }
+    stats.mean_pass_duration_sec = sum / completed_durations.size();
+    stats.max_pass_duration_sec = max;
+    stats.min_pass_duration_sec = min;
+  }
+  stats.mean_visible_sats = static_cast<double>(visible_sum) / samples;
+  stats.pass_endings_per_hour = endings / (options.duration_sec / 3600.0);
+  stats.outage_fraction = static_cast<double>(outage_samples) / samples;
+  return stats;
+}
+
+}  // namespace leosim::core

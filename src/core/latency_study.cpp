@@ -1,0 +1,177 @@
+#include "core/latency_study.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "core/parallel.hpp"
+#include "geo/coordinates.hpp"
+#include "graph/dijkstra.hpp"
+
+namespace leosim::core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::vector<PairRttSeries> InitSeries(const std::vector<CityPair>& pairs,
+                                      size_t num_snapshots) {
+  std::vector<PairRttSeries> series;
+  series.reserve(pairs.size());
+  for (const CityPair& p : pairs) {
+    PairRttSeries s;
+    s.pair = p;
+    s.rtt_ms.assign(num_snapshots, kInf);
+    series.push_back(std::move(s));
+  }
+  return series;
+}
+
+// Fills snapshot column `slot` of every pair's series.
+void FillSnapshotRtts(const NetworkModel& model, double time_sec, size_t slot,
+                      const std::vector<CityPair>& pairs,
+                      std::vector<PairRttSeries>* series) {
+  const NetworkModel::Snapshot snap = model.BuildSnapshot(time_sec);
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    const graph::NodeId src = snap.CityNode(pairs[i].a);
+    const graph::NodeId dst = snap.CityNode(pairs[i].b);
+    const auto path = graph::ShortestPath(snap.graph, src, dst);
+    // RTT = out-and-back over the same path: 2x the one-way latency.
+    (*series)[i].rtt_ms[slot] = path.has_value() ? 2.0 * path->distance : kInf;
+  }
+}
+
+}  // namespace
+
+std::vector<double> SnapshotSchedule::Times() const {
+  std::vector<double> times;
+  for (double t = 0.0; t < duration_sec; t += step_sec) {
+    times.push_back(t);
+  }
+  return times;
+}
+
+double PairRttSeries::MinRtt() const {
+  double best = kInf;
+  for (const double r : rtt_ms) {
+    best = std::min(best, r);
+  }
+  return best;
+}
+
+double PairRttSeries::MaxRtt() const {
+  double worst = -kInf;
+  for (const double r : rtt_ms) {
+    if (r != kInf) {
+      worst = std::max(worst, r);
+    }
+  }
+  return worst;
+}
+
+double PairRttSeries::Range() const {
+  const double min = MinRtt();
+  const double max = MaxRtt();
+  if (min == kInf || max == -kInf) {
+    return kInf;  // never reachable
+  }
+  return max - min;
+}
+
+int PairRttSeries::UnreachableCount() const {
+  return static_cast<int>(std::count(rtt_ms.begin(), rtt_ms.end(), kInf));
+}
+
+std::vector<double> LatencyStudyResult::MinRtts(
+    const std::vector<PairRttSeries>& series) const {
+  std::vector<double> values;
+  for (const PairRttSeries& s : series) {
+    const double v = s.MinRtt();
+    if (v != kInf) {
+      values.push_back(v);
+    }
+  }
+  return values;
+}
+
+std::vector<double> LatencyStudyResult::Ranges(
+    const std::vector<PairRttSeries>& series) const {
+  std::vector<double> values;
+  for (const PairRttSeries& s : series) {
+    const double v = s.Range();
+    if (v != kInf) {
+      values.push_back(v);
+    }
+  }
+  return values;
+}
+
+LatencyStudyResult RunLatencyStudy(const NetworkModel& bp_model,
+                                   const NetworkModel& hybrid_model,
+                                   const std::vector<CityPair>& pairs,
+                                   const SnapshotSchedule& schedule) {
+  LatencyStudyResult result;
+  result.snapshot_times = schedule.Times();
+  result.bp = InitSeries(pairs, result.snapshot_times.size());
+  result.hybrid = InitSeries(pairs, result.snapshot_times.size());
+  // Snapshots are independent; fan out across cores.
+  ParallelFor(static_cast<int>(result.snapshot_times.size()), [&](int slot) {
+    const double t = result.snapshot_times[static_cast<size_t>(slot)];
+    FillSnapshotRtts(bp_model, t, static_cast<size_t>(slot), pairs, &result.bp);
+    FillSnapshotRtts(hybrid_model, t, static_cast<size_t>(slot), pairs,
+                     &result.hybrid);
+  });
+  return result;
+}
+
+std::vector<PathObservation> TracePairPath(const NetworkModel& model,
+                                           const std::string& city_a,
+                                           const std::string& city_b,
+                                           const SnapshotSchedule& schedule) {
+  const std::vector<data::City>& cities = model.cities();
+  int idx_a = -1;
+  int idx_b = -1;
+  for (int i = 0; i < static_cast<int>(cities.size()); ++i) {
+    if (cities[static_cast<size_t>(i)].name == city_a) idx_a = i;
+    if (cities[static_cast<size_t>(i)].name == city_b) idx_b = i;
+  }
+  if (idx_a < 0 || idx_b < 0) {
+    throw std::invalid_argument("city not present in the model's city list");
+  }
+
+  std::vector<PathObservation> trace;
+  for (const double t : schedule.Times()) {
+    const NetworkModel::Snapshot snap = model.BuildSnapshot(t);
+    PathObservation obs;
+    obs.time_sec = t;
+    const auto path =
+        graph::ShortestPath(snap.graph, snap.CityNode(idx_a), snap.CityNode(idx_b));
+    if (path.has_value()) {
+      obs.reachable = true;
+      obs.rtt_ms = 2.0 * path->distance;
+      for (size_t i = 0; i < path->nodes.size(); ++i) {
+        const graph::NodeId n = path->nodes[i];
+        const bool endpoint = i == 0 || i + 1 == path->nodes.size();
+        if (snap.IsSat(n)) {
+          ++obs.satellite_hops;
+        } else if (snap.IsAircraft(n)) {
+          ++obs.aircraft_hops;
+        } else if (snap.IsRelay(n)) {
+          ++obs.relay_hops;
+        } else if (!endpoint) {
+          ++obs.city_hops;
+        }
+        const geo::GeodeticCoord g = geo::EcefToGeodetic(
+            snap.node_ecef[static_cast<size_t>(n)]);
+        obs.max_node_latitude_deg =
+            std::max(obs.max_node_latitude_deg, g.latitude_deg);
+        obs.min_node_latitude_deg =
+            std::min(obs.min_node_latitude_deg, g.latitude_deg);
+      }
+    }
+    trace.push_back(obs);
+  }
+  return trace;
+}
+
+}  // namespace leosim::core

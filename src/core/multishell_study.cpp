@@ -1,0 +1,69 @@
+#include "core/multishell_study.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "graph/dijkstra.hpp"
+
+namespace leosim::core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+int CityIndexByName(const std::vector<data::City>& cities, const std::string& name) {
+  for (int i = 0; i < static_cast<int>(cities.size()); ++i) {
+    if (cities[static_cast<size_t>(i)].name == name) {
+      return i;
+    }
+  }
+  throw std::invalid_argument("city not in list: " + name);
+}
+
+}  // namespace
+
+MultishellResult RunMultishellStudy(const Scenario& scenario,
+                                    const orbit::OrbitalShell& second_shell,
+                                    std::vector<data::City> cities,
+                                    const std::string& city_a,
+                                    const std::string& city_b,
+                                    const SnapshotSchedule& schedule) {
+  NetworkOptions options;
+  options.mode = ConnectivityMode::kIslOnly;  // city GTs + ISLs
+
+  const NetworkModel single(scenario, options, cities);
+  const NetworkModel dual(scenario, options, cities, {second_shell});
+
+  const int idx_a = CityIndexByName(single.cities(), city_a);
+  const int idx_b = CityIndexByName(single.cities(), city_b);
+
+  MultishellResult result;
+  result.times_sec = schedule.Times();
+  double improvement_sum = 0.0;
+  int improvement_count = 0;
+  for (const double t : result.times_sec) {
+    const auto single_snap = single.BuildSnapshot(t);
+    const auto dual_snap = dual.BuildSnapshot(t);
+    const auto single_path = graph::ShortestPath(
+        single_snap.graph, single_snap.CityNode(idx_a), single_snap.CityNode(idx_b));
+    const auto dual_path = graph::ShortestPath(
+        dual_snap.graph, dual_snap.CityNode(idx_a), dual_snap.CityNode(idx_b));
+    const double single_rtt = single_path ? 2.0 * single_path->distance : kInf;
+    const double dual_rtt = dual_path ? 2.0 * dual_path->distance : kInf;
+    result.single_shell_rtt_ms.push_back(single_rtt);
+    result.dual_shell_rtt_ms.push_back(dual_rtt);
+    if (dual_rtt < single_rtt - 1e-9) {
+      ++result.improved_snapshots;
+    }
+    if (single_rtt != kInf && dual_rtt != kInf) {
+      improvement_sum += single_rtt - dual_rtt;
+      ++improvement_count;
+    }
+  }
+  if (improvement_count > 0) {
+    result.mean_improvement_ms = improvement_sum / improvement_count;
+  }
+  return result;
+}
+
+}  // namespace leosim::core

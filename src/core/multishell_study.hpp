@@ -1,0 +1,36 @@
+// BP augmentation of an ISL constellation (paper §8, Fig. 10): without
+// cross-shell ISLs, sparse bent-pipe bounces at ground stations let paths
+// switch between shells (e.g. a 53-degree shell and a polar shell),
+// reducing latency for pairs the single shell serves poorly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/latency_study.hpp"
+#include "core/network_builder.hpp"
+
+namespace leosim::core {
+
+struct MultishellResult {
+  std::vector<double> times_sec;
+  // RTT (ms) per snapshot; +inf when unreachable.
+  std::vector<double> single_shell_rtt_ms;   // primary shell + its ISLs only
+  std::vector<double> dual_shell_rtt_ms;     // both shells, BP transitions allowed
+  int improved_snapshots{0};                 // dual beats single
+  double mean_improvement_ms{0.0};           // over snapshots where both reachable
+};
+
+// Compares `city_a`<->`city_b` RTTs between a single-shell ISL network and
+// a two-shell network (primary shell + `second_shell`) where paths may
+// switch shells by bouncing through any city GT. Both networks use
+// city-GT radio links only (no relay grid or aircraft), isolating the
+// shell-transition effect.
+MultishellResult RunMultishellStudy(const Scenario& scenario,
+                                    const orbit::OrbitalShell& second_shell,
+                                    std::vector<data::City> cities,
+                                    const std::string& city_a,
+                                    const std::string& city_b,
+                                    const SnapshotSchedule& schedule);
+
+}  // namespace leosim::core

@@ -1,0 +1,188 @@
+#include "core/network_builder.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "geo/geodesic.hpp"
+#include "ground/relay_grid.hpp"
+#include "link/gso.hpp"
+#include "link/radio.hpp"
+#include "link/visibility.hpp"
+
+namespace leosim::core {
+
+std::string_view ToString(ConnectivityMode mode) {
+  switch (mode) {
+    case ConnectivityMode::kBentPipe:
+      return "bent-pipe";
+    case ConnectivityMode::kHybrid:
+      return "hybrid";
+    case ConnectivityMode::kIslOnly:
+      return "isl-only";
+  }
+  return "unknown";
+}
+
+NetworkModel::NetworkModel(const Scenario& scenario, const NetworkOptions& options,
+                           std::vector<data::City> cities)
+    : NetworkModel(scenario, options, std::move(cities), {}) {}
+
+NetworkModel::NetworkModel(const Scenario& scenario, const NetworkOptions& options,
+                           std::vector<data::City> cities,
+                           const std::vector<orbit::OrbitalShell>& extra_shells)
+    : scenario_(scenario), options_(options), cities_(std::move(cities)) {
+  if (cities_.empty()) {
+    throw std::invalid_argument("network model needs at least one city");
+  }
+  constellation_.AddShell(scenario_.shell);
+  for (const orbit::OrbitalShell& shell : extra_shells) {
+    constellation_.AddShell(shell);
+  }
+  Initialise();
+}
+
+void NetworkModel::Initialise() {
+  if (options_.mode != ConnectivityMode::kBentPipe) {
+    isl_pairs_ = orbit::PlusGridIslsAllShells(constellation_);
+  }
+
+  const bool ground_relays_used =
+      options_.mode != ConnectivityMode::kIslOnly && options_.use_relays;
+  if (ground_relays_used) {
+    ground::RelayGridConfig grid;
+    grid.spacing_deg = options_.relay_spacing_deg;
+    grid.radius_km = options_.relay_radius_km;
+    relays_ = ground::BuildRelayGrid(cities_, grid);
+  }
+
+  if (options_.mode != ConnectivityMode::kIslOnly && options_.use_aircraft) {
+    air_.emplace(options_.aircraft_scale, options_.seed);
+  }
+
+  city_ecef_.reserve(cities_.size());
+  for (const data::City& c : cities_) {
+    city_ecef_.push_back(geo::GeodeticToEcef(c.Coord()));
+  }
+  relay_ecef_.reserve(relays_.size());
+  for (const geo::GeodeticCoord& r : relays_) {
+    relay_ecef_.push_back(geo::GeodeticToEcef(r));
+  }
+}
+
+double NetworkModel::GtCapacityGbps() const {
+  return options_.gt_capacity_gbps >= 0.0 ? options_.gt_capacity_gbps
+                                          : scenario_.radio.capacity_gbps;
+}
+
+double NetworkModel::IslCapacityGbps() const {
+  return options_.isl_capacity_gbps >= 0.0 ? options_.isl_capacity_gbps
+                                           : scenario_.isl.capacity_gbps;
+}
+
+NetworkModel::Snapshot NetworkModel::BuildSnapshot(double time_sec) const {
+  Snapshot snap{graph::Graph(0), {}, 0, 0, 0, 0, {}, {}, {}};
+  snap.num_sats = constellation_.NumSatellites();
+  snap.num_cities = static_cast<int>(cities_.size());
+  snap.num_relays = static_cast<int>(relays_.size());
+
+  const std::vector<geo::Vec3> sat_ecef = constellation_.PositionsEcef(time_sec);
+
+  if (air_.has_value()) {
+    snap.aircraft_coords = air_->OverWaterPositions(time_sec);
+  }
+  snap.num_aircraft = static_cast<int>(snap.aircraft_coords.size());
+
+  const int total_nodes =
+      snap.num_sats + snap.num_cities + snap.num_relays + snap.num_aircraft;
+  snap.graph = graph::Graph(total_nodes);
+
+  snap.node_ecef.reserve(static_cast<size_t>(total_nodes));
+  snap.node_ecef.insert(snap.node_ecef.end(), sat_ecef.begin(), sat_ecef.end());
+  snap.node_ecef.insert(snap.node_ecef.end(), city_ecef_.begin(), city_ecef_.end());
+  snap.node_ecef.insert(snap.node_ecef.end(), relay_ecef_.begin(), relay_ecef_.end());
+  for (const geo::GeodeticCoord& a : snap.aircraft_coords) {
+    snap.node_ecef.push_back(geo::GeodeticToEcef(a));
+  }
+
+  // Radio links: every ground node (city, relay, aircraft) to every
+  // visible satellite, via the spatial index.
+  double max_altitude = 0.0;
+  for (int s = 0; s < constellation_.NumShells(); ++s) {
+    max_altitude = std::max(max_altitude, constellation_.shell(s).altitude_km);
+  }
+  const double coverage =
+      geo::CoverageRadiusKm(max_altitude, scenario_.radio.min_elevation_deg);
+  const link::SatelliteIndex index(sat_ecef, coverage + 100.0);
+
+  const double gt_capacity = GtCapacityGbps();
+  const link::GsoConfig gso_config{options_.gso_separation_deg, 180};
+  const int first_ground = snap.num_sats;
+
+  // Candidate radio links, grouped per satellite so a beam budget can be
+  // enforced (closest terminals win the contended beams).
+  struct Candidate {
+    int ground;
+    double latency_ms;
+  };
+  std::vector<std::vector<Candidate>> per_sat(static_cast<size_t>(snap.num_sats));
+  for (int g = first_ground; g < total_nodes; ++g) {
+    const geo::Vec3& ground = snap.node_ecef[static_cast<size_t>(g)];
+    for (const int sat : index.Visible(ground, scenario_.radio.min_elevation_deg)) {
+      if (options_.apply_gso_exclusion &&
+          link::ViolatesGsoExclusion(ground, sat_ecef[static_cast<size_t>(sat)],
+                                     gso_config)) {
+        continue;
+      }
+      const double latency_ms = link::PropagationLatencyMs(
+          ground, sat_ecef[static_cast<size_t>(sat)]);
+      per_sat[static_cast<size_t>(sat)].push_back({g, latency_ms});
+    }
+  }
+  for (int sat = 0; sat < snap.num_sats; ++sat) {
+    std::vector<Candidate>& candidates = per_sat[static_cast<size_t>(sat)];
+    if (options_.max_gt_links_per_satellite > 0 &&
+        static_cast<int>(candidates.size()) > options_.max_gt_links_per_satellite) {
+      std::nth_element(candidates.begin(),
+                       candidates.begin() + options_.max_gt_links_per_satellite,
+                       candidates.end(), [](const Candidate& a, const Candidate& b) {
+                         return a.latency_ms < b.latency_ms;
+                       });
+      candidates.resize(static_cast<size_t>(options_.max_gt_links_per_satellite));
+    }
+    for (const Candidate& c : candidates) {
+      snap.radio_edges.push_back(
+          snap.graph.AddEdge(sat, c.ground, c.latency_ms, gt_capacity));
+    }
+  }
+
+  // Laser ISLs (+Grid, per shell).
+  if (options_.mode != ConnectivityMode::kBentPipe) {
+    const double isl_capacity = IslCapacityGbps();
+    for (const orbit::IslEdge& e : isl_pairs_) {
+      const double latency_ms =
+          link::PropagationLatencyMs(sat_ecef[static_cast<size_t>(e.first)],
+                                     sat_ecef[static_cast<size_t>(e.second)]);
+      snap.isl_edges.push_back(
+          snap.graph.AddEdge(e.first, e.second, latency_ms, isl_capacity));
+    }
+  }
+  return snap;
+}
+
+geo::GeodeticCoord NetworkModel::GroundNodeCoord(const Snapshot& snapshot,
+                                                 graph::NodeId node) const {
+  if (snapshot.IsCity(node)) {
+    return cities_[static_cast<size_t>(node - snapshot.num_sats)].Coord();
+  }
+  if (snapshot.IsRelay(node)) {
+    return relays_[static_cast<size_t>(node - snapshot.num_sats - snapshot.num_cities)];
+  }
+  if (snapshot.IsAircraft(node)) {
+    return snapshot.aircraft_coords[static_cast<size_t>(
+        node - snapshot.num_sats - snapshot.num_cities - snapshot.num_relays)];
+  }
+  throw std::invalid_argument("node is a satellite, not a ground node");
+}
+
+}  // namespace leosim::core

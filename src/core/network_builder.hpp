@@ -1,0 +1,133 @@
+// Builds per-snapshot network graphs for the three connectivity modes the
+// paper compares (§3):
+//
+//   kBentPipe — GT-satellite radio links only. Ground nodes are the city
+//     GTs, a dense land relay grid, and over-water aircraft.
+//   kHybrid   — bent-pipe connectivity PLUS +Grid laser ISLs.
+//   kIslOnly  — city GTs and ISLs only (no relays/aircraft); used by the
+//     attenuation study to isolate first/last-hop radio links.
+//
+// Nodes are laid out [satellites | cities | relays | aircraft]; edge
+// weights are one-way propagation latencies in milliseconds and edge
+// capacities are link rates in Gbps, so the same snapshot serves both the
+// latency and the throughput experiments.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "air/traffic_model.hpp"
+#include "core/scenario.hpp"
+#include "data/cities.hpp"
+#include "geo/vec3.hpp"
+#include "graph/graph.hpp"
+#include "orbit/isl_grid.hpp"
+
+namespace leosim::core {
+
+enum class ConnectivityMode { kBentPipe, kHybrid, kIslOnly };
+
+std::string_view ToString(ConnectivityMode mode);
+
+struct NetworkOptions {
+  ConnectivityMode mode{ConnectivityMode::kHybrid};
+  // Relay grid (ignored in kIslOnly mode). Paper defaults: 0.5 deg within
+  // 2,000 km; bench binaries scale spacing up for speed.
+  bool use_relays{true};
+  double relay_spacing_deg{0.5};
+  double relay_radius_km{2000.0};
+  // Aircraft relays (ignored in kIslOnly mode).
+  bool use_aircraft{true};
+  double aircraft_scale{1.0};
+  // Capacity overrides; negative values take the scenario defaults
+  // (20 Gbps GT-sat, 100 Gbps ISL).
+  double gt_capacity_gbps{-1.0};
+  double isl_capacity_gbps{-1.0};
+  // Optional GSO-arc exclusion applied to every radio link (paper §7).
+  bool apply_gso_exclusion{false};
+  double gso_separation_deg{22.0};
+  // Per-satellite beam budget: at most this many simultaneous GT links per
+  // satellite, closest terminals first (paper §2 notes satellites serve
+  // multiple GTs on different frequency bands — a finite resource).
+  // 0 = unlimited (the paper's evaluation model).
+  int max_gt_links_per_satellite{0};
+  uint64_t seed{4242};
+};
+
+class NetworkModel {
+ public:
+  struct Snapshot {
+    graph::Graph graph;
+    std::vector<geo::Vec3> node_ecef;
+    int num_sats{0};
+    int num_cities{0};
+    int num_relays{0};
+    int num_aircraft{0};
+    std::vector<graph::EdgeId> radio_edges;
+    std::vector<graph::EdgeId> isl_edges;
+    // Geodetic positions of the aircraft nodes (over-water aircraft at
+    // this snapshot's time), index-aligned with AircraftNode(i).
+    std::vector<geo::GeodeticCoord> aircraft_coords;
+
+    graph::NodeId SatNode(int i) const { return i; }
+    graph::NodeId CityNode(int i) const { return num_sats + i; }
+    graph::NodeId RelayNode(int i) const { return num_sats + num_cities + i; }
+    graph::NodeId AircraftNode(int i) const {
+      return num_sats + num_cities + num_relays + i;
+    }
+    bool IsSat(graph::NodeId n) const { return n < num_sats; }
+    bool IsCity(graph::NodeId n) const {
+      return n >= num_sats && n < num_sats + num_cities;
+    }
+    bool IsRelay(graph::NodeId n) const {
+      return n >= num_sats + num_cities && n < num_sats + num_cities + num_relays;
+    }
+    bool IsAircraft(graph::NodeId n) const {
+      return n >= num_sats + num_cities + num_relays;
+    }
+    int NumNodes() const { return static_cast<int>(node_ecef.size()); }
+  };
+
+  // The model owns its city list (callers typically pass the output of
+  // data::GenerateWorldCities).
+  NetworkModel(const Scenario& scenario, const NetworkOptions& options,
+               std::vector<data::City> cities);
+
+  // Constellation with one extra shell appended (used by the multishell
+  // study); ISLs are built per shell, never across shells.
+  NetworkModel(const Scenario& scenario, const NetworkOptions& options,
+               std::vector<data::City> cities,
+               const std::vector<orbit::OrbitalShell>& extra_shells);
+
+  Snapshot BuildSnapshot(double time_sec) const;
+
+  const Scenario& scenario() const { return scenario_; }
+  const NetworkOptions& options() const { return options_; }
+  const std::vector<data::City>& cities() const { return cities_; }
+  const orbit::Constellation& constellation() const { return constellation_; }
+  const std::vector<geo::GeodeticCoord>& relays() const { return relays_; }
+  double GtCapacityGbps() const;
+  double IslCapacityGbps() const;
+
+  // Geodetic position of a ground node in a snapshot (cities, relays, or
+  // aircraft; satellites are rejected).
+  geo::GeodeticCoord GroundNodeCoord(const Snapshot& snapshot,
+                                     graph::NodeId node) const;
+
+ private:
+  void Initialise();
+
+  Scenario scenario_;
+  NetworkOptions options_;
+  std::vector<data::City> cities_;
+  orbit::Constellation constellation_;
+  std::vector<orbit::IslEdge> isl_pairs_;
+  std::vector<geo::GeodeticCoord> relays_;
+  std::optional<air::AirTrafficModel> air_;
+  // Cached ECEF for static ground nodes.
+  std::vector<geo::Vec3> city_ecef_;
+  std::vector<geo::Vec3> relay_ecef_;
+};
+
+}  // namespace leosim::core

@@ -1,0 +1,76 @@
+#include "core/outage_study.hpp"
+
+#include <algorithm>
+
+#include "geo/geodesic.hpp"
+#include "graph/dijkstra.hpp"
+#include "itur/slant_path.hpp"
+
+namespace leosim::core {
+
+std::vector<OutageRow> RunOutageStudy(const NetworkModel& model,
+                                      const std::vector<CityPair>& pairs,
+                                      const OutageStudyOptions& options) {
+  NetworkModel::Snapshot snap = model.BuildSnapshot(options.time_sec);
+  const link::RadioConfig& radio = model.scenario().radio;
+
+  // Worst-direction attenuation per radio link (up-link frequency is the
+  // higher one and rain attenuation grows with frequency, so it wins; we
+  // still evaluate both for correctness).
+  std::vector<double> link_attenuation(snap.radio_edges.size(), 0.0);
+  for (size_t i = 0; i < snap.radio_edges.size(); ++i) {
+    const graph::EdgeRecord& rec = snap.graph.Edge(snap.radio_edges[i]);
+    const graph::NodeId ground = snap.IsSat(rec.a) ? rec.b : rec.a;
+    const graph::NodeId sat = snap.IsSat(rec.a) ? rec.a : rec.b;
+    const geo::GeodeticCoord gt = model.GroundNodeCoord(snap, ground);
+    const double elevation =
+        geo::ElevationAngleDeg(snap.node_ecef[static_cast<size_t>(ground)],
+                               snap.node_ecef[static_cast<size_t>(sat)]);
+    itur::SlantPathConfig config;
+    config.antenna_diameter_m = options.attenuation.antenna_diameter_m;
+    config.antenna_efficiency = options.attenuation.antenna_efficiency;
+    config.frequency_ghz = radio.uplink_freq_ghz;
+    const double up =
+        itur::SlantPathAttenuationDb(gt, elevation, config, options.exceedance_pct);
+    config.frequency_ghz = radio.downlink_freq_ghz;
+    const double down =
+        itur::SlantPathAttenuationDb(gt, elevation, config, options.exceedance_pct);
+    link_attenuation[i] = std::max(up, down);
+  }
+
+  std::vector<OutageRow> rows;
+  for (const double margin : options.margins_db) {
+    // Disable links that would be in outage at this margin.
+    int disabled = 0;
+    for (size_t i = 0; i < snap.radio_edges.size(); ++i) {
+      const bool dead = link_attenuation[i] > margin;
+      snap.graph.SetEnabled(snap.radio_edges[i], !dead);
+      disabled += dead ? 1 : 0;
+    }
+
+    OutageRow row;
+    row.margin_db = margin;
+    row.links_disabled_fraction =
+        snap.radio_edges.empty()
+            ? 0.0
+            : static_cast<double>(disabled) / snap.radio_edges.size();
+    int reachable = 0;
+    double rtt_sum = 0.0;
+    for (const CityPair& pair : pairs) {
+      const auto path = graph::ShortestPath(snap.graph, snap.CityNode(pair.a),
+                                            snap.CityNode(pair.b));
+      if (path.has_value()) {
+        ++reachable;
+        rtt_sum += 2.0 * path->distance;
+      }
+    }
+    row.reachable_fraction = static_cast<double>(reachable) / pairs.size();
+    row.mean_rtt_ms = reachable > 0 ? rtt_sum / reachable : 0.0;
+    rows.push_back(row);
+  }
+  // Restore the snapshot for good hygiene (it is ours, but cheap).
+  snap.graph.EnableAllEdges();
+  return rows;
+}
+
+}  // namespace leosim::core

@@ -1,0 +1,61 @@
+#include "core/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace leosim::core {
+
+void ParallelFor(int count, const std::function<void(int)>& body, int num_threads) {
+  if (count <= 0) {
+    return;
+  }
+  int workers = num_threads > 0 ? num_threads
+                                : static_cast<int>(std::thread::hardware_concurrency());
+  if (workers <= 0) {
+    workers = 1;
+  }
+  workers = std::min(workers, count);
+
+  if (workers == 1) {
+    for (int i = 0; i < count; ++i) {
+      body(i);
+    }
+    return;
+  }
+
+  std::atomic<int> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    threads.emplace_back([&] {
+      for (;;) {
+        const int i = next.fetch_add(1);
+        if (i >= count) {
+          return;
+        }
+        try {
+          body(i);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) {
+            first_error = std::current_exception();
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+}
+
+}  // namespace leosim::core

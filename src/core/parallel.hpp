@@ -1,0 +1,16 @@
+// Minimal parallel-for over independent work items (snapshots are
+// embarrassingly parallel: each builds its own graph and routes its own
+// pairs). Used by the latency study; harmless with 1 thread.
+#pragma once
+
+#include <functional>
+
+namespace leosim::core {
+
+// Invokes body(0..count-1) across up to `num_threads` worker threads
+// (0 = hardware concurrency). The body must be thread-safe for distinct
+// indices. Exceptions thrown by the body propagate to the caller.
+void ParallelFor(int count, const std::function<void(int)>& body,
+                 int num_threads = 0);
+
+}  // namespace leosim::core

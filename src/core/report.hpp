@@ -1,0 +1,32 @@
+// Fixed-width table printing for the benchmark harnesses, so every bench
+// binary emits the paper's rows/series in a uniform format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace leosim::core {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Adds a row; cells are printed as-is. Numeric helpers format through
+  // FormatDouble below.
+  void AddRow(std::vector<std::string> cells);
+
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Fixed-precision formatting (trailing zeros kept, e.g. "12.30").
+std::string FormatDouble(double value, int precision = 2);
+
+// Prints a section banner: "== title ==".
+void PrintBanner(std::ostream& os, const std::string& title);
+
+}  // namespace leosim::core

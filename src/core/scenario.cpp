@@ -1,0 +1,31 @@
+#include "core/scenario.hpp"
+
+namespace leosim::core {
+
+Scenario Scenario::Starlink() {
+  Scenario s;
+  s.name = "starlink";
+  s.shell = orbit::StarlinkShell1();
+  s.radio.min_elevation_deg = 25.0;
+  s.radio.capacity_gbps = 20.0;
+  s.radio.uplink_freq_ghz = 14.25;
+  s.radio.downlink_freq_ghz = 11.7;
+  s.isl.capacity_gbps = 100.0;
+  return s;
+}
+
+Scenario Scenario::Kuiper() {
+  Scenario s;
+  s.name = "kuiper";
+  s.shell = orbit::KuiperShell1();
+  s.radio.min_elevation_deg = 30.0;
+  s.radio.capacity_gbps = 20.0;
+  // Kuiper is a Ka-band system; we keep the paper's §6 Ku frequencies for
+  // the attenuation study, which only evaluates Starlink.
+  s.radio.uplink_freq_ghz = 14.25;
+  s.radio.downlink_freq_ghz = 11.7;
+  s.isl.capacity_gbps = 100.0;
+  return s;
+}
+
+}  // namespace leosim::core

@@ -1,0 +1,54 @@
+#include "core/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace leosim::core {
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) {
+    throw std::invalid_argument("percentile of empty sample");
+  }
+  p = std::clamp(p, 0.0, 100.0);
+  std::sort(values.begin(), values.end());
+  const double rank = p / 100.0 * (values.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(rank));
+  const size_t hi = static_cast<size_t>(std::ceil(rank));
+  const double frac = rank - lo;
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+double Median(std::vector<double> values) { return Percentile(std::move(values), 50.0); }
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) {
+    throw std::invalid_argument("mean of empty sample");
+  }
+  double sum = 0.0;
+  for (const double v : values) {
+    sum += v;
+  }
+  return sum / values.size();
+}
+
+std::vector<std::pair<double, double>> EmpiricalCdf(std::vector<double> values,
+                                                    int max_points) {
+  if (values.empty()) {
+    return {};
+  }
+  std::sort(values.begin(), values.end());
+  const int n = static_cast<int>(values.size());
+  const int points = std::min(max_points, n);
+  std::vector<std::pair<double, double>> cdf;
+  cdf.reserve(static_cast<size_t>(points));
+  for (int i = 0; i < points; ++i) {
+    const int idx = points == 1 ? n - 1 : static_cast<int>(
+        std::lround(static_cast<double>(i) * (n - 1) / (points - 1)));
+    cdf.emplace_back(values[static_cast<size_t>(idx)],
+                     static_cast<double>(idx + 1) / n);
+  }
+  return cdf;
+}
+
+}  // namespace leosim::core

@@ -1,0 +1,21 @@
+// Small statistics helpers shared by the experiment drivers.
+#pragma once
+
+#include <vector>
+
+namespace leosim::core {
+
+// p-th percentile (p in [0, 100]) by linear interpolation between order
+// statistics. Throws std::invalid_argument on an empty sample.
+double Percentile(std::vector<double> values, double p);
+
+double Median(std::vector<double> values);
+
+double Mean(const std::vector<double>& values);
+
+// (value, cumulative fraction) pairs of the empirical CDF, downsampled to
+// at most `max_points` evenly spaced quantiles — ready to print or plot.
+std::vector<std::pair<double, double>> EmpiricalCdf(std::vector<double> values,
+                                                    int max_points = 50);
+
+}  // namespace leosim::core

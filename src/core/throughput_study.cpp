@@ -1,0 +1,86 @@
+#include "core/throughput_study.hpp"
+
+#include <algorithm>
+
+#include "flow/maxmin.hpp"
+#include "graph/components.hpp"
+#include "graph/disjoint_paths.hpp"
+
+namespace leosim::core {
+
+ThroughputResult RunThroughputStudy(const NetworkModel& model,
+                                    const std::vector<CityPair>& pairs, int k,
+                                    double time_sec, CapacityModel capacity_model) {
+  NetworkModel::Snapshot snap = model.BuildSnapshot(time_sec);
+
+  // Shared model: one flow-network link per graph edge, same ids.
+  // Separate up/down: two links per edge — 2e for the a->b direction,
+  // 2e+1 for b->a — each with the full link capacity.
+  const bool directional = capacity_model == CapacityModel::kSeparateUpDown;
+  flow::FlowNetwork net;
+  for (graph::EdgeId e = 0; e < snap.graph.NumEdges(); ++e) {
+    net.AddLink(snap.graph.Edge(e).capacity);
+    if (directional) {
+      net.AddLink(snap.graph.Edge(e).capacity);
+    }
+  }
+
+  ThroughputResult result;
+  for (const CityPair& pair : pairs) {
+    const std::vector<graph::Path> paths = graph::KEdgeDisjointShortestPaths(
+        snap.graph, snap.CityNode(pair.a), snap.CityNode(pair.b), k);
+    if (!paths.empty()) {
+      ++result.pairs_routed;
+    }
+    for (const graph::Path& path : paths) {
+      std::vector<flow::LinkId> links;
+      links.reserve(path.edges.size());
+      for (size_t i = 0; i < path.edges.size(); ++i) {
+        const graph::EdgeId e = path.edges[i];
+        if (!directional) {
+          links.push_back(e);
+        } else {
+          const bool forward = snap.graph.Edge(e).a == path.nodes[i];
+          links.push_back(2 * e + (forward ? 0 : 1));
+        }
+      }
+      net.AddFlow(std::move(links));
+      ++result.subflows;
+    }
+  }
+  if (result.pairs_routed > 0) {
+    result.mean_paths_per_pair =
+        static_cast<double>(result.subflows) / result.pairs_routed;
+  }
+
+  const flow::Allocation alloc = flow::MaxMinFairAllocate(net);
+  result.total_gbps = alloc.total_gbps;
+  return result;
+}
+
+DisconnectionStats RunDisconnectionStudy(const NetworkModel& model,
+                                         const SnapshotSchedule& schedule) {
+  DisconnectionStats stats;
+  stats.min_fraction = 1.0;
+  stats.max_fraction = 0.0;
+  for (const double t : schedule.Times()) {
+    const NetworkModel::Snapshot snap = model.BuildSnapshot(t);
+    std::vector<graph::NodeId> sats(static_cast<size_t>(snap.num_sats));
+    for (int i = 0; i < snap.num_sats; ++i) {
+      sats[static_cast<size_t>(i)] = snap.SatNode(i);
+    }
+    std::vector<graph::NodeId> ground;
+    ground.reserve(static_cast<size_t>(snap.NumNodes() - snap.num_sats));
+    for (int n = snap.num_sats; n < snap.NumNodes(); ++n) {
+      ground.push_back(n);
+    }
+    const int disconnected = graph::CountDisconnected(snap.graph, sats, ground);
+    const double fraction = static_cast<double>(disconnected) / snap.num_sats;
+    stats.per_snapshot.push_back(fraction);
+    stats.min_fraction = std::min(stats.min_fraction, fraction);
+    stats.max_fraction = std::max(stats.max_fraction, fraction);
+  }
+  return stats;
+}
+
+}  // namespace leosim::core

@@ -1,0 +1,71 @@
+#include "data/airports.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace leosim::data {
+
+namespace {
+
+std::vector<Airport> MakeMajorAirports() {
+  return {
+      // North America
+      {"JFK", 40.64, -73.78},  {"EWR", 40.69, -74.17},  {"BOS", 42.36, -71.01},
+      {"YYZ", 43.68, -79.63},  {"YUL", 45.47, -73.74},  {"ORD", 41.97, -87.91},
+      {"ATL", 33.64, -84.43},  {"MIA", 25.79, -80.29},  {"IAD", 38.95, -77.46},
+      {"DFW", 32.90, -97.04},  {"IAH", 29.98, -95.34},  {"DEN", 39.86, -104.67},
+      {"LAX", 33.94, -118.41}, {"SFO", 37.62, -122.38}, {"SEA", 47.45, -122.31},
+      {"YVR", 49.19, -123.18}, {"ANC", 61.17, -150.00}, {"HNL", 21.32, -157.92},
+      {"MEX", 19.44, -99.07},  {"PTY", 9.07, -79.38},
+      // South America
+      {"GRU", -23.44, -46.47}, {"GIG", -22.81, -43.25}, {"REC", -8.13, -34.92},
+      {"FOR", -3.78, -38.53},  {"EZE", -34.82, -58.54}, {"SCL", -33.39, -70.79},
+      {"LIM", -12.02, -77.11}, {"BOG", 4.70, -74.15},   {"CCS", 10.60, -67.01},
+      // Europe
+      {"LHR", 51.47, -0.46},   {"CDG", 49.01, 2.55},    {"AMS", 52.31, 4.76},
+      {"FRA", 50.03, 8.56},    {"MAD", 40.47, -3.57},   {"LIS", 38.77, -9.13},
+      {"FCO", 41.80, 12.25},   {"ZRH", 47.46, 8.55},    {"MUC", 48.35, 11.79},
+      {"IST", 41.26, 28.74},   {"SVO", 55.97, 37.41},   {"DUB", 53.43, -6.25},
+      {"KEF", 63.99, -22.61},  {"ARN", 59.65, 17.92},   {"HEL", 60.32, 24.96},
+      // Africa & Middle East
+      {"JNB", -26.14, 28.25},  {"CPT", -33.97, 18.60},  {"NBO", -1.32, 36.93},
+      {"ADD", 9.03, 38.80},    {"LOS", 6.58, 3.32},     {"DKR", 14.74, -17.49},
+      {"CAI", 30.12, 31.41},   {"CMN", 33.37, -7.59},   {"DXB", 25.25, 55.36},
+      {"DOH", 25.27, 51.61},   {"AUH", 24.43, 54.65},   {"TLV", 32.01, 34.89},
+      // Asia
+      {"DEL", 28.57, 77.10},   {"BOM", 19.09, 72.87},   {"MAA", 12.99, 80.17},
+      {"CMB", 7.18, 79.88},    {"BKK", 13.69, 100.75},  {"SIN", 1.36, 103.99},
+      {"KUL", 2.75, 101.71},   {"CGK", -6.13, 106.66},  {"MNL", 14.51, 121.02},
+      {"HKG", 22.31, 113.91},  {"PVG", 31.14, 121.81},  {"PEK", 40.07, 116.60},
+      {"ICN", 37.46, 126.44},  {"NRT", 35.77, 140.39},  {"HND", 35.55, 139.78},
+      {"TPE", 25.08, 121.23},
+      // Oceania
+      {"SYD", -33.95, 151.18}, {"MEL", -37.67, 144.84}, {"BNE", -27.38, 153.12},
+      {"PER", -31.94, 115.97}, {"AKL", -37.01, 174.79}, {"NAN", -17.76, 177.44},
+      {"PPT", -17.56, -149.61},
+  };
+}
+
+}  // namespace
+
+const std::vector<Airport>& MajorAirports() {
+  static const std::vector<Airport> airports = MakeMajorAirports();
+  return airports;
+}
+
+const Airport& FindAirport(const std::string& iata) {
+  static const std::unordered_map<std::string, const Airport*> index = [] {
+    std::unordered_map<std::string, const Airport*> m;
+    for (const Airport& a : MajorAirports()) {
+      m.emplace(a.iata, &a);
+    }
+    return m;
+  }();
+  const auto it = index.find(iata);
+  if (it == index.end()) {
+    throw std::out_of_range("unknown airport: " + iata);
+  }
+  return *it->second;
+}
+
+}  // namespace leosim::data

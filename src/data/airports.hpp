@@ -1,0 +1,28 @@
+// Major international airports used as endpoints for the synthetic flight
+// schedule (air/schedule.hpp), standing in for FlightAware trace endpoints.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geo/coordinates.hpp"
+
+namespace leosim::data {
+
+struct Airport {
+  std::string iata;
+  double latitude_deg{0.0};
+  double longitude_deg{0.0};
+
+  geo::GeodeticCoord Coord() const { return {latitude_deg, longitude_deg, 0.0}; }
+};
+
+// ~70 major hubs, chosen to anchor the intercontinental over-water
+// corridors the paper's mechanism depends on (North Atlantic, South
+// Atlantic, trans-Pacific, Indian Ocean, intra-Asia/Oceania).
+const std::vector<Airport>& MajorAirports();
+
+// Finds an airport by IATA code; throws std::out_of_range if absent.
+const Airport& FindAirport(const std::string& iata);
+
+}  // namespace leosim::data

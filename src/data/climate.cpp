@@ -1,0 +1,99 @@
+#include "data/climate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/angles.hpp"
+
+namespace leosim::data {
+
+namespace {
+
+double GaussianBump(double x, double centre, double width) {
+  const double d = (x - centre) / width;
+  return std::exp(-d * d);
+}
+
+// Aridity multiplier in (0, 1]: <1 inside the major desert belts.
+double DesertFactor(double latitude_deg, double longitude_deg) {
+  const double lon = geo::WrapLongitudeDeg(longitude_deg);
+  const double lat = latitude_deg;
+  struct DesertBox {
+    double lat_lo, lat_hi, lon_lo, lon_hi, factor;
+  };
+  // Sahara, Arabian, central Australia, Atacama, Namib/Kalahari,
+  // Sonoran/Mojave, Gobi/Taklamakan.
+  static constexpr DesertBox kDeserts[] = {
+      {14.0, 32.0, -15.0, 35.0, 0.20},  {12.0, 32.0, 35.0, 60.0, 0.25},
+      {-32.0, -19.0, 118.0, 145.0, 0.40}, {-28.0, -17.0, -72.0, -68.0, 0.15},
+      {-29.0, -17.0, 12.0, 22.0, 0.30},  {24.0, 37.0, -118.0, -106.0, 0.45},
+      {36.0, 48.0, 75.0, 112.0, 0.35},
+  };
+  double factor = 1.0;
+  for (const DesertBox& d : kDeserts) {
+    if (lat >= d.lat_lo && lat <= d.lat_hi && lon >= d.lon_lo && lon <= d.lon_hi) {
+      factor = std::min(factor, d.factor);
+    }
+  }
+  return factor;
+}
+
+// The ITCZ sits a few degrees north of the Equator on average, drifting
+// with longitude (further north over Africa/Asia monsoon regions).
+double ItczLatitudeDeg(double longitude_deg) {
+  const double lon = geo::WrapLongitudeDeg(longitude_deg);
+  return 5.0 + 3.0 * std::sin(geo::DegToRad(lon - 20.0));
+}
+
+}  // namespace
+
+double RainRate001MmPerHour(double latitude_deg, double longitude_deg) {
+  const double itcz = ItczLatitudeDeg(longitude_deg);
+  const double tropics = 78.0 * GaussianBump(latitude_deg, itcz, 13.0);
+  const double north_storms = 26.0 * GaussianBump(latitude_deg, 45.0, 12.0);
+  const double south_storms = 26.0 * GaussianBump(latitude_deg, -45.0, 12.0);
+  const double base = 8.0;
+  const double rate =
+      (base + tropics + north_storms + south_storms) * DesertFactor(latitude_deg, longitude_deg);
+  return std::max(rate, 1.0);
+}
+
+double CloudLiquidWaterKgPerM2(double latitude_deg, double longitude_deg) {
+  const double itcz = ItczLatitudeDeg(longitude_deg);
+  const double value = 0.35 + 1.25 * GaussianBump(latitude_deg, itcz, 20.0) +
+                       0.45 * GaussianBump(std::fabs(latitude_deg), 50.0, 15.0);
+  // Deserts are cloud-poor but not cloud-free.
+  const double factor = 0.5 + 0.5 * DesertFactor(latitude_deg, longitude_deg);
+  return value * factor;
+}
+
+double WaterVapourDensityGPerM3(double latitude_deg, double longitude_deg) {
+  const double itcz = ItczLatitudeDeg(longitude_deg);
+  const double value = 4.0 + 18.0 * GaussianBump(latitude_deg, itcz, 25.0);
+  const double factor = 0.6 + 0.4 * DesertFactor(latitude_deg, longitude_deg);
+  return value * factor;
+}
+
+double SurfaceTemperatureK(double latitude_deg, double /*longitude_deg*/) {
+  const double abs_lat = std::fabs(latitude_deg);
+  return 302.0 - 52.0 * std::pow(abs_lat / 90.0, 1.5);
+}
+
+double ZeroDegreeIsothermKm(double latitude_deg, double /*longitude_deg*/) {
+  // ITU-R P.839-4 gives h0 ~ 5 km in the tropics, decreasing poleward.
+  const double abs_lat = std::fabs(latitude_deg);
+  if (abs_lat <= 23.0) {
+    return 5.0;
+  }
+  return std::max(5.0 - 0.075 * (abs_lat - 23.0), 0.0);
+}
+
+double WetRefractivityNUnits(double latitude_deg, double longitude_deg) {
+  // Nwet tracks humidity: ~100+ N-units in the wet tropics, ~20 at poles.
+  const double itcz = ItczLatitudeDeg(longitude_deg);
+  const double value = 20.0 + 90.0 * GaussianBump(latitude_deg, itcz, 28.0);
+  const double factor = 0.6 + 0.4 * DesertFactor(latitude_deg, longitude_deg);
+  return value * factor;
+}
+
+}  // namespace leosim::data

@@ -1,0 +1,36 @@
+// Synthetic climatology fields (substitute for the ITU-R P.837/P.840/P.836
+// digital maps used by ITU-Rpy; DESIGN.md §3).
+//
+// Each field is a smooth analytic function of latitude/longitude capturing
+// the first-order global structure the paper's weather experiment depends
+// on: an ITCZ precipitation peak in the deep tropics, secondary mid-latitude
+// storm-track maxima, suppression over the major deserts, and poleward
+// decay of temperature, water vapour, and cloud water.
+#pragma once
+
+namespace leosim::data {
+
+// Rain rate exceeded for 0.01% of an average year (the R_0.01 input of
+// ITU-R P.618), mm/h. Tropics peak near ~90 mm/h; temperate latitudes
+// ~25-40 mm/h; deserts and poles much lower.
+double RainRate001MmPerHour(double latitude_deg, double longitude_deg);
+
+// Columnar cloud liquid water content exceeded 1% of the year, kg/m^2
+// (the L_red input of ITU-R P.840).
+double CloudLiquidWaterKgPerM2(double latitude_deg, double longitude_deg);
+
+// Surface water-vapour density, g/m^3 (ITU-R P.836-style annual mean).
+double WaterVapourDensityGPerM3(double latitude_deg, double longitude_deg);
+
+// Mean surface temperature, Kelvin.
+double SurfaceTemperatureK(double latitude_deg, double longitude_deg);
+
+// Mean annual zero-degree isotherm height above sea level, km (the h0
+// input of ITU-R P.839).
+double ZeroDegreeIsothermKm(double latitude_deg, double longitude_deg);
+
+// Wet term of the surface refractivity, N-units (the Nwet input of the
+// ITU-R P.618 scintillation model).
+double WetRefractivityNUnits(double latitude_deg, double longitude_deg);
+
+}  // namespace leosim::data

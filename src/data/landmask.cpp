@@ -1,0 +1,82 @@
+#include "data/landmask.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/angles.hpp"
+
+namespace leosim::data {
+
+namespace {
+
+// Standard even-odd ray-casting test in the (lon, lat) plane.
+bool PointInPolygon(const LandPolygon& poly, double lon, double lat) {
+  bool inside = false;
+  const size_t n = poly.lon_lat.size();
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    const auto [xi, yi] = poly.lon_lat[i];
+    const auto [xj, yj] = poly.lon_lat[j];
+    const bool crosses = (yi > lat) != (yj > lat);
+    if (crosses && lon < (xj - xi) * (lat - yi) / (yj - yi) + xi) {
+      inside = !inside;
+    }
+  }
+  return inside;
+}
+
+}  // namespace
+
+LandMask::LandMask() {
+  for (const LandPolygon& poly : LandPolygons()) {
+    IndexedPolygon idx{&poly, 1e9, -1e9, 1e9, -1e9};
+    for (const auto& [lon, lat] : poly.lon_lat) {
+      idx.min_lon = std::min(idx.min_lon, lon);
+      idx.max_lon = std::max(idx.max_lon, lon);
+      idx.min_lat = std::min(idx.min_lat, lat);
+      idx.max_lat = std::max(idx.max_lat, lat);
+    }
+    index_.push_back(idx);
+  }
+}
+
+const LandMask& LandMask::Instance() {
+  static const LandMask mask;
+  return mask;
+}
+
+bool LandMask::IsLand(double latitude_deg, double longitude_deg) const {
+  if (latitude_deg <= -70.0) {
+    return true;  // Antarctica
+  }
+  if (latitude_deg >= 85.0) {
+    return false;  // Arctic ice pack
+  }
+  const double lon = geo::WrapLongitudeDeg(longitude_deg);
+  for (const IndexedPolygon& idx : index_) {
+    if (lon < idx.min_lon || lon > idx.max_lon || latitude_deg < idx.min_lat ||
+        latitude_deg > idx.max_lat) {
+      continue;
+    }
+    if (PointInPolygon(*idx.polygon, lon, latitude_deg)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double LandMask::LandFraction(int samples) const {
+  // Fibonacci-sphere sampling: near-uniform over the sphere surface.
+  const double golden_angle = geo::kPi * (3.0 - std::sqrt(5.0));
+  int land = 0;
+  for (int i = 0; i < samples; ++i) {
+    const double z = 1.0 - 2.0 * (i + 0.5) / samples;
+    const double lat = geo::RadToDeg(std::asin(z));
+    const double lon = geo::WrapLongitudeDeg(geo::RadToDeg(golden_angle * i));
+    if (IsLand(lat, lon)) {
+      ++land;
+    }
+  }
+  return static_cast<double>(land) / samples;
+}
+
+}  // namespace leosim::data

@@ -1,0 +1,36 @@
+// Small deterministic PRNG (SplitMix64) used wherever the library needs
+// reproducible pseudo-randomness (city synthesis, flight schedules, traffic
+// matrix sampling). Unlike std::uniform_real_distribution, the outputs are
+// bit-stable across standard library implementations.
+#pragma once
+
+#include <cstdint>
+
+namespace leosim::data {
+
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(uint64_t seed) : state_(seed) {}
+
+  constexpr uint64_t Next() {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return (Next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+  // Uniform integer in [0, n); n must be positive.
+  int NextInt(int n) { return static_cast<int>(Next() % static_cast<uint64_t>(n)); }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace leosim::data

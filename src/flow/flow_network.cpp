@@ -1,0 +1,30 @@
+#include "flow/flow_network.hpp"
+
+#include <stdexcept>
+
+namespace leosim::flow {
+
+LinkId FlowNetwork::AddLink(double capacity_gbps) {
+  if (capacity_gbps < 0.0) {
+    throw std::invalid_argument("link capacity must be non-negative");
+  }
+  link_capacity_.push_back(capacity_gbps);
+  link_flows_.emplace_back();
+  return static_cast<LinkId>(link_capacity_.size() - 1);
+}
+
+FlowId FlowNetwork::AddFlow(std::vector<LinkId> path_links) {
+  for (const LinkId l : path_links) {
+    if (l < 0 || l >= NumLinks()) {
+      throw std::out_of_range("flow references unknown link");
+    }
+  }
+  const FlowId id = static_cast<FlowId>(flow_links_.size());
+  for (const LinkId l : path_links) {
+    link_flows_[static_cast<size_t>(l)].push_back(id);
+  }
+  flow_links_.push_back(std::move(path_links));
+  return id;
+}
+
+}  // namespace leosim::flow

@@ -1,0 +1,46 @@
+// Routed-flow network for max-min fair allocation — a native
+// reimplementation of the core of `floodns` (Kassing, 2020), the simulator
+// the paper uses in §5 (DESIGN.md §3).
+//
+// A flow follows a fixed path over capacitated links; the allocator
+// (maxmin.hpp) assigns each flow a rate. Sub-flows of one city pair are
+// separate flows here, exactly as in the paper (edge-disjoint paths mean
+// they never share a link, so they do not compete with each other).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace leosim::flow {
+
+using LinkId = int;
+using FlowId = int;
+
+class FlowNetwork {
+ public:
+  // Adds a link with the given capacity (Gbps); returns its id.
+  LinkId AddLink(double capacity_gbps);
+
+  // Adds a flow routed over the given links; returns its id. An empty path
+  // is allowed (the flow is then unconstrained and gets rate 0 from the
+  // allocator, which mirrors floodns's treatment of degenerate flows).
+  FlowId AddFlow(std::vector<LinkId> path_links);
+
+  int NumLinks() const { return static_cast<int>(link_capacity_.size()); }
+  int NumFlows() const { return static_cast<int>(flow_links_.size()); }
+
+  double LinkCapacity(LinkId l) const { return link_capacity_[static_cast<size_t>(l)]; }
+  const std::vector<LinkId>& FlowLinks(FlowId f) const {
+    return flow_links_[static_cast<size_t>(f)];
+  }
+  const std::vector<FlowId>& LinkFlows(LinkId l) const {
+    return link_flows_[static_cast<size_t>(l)];
+  }
+
+ private:
+  std::vector<double> link_capacity_;
+  std::vector<std::vector<LinkId>> flow_links_;
+  std::vector<std::vector<FlowId>> link_flows_;
+};
+
+}  // namespace leosim::flow

@@ -1,0 +1,140 @@
+#include "flow/maxmin.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace leosim::flow {
+
+namespace {
+
+// Progressive filling, weighted form: at each step the bottleneck link is
+// the one minimising remaining_capacity / total_active_weight; its flows
+// freeze at weight * fair_share. With unit weights this is the classic
+// algorithm (and floodns's).
+Allocation ProgressiveFilling(const FlowNetwork& net,
+                              const std::vector<double>& weights) {
+  const int num_links = net.NumLinks();
+  const int num_flows = net.NumFlows();
+
+  Allocation alloc;
+  alloc.flow_rate_gbps.assign(static_cast<size_t>(num_flows), 0.0);
+
+  std::vector<double> remaining(static_cast<size_t>(num_links));
+  std::vector<double> active_weight(static_cast<size_t>(num_links), 0.0);
+  for (LinkId l = 0; l < num_links; ++l) {
+    remaining[static_cast<size_t>(l)] = net.LinkCapacity(l);
+    for (const FlowId f : net.LinkFlows(l)) {
+      active_weight[static_cast<size_t>(l)] += weights[static_cast<size_t>(f)];
+    }
+  }
+
+  std::vector<bool> frozen(static_cast<size_t>(num_flows), false);
+  // Flows with empty paths can never be bottlenecked; freeze them at 0.
+  int unfrozen = 0;
+  for (FlowId f = 0; f < num_flows; ++f) {
+    if (net.FlowLinks(f).empty()) {
+      frozen[static_cast<size_t>(f)] = true;
+    } else {
+      ++unfrozen;
+    }
+  }
+
+  // Links that still have unfrozen flows; compacted as links saturate.
+  std::vector<LinkId> active_links;
+  active_links.reserve(static_cast<size_t>(num_links));
+  for (LinkId l = 0; l < num_links; ++l) {
+    if (active_weight[static_cast<size_t>(l)] > 0.0) {
+      active_links.push_back(l);
+    }
+  }
+
+  while (unfrozen > 0 && !active_links.empty()) {
+    double min_share = std::numeric_limits<double>::infinity();
+    for (const LinkId l : active_links) {
+      const double share =
+          remaining[static_cast<size_t>(l)] / active_weight[static_cast<size_t>(l)];
+      min_share = std::min(min_share, share);
+    }
+
+    // Freeze every unfrozen flow crossing a link whose share equals the
+    // minimum (within tolerance), at weight * min_share.
+    constexpr double kTol = 1e-12;
+    for (const LinkId l : active_links) {
+      if (active_weight[static_cast<size_t>(l)] <= 0.0) {
+        continue;  // drained earlier in this round
+      }
+      const double share =
+          remaining[static_cast<size_t>(l)] / active_weight[static_cast<size_t>(l)];
+      if (share > min_share + kTol) {
+        continue;
+      }
+      for (const FlowId f : net.LinkFlows(l)) {
+        if (frozen[static_cast<size_t>(f)]) {
+          continue;
+        }
+        frozen[static_cast<size_t>(f)] = true;
+        --unfrozen;
+        const double rate = weights[static_cast<size_t>(f)] * min_share;
+        alloc.flow_rate_gbps[static_cast<size_t>(f)] = rate;
+        // Retire this flow from all links it crosses.
+        for (const LinkId fl : net.FlowLinks(f)) {
+          remaining[static_cast<size_t>(fl)] -= rate;
+          active_weight[static_cast<size_t>(fl)] -= weights[static_cast<size_t>(f)];
+        }
+      }
+    }
+
+    // Compact: drop links with no unfrozen flows; clamp tiny negatives
+    // introduced by floating-point subtraction.
+    std::erase_if(active_links, [&](LinkId l) {
+      if (remaining[static_cast<size_t>(l)] < 0.0) {
+        remaining[static_cast<size_t>(l)] = 0.0;
+      }
+      return active_weight[static_cast<size_t>(l)] <= 1e-12;
+    });
+  }
+
+  for (const double r : alloc.flow_rate_gbps) {
+    alloc.total_gbps += r;
+  }
+  return alloc;
+}
+
+}  // namespace
+
+Allocation MaxMinFairAllocate(const FlowNetwork& net) {
+  const std::vector<double> unit(static_cast<size_t>(net.NumFlows()), 1.0);
+  return ProgressiveFilling(net, unit);
+}
+
+Allocation MaxMinFairAllocateWeighted(const FlowNetwork& net,
+                                      const std::vector<double>& weights) {
+  if (static_cast<int>(weights.size()) != net.NumFlows()) {
+    throw std::invalid_argument("one weight per flow required");
+  }
+  for (const double w : weights) {
+    if (w <= 0.0) {
+      throw std::invalid_argument("flow weights must be positive");
+    }
+  }
+  return ProgressiveFilling(net, weights);
+}
+
+std::vector<double> LinkUtilisation(const FlowNetwork& net, const Allocation& alloc) {
+  std::vector<double> util(static_cast<size_t>(net.NumLinks()), 0.0);
+  for (LinkId l = 0; l < net.NumLinks(); ++l) {
+    const double cap = net.LinkCapacity(l);
+    if (cap <= 0.0) {
+      continue;
+    }
+    double used = 0.0;
+    for (const FlowId f : net.LinkFlows(l)) {
+      used += alloc.flow_rate_gbps[static_cast<size_t>(f)];
+    }
+    util[static_cast<size_t>(l)] = used / cap;
+  }
+  return util;
+}
+
+}  // namespace leosim::flow

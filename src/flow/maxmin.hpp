@@ -1,0 +1,34 @@
+// Max-min fair rate allocation by progressive filling (Nace et al., and
+// the algorithm inside floodns): repeatedly find the most-congested link —
+// the one with the smallest fair share (remaining capacity divided by its
+// unfrozen flows) — freeze those flows at that share, and update.
+#pragma once
+
+#include <vector>
+
+#include "flow/flow_network.hpp"
+
+namespace leosim::flow {
+
+struct Allocation {
+  std::vector<double> flow_rate_gbps;  // indexed by FlowId
+  double total_gbps{0.0};
+
+  // Utilisation of a link under this allocation requires the network; see
+  // LinkUtilisation below.
+};
+
+Allocation MaxMinFairAllocate(const FlowNetwork& net);
+
+// Weighted max-min fairness: flow f receives weight[f] shares at every
+// bottleneck (rate = weight * fair-share). Weights must be positive and
+// sized to the flow count. With all weights 1 this equals
+// MaxMinFairAllocate. Used by the population-weighted traffic extension.
+Allocation MaxMinFairAllocateWeighted(const FlowNetwork& net,
+                                      const std::vector<double>& weights);
+
+// Post-allocation utilisation of each link, in [0, 1] (0 for zero-capacity
+// or flow-less links).
+std::vector<double> LinkUtilisation(const FlowNetwork& net, const Allocation& alloc);
+
+}  // namespace leosim::flow

@@ -1,0 +1,139 @@
+#include "flow/temporal.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "flow/maxmin.hpp"
+
+namespace leosim::flow {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kTimeTol = 1e-9;
+
+}  // namespace
+
+LinkId TemporalSimulator::AddLink(double capacity_gbps) {
+  if (capacity_gbps < 0.0) {
+    throw std::invalid_argument("link capacity must be non-negative");
+  }
+  capacity_.push_back(capacity_gbps);
+  return static_cast<LinkId>(capacity_.size() - 1);
+}
+
+int TemporalSimulator::AddFlow(TemporalFlow flow) {
+  if (flow.volume_gbit <= 0.0) {
+    throw std::invalid_argument("flow volume must be positive");
+  }
+  for (const LinkId l : flow.path) {
+    if (l < 0 || l >= NumLinks()) {
+      throw std::out_of_range("flow references unknown link");
+    }
+  }
+  flows_.push_back(std::move(flow));
+  return static_cast<int>(flows_.size() - 1);
+}
+
+TemporalResult TemporalSimulator::Run() const {
+  TemporalResult result;
+  result.outcomes.assign(flows_.size(), {});
+
+  // Arrival order.
+  std::vector<int> arrival(flows_.size());
+  std::iota(arrival.begin(), arrival.end(), 0);
+  std::sort(arrival.begin(), arrival.end(), [&](int a, int b) {
+    return flows_[static_cast<size_t>(a)].start_time_sec <
+           flows_[static_cast<size_t>(b)].start_time_sec;
+  });
+
+  std::vector<double> remaining(flows_.size());
+  for (size_t f = 0; f < flows_.size(); ++f) {
+    remaining[f] = flows_[f].volume_gbit;
+  }
+
+  std::vector<int> active;
+  size_t next_arrival = 0;
+  double now = flows_.empty()
+                   ? 0.0
+                   : flows_[static_cast<size_t>(arrival[0])].start_time_sec;
+
+  while (!active.empty() || next_arrival < arrival.size()) {
+    // Admit everything that has arrived by `now`.
+    while (next_arrival < arrival.size() &&
+           flows_[static_cast<size_t>(arrival[next_arrival])].start_time_sec <=
+               now + kTimeTol) {
+      active.push_back(arrival[next_arrival]);
+      ++next_arrival;
+    }
+
+    if (active.empty()) {
+      // Idle gap: jump to the next arrival.
+      now = flows_[static_cast<size_t>(arrival[next_arrival])].start_time_sec;
+      continue;
+    }
+
+    // Max-min allocation over the active flows.
+    FlowNetwork net;
+    for (const double cap : capacity_) {
+      net.AddLink(cap);
+    }
+    for (const int f : active) {
+      net.AddFlow(flows_[static_cast<size_t>(f)].path);
+    }
+    const Allocation alloc = MaxMinFairAllocate(net);
+
+    // Time until the first active flow drains at these rates.
+    double dt = kInf;
+    for (size_t i = 0; i < active.size(); ++i) {
+      const double rate = alloc.flow_rate_gbps[i];
+      if (rate > 0.0) {
+        dt = std::min(dt, remaining[static_cast<size_t>(active[i])] / rate);
+      }
+    }
+    // Or until the next arrival changes the allocation.
+    double next_event = now + dt;
+    if (next_arrival < arrival.size()) {
+      next_event = std::min(
+          next_event,
+          flows_[static_cast<size_t>(arrival[next_arrival])].start_time_sec);
+    }
+
+    if (next_event == kInf) {
+      // Every active flow is starved and no arrivals remain.
+      result.starved += static_cast<int>(active.size());
+      break;
+    }
+
+    // Drain volumes over [now, next_event].
+    const double elapsed = next_event - now;
+    for (size_t i = 0; i < active.size(); ++i) {
+      remaining[static_cast<size_t>(active[i])] -=
+          alloc.flow_rate_gbps[i] * elapsed;
+    }
+    now = next_event;
+
+    // Retire completed flows.
+    std::vector<int> still_active;
+    for (size_t i = 0; i < active.size(); ++i) {
+      const int f = active[i];
+      const bool starved_forever =
+          alloc.flow_rate_gbps[i] <= 0.0 && next_arrival >= arrival.size();
+      if (remaining[static_cast<size_t>(f)] <= kTimeTol) {
+        result.outcomes[static_cast<size_t>(f)] = {true, now};
+        ++result.completed;
+        result.makespan_sec = std::max(result.makespan_sec, now);
+      } else if (starved_forever) {
+        ++result.starved;
+      } else {
+        still_active.push_back(f);
+      }
+    }
+    active = std::move(still_active);
+  }
+  return result;
+}
+
+}  // namespace leosim::flow

@@ -1,0 +1,60 @@
+// Temporal routed-flow simulation — the full semantics of floodns
+// ("temporal routed flow simulation", Kassing 2020), of which
+// MaxMinFairAllocate is the per-instant kernel.
+//
+// Flows arrive over time carrying a finite volume over a fixed path. At
+// every event (a flow arriving or completing) the max-min fair allocation
+// over the currently-active flows is recomputed; volumes drain at the
+// allocated rates between events. The output is each flow's completion
+// time — enabling flow-completion-time comparisons between BP and hybrid
+// connectivity that a single static allocation cannot express.
+#pragma once
+
+#include <vector>
+
+#include "flow/flow_network.hpp"
+
+namespace leosim::flow {
+
+struct TemporalFlow {
+  double start_time_sec{0.0};
+  double volume_gbit{1.0};
+  std::vector<LinkId> path;
+};
+
+struct FlowOutcome {
+  bool completed{false};
+  double completion_time_sec{0.0};  // valid when completed
+  double DurationSec(const TemporalFlow& flow) const {
+    return completion_time_sec - flow.start_time_sec;
+  }
+};
+
+struct TemporalResult {
+  std::vector<FlowOutcome> outcomes;  // indexed like the input flows
+  int completed{0};
+  int starved{0};        // rate stayed 0 forever (empty path / dead link)
+  double makespan_sec{0.0};  // last completion time
+};
+
+class TemporalSimulator {
+ public:
+  // Adds a link; returns its id (ids are shared with flow paths).
+  LinkId AddLink(double capacity_gbps);
+
+  // Adds a flow to be injected at its start time; returns its index.
+  int AddFlow(TemporalFlow flow);
+
+  int NumLinks() const { return static_cast<int>(capacity_.size()); }
+  int NumFlows() const { return static_cast<int>(flows_.size()); }
+
+  // Runs to completion. Flows whose allocation is permanently zero are
+  // reported as starved, not simulated forever.
+  TemporalResult Run() const;
+
+ private:
+  std::vector<double> capacity_;
+  std::vector<TemporalFlow> flows_;
+};
+
+}  // namespace leosim::flow

@@ -1,0 +1,29 @@
+#include "geo/vec3.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace leosim::geo {
+
+Vec3 Vec3::Normalized() const {
+  const double n = Norm();
+  if (n == 0.0) {
+    return *this;
+  }
+  return *this / n;
+}
+
+double AngleBetweenRad(const Vec3& a, const Vec3& b) {
+  const double denom = a.Norm() * b.Norm();
+  if (denom == 0.0) {
+    return 0.0;
+  }
+  const double cosine = std::clamp(a.Dot(b) / denom, -1.0, 1.0);
+  return std::acos(cosine);
+}
+
+std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+  return os << "(" << v.x << ", " << v.y << ", " << v.z << ")";
+}
+
+}  // namespace leosim::geo

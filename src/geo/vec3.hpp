@@ -1,0 +1,68 @@
+// Minimal 3-vector used for ECEF/ECI positions and directions.
+//
+// All experiment code measures positions in kilometres; Vec3 itself is
+// unit-agnostic.
+#pragma once
+
+#include <cmath>
+#include <iosfwd>
+
+namespace leosim::geo {
+
+struct Vec3 {
+  double x{0.0};
+  double y{0.0};
+  double z{0.0};
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double x_in, double y_in, double z_in) : x(x_in), y(y_in), z(z_in) {}
+
+  constexpr Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+
+  Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  Vec3& operator-=(const Vec3& o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  Vec3& operator*=(double s) {
+    x *= s;
+    y *= s;
+    z *= s;
+    return *this;
+  }
+
+  constexpr bool operator==(const Vec3& o) const = default;
+
+  constexpr double Dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  constexpr Vec3 Cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  constexpr double NormSquared() const { return Dot(*this); }
+  double Norm() const { return std::sqrt(NormSquared()); }
+
+  // Returns the unit vector in this direction; the zero vector is returned
+  // unchanged (callers that care must check Norm() first).
+  Vec3 Normalized() const;
+
+  double DistanceTo(const Vec3& o) const { return (*this - o).Norm(); }
+};
+
+constexpr Vec3 operator*(double s, const Vec3& v) { return v * s; }
+
+// Angle between two non-zero vectors, in radians, in [0, pi].
+double AngleBetweenRad(const Vec3& a, const Vec3& b);
+
+std::ostream& operator<<(std::ostream& os, const Vec3& v);
+
+}  // namespace leosim::geo

@@ -1,0 +1,124 @@
+#include "graph/bidirectional.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace leosim::graph {
+
+namespace {
+
+struct QueueEntry {
+  double distance;
+  NodeId node;
+  bool operator>(const QueueEntry& o) const { return distance > o.distance; }
+};
+
+using MinHeap =
+    std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<QueueEntry>>;
+
+struct Side {
+  std::vector<double> dist;
+  std::vector<EdgeId> via_edge;
+  std::vector<bool> settled;
+  MinHeap heap;
+
+  explicit Side(int n, NodeId start)
+      : dist(static_cast<size_t>(n), kInfDistance),
+        via_edge(static_cast<size_t>(n), -1),
+        settled(static_cast<size_t>(n), false) {
+    dist[static_cast<size_t>(start)] = 0.0;
+    heap.push({0.0, start});
+  }
+
+  // Settles one node; returns it, or nullopt when exhausted.
+  std::optional<NodeId> SettleNext(const Graph& g) {
+    while (!heap.empty()) {
+      const auto [d, u] = heap.top();
+      heap.pop();
+      if (d > dist[static_cast<size_t>(u)]) {
+        continue;  // stale
+      }
+      settled[static_cast<size_t>(u)] = true;
+      for (const HalfEdge& half : g.Neighbours(u)) {
+        if (!g.IsEnabled(half.edge)) {
+          continue;
+        }
+        const double nd = d + g.Edge(half.edge).weight;
+        if (nd < dist[static_cast<size_t>(half.to)]) {
+          dist[static_cast<size_t>(half.to)] = nd;
+          via_edge[static_cast<size_t>(half.to)] = half.edge;
+          heap.push({nd, half.to});
+        }
+      }
+      return u;
+    }
+    return std::nullopt;
+  }
+
+  double TopDistance() const {
+    return heap.empty() ? kInfDistance : heap.top().distance;
+  }
+};
+
+}  // namespace
+
+std::optional<Path> BidirectionalShortestPath(const Graph& g, NodeId src, NodeId dst) {
+  if (src == dst) {
+    Path path;
+    path.nodes.push_back(src);
+    return path;
+  }
+  const int n = g.NumNodes();
+  Side forward(n, src);
+  Side backward(n, dst);
+
+  double best = kInfDistance;
+  NodeId meeting = -1;
+  // Alternate settling; the search can stop once the sum of both frontier
+  // minima exceeds the best meeting distance found so far.
+  while (true) {
+    if (forward.TopDistance() + backward.TopDistance() >= best) {
+      break;
+    }
+    Side& side = forward.TopDistance() <= backward.TopDistance() ? forward : backward;
+    Side& other = (&side == &forward) ? backward : forward;
+    const std::optional<NodeId> settled = side.SettleNext(g);
+    if (!settled.has_value()) {
+      break;
+    }
+    const NodeId u = *settled;
+    const double through =
+        side.dist[static_cast<size_t>(u)] + other.dist[static_cast<size_t>(u)];
+    if (through < best) {
+      best = through;
+      meeting = u;
+    }
+  }
+
+  if (meeting < 0 || best == kInfDistance) {
+    return std::nullopt;
+  }
+
+  Path path;
+  path.distance = best;
+  // Forward half: meeting -> src, reversed.
+  for (NodeId cur = meeting; cur != src;) {
+    const EdgeId e = forward.via_edge[static_cast<size_t>(cur)];
+    path.edges.push_back(e);
+    path.nodes.push_back(cur);
+    cur = g.OtherEnd(e, cur);
+  }
+  path.nodes.push_back(src);
+  std::reverse(path.nodes.begin(), path.nodes.end());
+  std::reverse(path.edges.begin(), path.edges.end());
+  // Backward half: meeting -> dst, appended in order.
+  for (NodeId cur = meeting; cur != dst;) {
+    const EdgeId e = backward.via_edge[static_cast<size_t>(cur)];
+    path.edges.push_back(e);
+    cur = g.OtherEnd(e, cur);
+    path.nodes.push_back(cur);
+  }
+  return path;
+}
+
+}  // namespace leosim::graph

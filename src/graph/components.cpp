@@ -1,0 +1,52 @@
+#include "graph/components.hpp"
+
+#include <vector>
+
+namespace leosim::graph {
+
+Components ConnectedComponents(const Graph& g) {
+  const int n = g.NumNodes();
+  Components result;
+  result.label.assign(static_cast<size_t>(n), -1);
+  std::vector<NodeId> stack;
+  for (NodeId start = 0; start < n; ++start) {
+    if (result.label[static_cast<size_t>(start)] != -1) {
+      continue;
+    }
+    const int comp = result.count++;
+    stack.push_back(start);
+    result.label[static_cast<size_t>(start)] = comp;
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      for (const HalfEdge& half : g.Neighbours(u)) {
+        if (!g.IsEnabled(half.edge)) {
+          continue;
+        }
+        if (result.label[static_cast<size_t>(half.to)] == -1) {
+          result.label[static_cast<size_t>(half.to)] = comp;
+          stack.push_back(half.to);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+int CountDisconnected(const Graph& g, const std::vector<NodeId>& candidates,
+                      const std::vector<NodeId>& targets) {
+  const Components comps = ConnectedComponents(g);
+  std::vector<bool> target_comp(static_cast<size_t>(comps.count), false);
+  for (const NodeId t : targets) {
+    target_comp[static_cast<size_t>(comps.label[static_cast<size_t>(t)])] = true;
+  }
+  int disconnected = 0;
+  for (const NodeId c : candidates) {
+    if (!target_comp[static_cast<size_t>(comps.label[static_cast<size_t>(c)])]) {
+      ++disconnected;
+    }
+  }
+  return disconnected;
+}
+
+}  // namespace leosim::graph

@@ -1,0 +1,24 @@
+// Connected components over enabled edges; used for the paper's §5
+// observation that 25-32% of Starlink satellites are disconnected from the
+// network at any time under BP-only connectivity.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace leosim::graph {
+
+struct Components {
+  std::vector<int> label;  // component id per node, 0..count-1
+  int count{0};
+};
+
+Components ConnectedComponents(const Graph& g);
+
+// Number of nodes in `candidates` that cannot reach any node in `targets`
+// over enabled edges.
+int CountDisconnected(const Graph& g, const std::vector<NodeId>& candidates,
+                      const std::vector<NodeId>& targets);
+
+}  // namespace leosim::graph

@@ -1,0 +1,95 @@
+#include "graph/dijkstra.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace leosim::graph {
+
+namespace {
+
+struct QueueEntry {
+  double distance;
+  NodeId node;
+  bool operator>(const QueueEntry& o) const { return distance > o.distance; }
+};
+
+using MinHeap = std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                                    std::greater<QueueEntry>>;
+
+}  // namespace
+
+std::optional<Path> ShortestPath(const Graph& g, NodeId src, NodeId dst) {
+  const int n = g.NumNodes();
+  std::vector<double> dist(static_cast<size_t>(n), kInfDistance);
+  std::vector<EdgeId> via_edge(static_cast<size_t>(n), -1);
+  MinHeap heap;
+  dist[static_cast<size_t>(src)] = 0.0;
+  heap.push({0.0, src});
+
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[static_cast<size_t>(u)]) {
+      continue;  // stale entry
+    }
+    if (u == dst) {
+      break;
+    }
+    for (const HalfEdge& half : g.Neighbours(u)) {
+      if (!g.IsEnabled(half.edge)) {
+        continue;
+      }
+      const double nd = d + g.Edge(half.edge).weight;
+      if (nd < dist[static_cast<size_t>(half.to)]) {
+        dist[static_cast<size_t>(half.to)] = nd;
+        via_edge[static_cast<size_t>(half.to)] = half.edge;
+        heap.push({nd, half.to});
+      }
+    }
+  }
+
+  if (dist[static_cast<size_t>(dst)] == kInfDistance) {
+    return std::nullopt;
+  }
+
+  Path path;
+  path.distance = dist[static_cast<size_t>(dst)];
+  for (NodeId cur = dst; cur != src;) {
+    const EdgeId e = via_edge[static_cast<size_t>(cur)];
+    path.edges.push_back(e);
+    path.nodes.push_back(cur);
+    cur = g.OtherEnd(e, cur);
+  }
+  path.nodes.push_back(src);
+  std::reverse(path.nodes.begin(), path.nodes.end());
+  std::reverse(path.edges.begin(), path.edges.end());
+  return path;
+}
+
+std::vector<double> ShortestDistances(const Graph& g, NodeId src) {
+  const int n = g.NumNodes();
+  std::vector<double> dist(static_cast<size_t>(n), kInfDistance);
+  MinHeap heap;
+  dist[static_cast<size_t>(src)] = 0.0;
+  heap.push({0.0, src});
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[static_cast<size_t>(u)]) {
+      continue;
+    }
+    for (const HalfEdge& half : g.Neighbours(u)) {
+      if (!g.IsEnabled(half.edge)) {
+        continue;
+      }
+      const double nd = d + g.Edge(half.edge).weight;
+      if (nd < dist[static_cast<size_t>(half.to)]) {
+        dist[static_cast<size_t>(half.to)] = nd;
+        heap.push({nd, half.to});
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace leosim::graph

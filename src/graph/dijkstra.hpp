@@ -1,0 +1,29 @@
+// Shortest paths over the snapshot graph (binary-heap Dijkstra).
+#pragma once
+
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace leosim::graph {
+
+inline constexpr double kInfDistance = std::numeric_limits<double>::infinity();
+
+struct Path {
+  std::vector<NodeId> nodes;   // src .. dst inclusive
+  std::vector<EdgeId> edges;   // edges[i] connects nodes[i] and nodes[i+1]
+  double distance{0.0};        // sum of edge weights
+
+  int HopCount() const { return static_cast<int>(edges.size()); }
+};
+
+// Single-pair shortest path; nullopt if dst is unreachable over enabled
+// edges. Early-exits once dst is settled.
+std::optional<Path> ShortestPath(const Graph& g, NodeId src, NodeId dst);
+
+// Single-source distances to every node (kInfDistance if unreachable).
+std::vector<double> ShortestDistances(const Graph& g, NodeId src);
+
+}  // namespace leosim::graph

@@ -1,0 +1,25 @@
+#include "graph/disjoint_paths.hpp"
+
+namespace leosim::graph {
+
+std::vector<Path> KEdgeDisjointShortestPaths(Graph& g, NodeId src, NodeId dst, int k) {
+  std::vector<Path> paths;
+  std::vector<EdgeId> disabled_here;
+  for (int i = 0; i < k; ++i) {
+    std::optional<Path> path = ShortestPath(g, src, dst);
+    if (!path.has_value()) {
+      break;
+    }
+    for (const EdgeId e : path->edges) {
+      g.SetEnabled(e, false);
+      disabled_here.push_back(e);
+    }
+    paths.push_back(std::move(*path));
+  }
+  for (const EdgeId e : disabled_here) {
+    g.SetEnabled(e, true);
+  }
+  return paths;
+}
+
+}  // namespace leosim::graph

@@ -1,0 +1,18 @@
+// k edge-disjoint shortest paths (paper §5): the greedy scheme the paper
+// describes — find the shortest path, remove its edges, repeat up to k
+// times. (This is intentionally NOT Suurballe's min-total-cost algorithm;
+// the paper routes each sub-flow on the shortest path remaining.)
+#pragma once
+
+#include <vector>
+
+#include "graph/dijkstra.hpp"
+
+namespace leosim::graph {
+
+// Returns up to k edge-disjoint paths, shortest first. The graph is
+// temporarily mutated (path edges disabled) and restored before returning;
+// edges disabled by the caller beforehand stay disabled.
+std::vector<Path> KEdgeDisjointShortestPaths(Graph& g, NodeId src, NodeId dst, int k);
+
+}  // namespace leosim::graph

@@ -1,0 +1,37 @@
+#include "graph/graph.hpp"
+
+#include <stdexcept>
+
+namespace leosim::graph {
+
+Graph::Graph(int num_nodes) {
+  if (num_nodes < 0) {
+    throw std::invalid_argument("graph must have a non-negative node count");
+  }
+  adjacency_.resize(static_cast<size_t>(num_nodes));
+}
+
+EdgeId Graph::AddEdge(NodeId a, NodeId b, double weight, double capacity) {
+  if (a < 0 || b < 0 || a >= NumNodes() || b >= NumNodes()) {
+    throw std::out_of_range("edge endpoint out of range");
+  }
+  if (a == b) {
+    throw std::invalid_argument("self-loops are not allowed");
+  }
+  if (weight < 0.0) {
+    throw std::invalid_argument("edge weight must be non-negative");
+  }
+  const EdgeId id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back({a, b, weight, capacity, true});
+  adjacency_[static_cast<size_t>(a)].push_back({b, id});
+  adjacency_[static_cast<size_t>(b)].push_back({a, id});
+  return id;
+}
+
+void Graph::EnableAllEdges() {
+  for (EdgeRecord& e : edges_) {
+    e.enabled = true;
+  }
+}
+
+}  // namespace leosim::graph

@@ -1,0 +1,65 @@
+// Undirected weighted graph with per-edge capacities and soft edge
+// disabling, sized for per-snapshot constellation topologies (tens of
+// thousands of nodes, hundreds of thousands of edges).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace leosim::graph {
+
+using NodeId = int32_t;
+using EdgeId = int32_t;
+
+// One directed half of an undirected edge, stored in the adjacency list.
+struct HalfEdge {
+  NodeId to{0};
+  EdgeId edge{0};
+};
+
+// Full undirected edge record.
+struct EdgeRecord {
+  NodeId a{0};
+  NodeId b{0};
+  double weight{0.0};    // latency (ms) in the experiment graphs
+  double capacity{0.0};  // Gbps in the experiment graphs
+  bool enabled{true};
+};
+
+class Graph {
+ public:
+  explicit Graph(int num_nodes);
+
+  int NumNodes() const { return static_cast<int>(adjacency_.size()); }
+  int NumEdges() const { return static_cast<int>(edges_.size()); }
+
+  // Adds an undirected edge; returns its EdgeId. Self-loops are rejected.
+  EdgeId AddEdge(NodeId a, NodeId b, double weight, double capacity = 0.0);
+
+  std::span<const HalfEdge> Neighbours(NodeId n) const {
+    return adjacency_[static_cast<size_t>(n)];
+  }
+
+  const EdgeRecord& Edge(EdgeId e) const { return edges_[static_cast<size_t>(e)]; }
+
+  bool IsEnabled(EdgeId e) const { return edges_[static_cast<size_t>(e)].enabled; }
+  void SetEnabled(EdgeId e, bool enabled) {
+    edges_[static_cast<size_t>(e)].enabled = enabled;
+  }
+
+  // Re-enables every edge.
+  void EnableAllEdges();
+
+  // The endpoint of edge `e` that is not `from`.
+  NodeId OtherEnd(EdgeId e, NodeId from) const {
+    const EdgeRecord& rec = Edge(e);
+    return rec.a == from ? rec.b : rec.a;
+  }
+
+ private:
+  std::vector<std::vector<HalfEdge>> adjacency_;
+  std::vector<EdgeRecord> edges_;
+};
+
+}  // namespace leosim::graph

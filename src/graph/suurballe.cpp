@@ -1,0 +1,167 @@
+#include "graph/suurballe.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <map>
+
+namespace leosim::graph {
+
+namespace {
+
+struct Arc {
+  NodeId from;
+  NodeId to;
+  EdgeId edge;
+  double weight;
+  bool removed{false};
+};
+
+// Directed traversal of one hop of a path.
+struct Traversal {
+  NodeId from;
+  NodeId to;
+  EdgeId edge;
+};
+
+std::vector<Traversal> Traversals(const Path& p) {
+  std::vector<Traversal> out;
+  for (size_t i = 0; i + 1 < p.nodes.size(); ++i) {
+    out.push_back({p.nodes[i], p.nodes[i + 1], p.edges[i]});
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<DisjointPair> ShortestDisjointPair(const Graph& g, NodeId src,
+                                                 NodeId dst) {
+  if (src == dst) {
+    return std::nullopt;
+  }
+  const std::optional<Path> p1 = ShortestPath(g, src, dst);
+  if (!p1.has_value()) {
+    return std::nullopt;
+  }
+  const std::vector<Traversal> p1_hops = Traversals(*p1);
+
+  // Directed residual: both arcs per enabled edge, then remove the forward
+  // arcs of P1 and negate the backward arcs (Bhandari's transformation).
+  std::vector<Arc> arcs;
+  arcs.reserve(static_cast<size_t>(g.NumEdges()) * 2);
+  std::vector<std::vector<int>> out_arcs(static_cast<size_t>(g.NumNodes()));
+  const auto add_arc = [&](NodeId from, NodeId to, EdgeId edge, double weight) {
+    out_arcs[static_cast<size_t>(from)].push_back(static_cast<int>(arcs.size()));
+    arcs.push_back({from, to, edge, weight, false});
+  };
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    const EdgeRecord& rec = g.Edge(e);
+    if (!rec.enabled) {
+      continue;
+    }
+    add_arc(rec.a, rec.b, e, rec.weight);
+    add_arc(rec.b, rec.a, e, rec.weight);
+  }
+  for (const Traversal& hop : p1_hops) {
+    for (const int ai : out_arcs[static_cast<size_t>(hop.from)]) {
+      if (arcs[static_cast<size_t>(ai)].edge == hop.edge &&
+          arcs[static_cast<size_t>(ai)].to == hop.to) {
+        arcs[static_cast<size_t>(ai)].removed = true;
+      }
+    }
+    for (const int ai : out_arcs[static_cast<size_t>(hop.to)]) {
+      Arc& arc = arcs[static_cast<size_t>(ai)];
+      if (arc.edge == hop.edge && arc.to == hop.from) {
+        arc.weight = -arc.weight;
+      }
+    }
+  }
+
+  // Shortest path with negative arcs: SPFA (queue-based Bellman-Ford).
+  // No negative cycles exist by construction.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(static_cast<size_t>(g.NumNodes()), kInf);
+  std::vector<int> via_arc(static_cast<size_t>(g.NumNodes()), -1);
+  std::vector<bool> queued(static_cast<size_t>(g.NumNodes()), false);
+  std::deque<NodeId> queue;
+  dist[static_cast<size_t>(src)] = 0.0;
+  queue.push_back(src);
+  queued[static_cast<size_t>(src)] = true;
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    queued[static_cast<size_t>(u)] = false;
+    for (const int ai : out_arcs[static_cast<size_t>(u)]) {
+      const Arc& arc = arcs[static_cast<size_t>(ai)];
+      if (arc.removed) {
+        continue;
+      }
+      const double nd = dist[static_cast<size_t>(u)] + arc.weight;
+      if (nd < dist[static_cast<size_t>(arc.to)] - 1e-15) {
+        dist[static_cast<size_t>(arc.to)] = nd;
+        via_arc[static_cast<size_t>(arc.to)] = ai;
+        if (!queued[static_cast<size_t>(arc.to)]) {
+          queue.push_back(arc.to);
+          queued[static_cast<size_t>(arc.to)] = true;
+        }
+      }
+    }
+  }
+  if (dist[static_cast<size_t>(dst)] == kInf) {
+    return std::nullopt;  // only one path exists
+  }
+
+  // Reconstruct P2's traversals in the residual.
+  std::vector<Traversal> p2_hops;
+  for (NodeId cur = dst; cur != src;) {
+    const Arc& arc = arcs[static_cast<size_t>(via_arc[static_cast<size_t>(cur)])];
+    p2_hops.push_back({arc.from, arc.to, arc.edge});
+    cur = arc.from;
+  }
+  std::reverse(p2_hops.begin(), p2_hops.end());
+
+  // Cancel interlacing: a P2 hop traversing a P1 edge backwards removes
+  // both traversals. The union of the remainders is two edge-disjoint
+  // src->dst paths.
+  std::vector<Traversal> pool = p1_hops;
+  std::vector<Traversal> kept2;
+  for (const Traversal& hop : p2_hops) {
+    const auto it = std::find_if(pool.begin(), pool.end(), [&](const Traversal& t) {
+      return t.edge == hop.edge && t.from == hop.to && t.to == hop.from;
+    });
+    if (it != pool.end()) {
+      pool.erase(it);  // cancelled pair
+    } else {
+      kept2.push_back(hop);
+    }
+  }
+  pool.insert(pool.end(), kept2.begin(), kept2.end());
+
+  // Walk the remaining arc multiset twice from src; each maximal walk ends
+  // at dst (all intermediate nodes have balanced in/out degree).
+  std::multimap<NodeId, std::pair<NodeId, EdgeId>> outgoing;
+  for (const Traversal& t : pool) {
+    outgoing.insert({t.from, {t.to, t.edge}});
+  }
+  const auto extract_path = [&]() -> Path {
+    Path path;
+    path.nodes.push_back(src);
+    NodeId cur = src;
+    while (cur != dst) {
+      const auto it = outgoing.find(cur);
+      path.edges.push_back(it->second.second);
+      path.distance += g.Edge(it->second.second).weight;
+      cur = it->second.first;
+      path.nodes.push_back(cur);
+      outgoing.erase(it);
+    }
+    return path;
+  };
+  DisjointPair pair{extract_path(), extract_path()};
+  if (pair.second.distance < pair.first.distance) {
+    std::swap(pair.first, pair.second);
+  }
+  return pair;
+}
+
+}  // namespace leosim::graph

@@ -1,0 +1,119 @@
+#include "graph/yen.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace leosim::graph {
+
+namespace {
+
+// Total order on candidate paths: by distance, ties broken by node
+// sequence so the candidate set can deduplicate.
+struct PathLess {
+  bool operator()(const Path& a, const Path& b) const {
+    if (a.distance != b.distance) {
+      return a.distance < b.distance;
+    }
+    return a.nodes < b.nodes;
+  }
+};
+
+}  // namespace
+
+std::vector<Path> KShortestPaths(Graph& g, NodeId src, NodeId dst, int k) {
+  std::vector<Path> result;
+  if (k <= 0) {
+    return result;
+  }
+  std::optional<Path> first = ShortestPath(g, src, dst);
+  if (!first.has_value()) {
+    return result;
+  }
+  result.push_back(std::move(*first));
+
+  std::set<Path, PathLess> candidates;
+  std::vector<EdgeId> disabled;  // edges WE disabled; restored afterwards
+  const auto disable = [&](EdgeId e) {
+    if (g.IsEnabled(e)) {
+      g.SetEnabled(e, false);
+      disabled.push_back(e);
+    }
+  };
+  const auto restore_all = [&] {
+    for (const EdgeId e : disabled) {
+      g.SetEnabled(e, true);
+    }
+    disabled.clear();
+  };
+
+  while (static_cast<int>(result.size()) < k) {
+    const Path& prev = result.back();
+    // Spur from every node of the previous path except the terminus.
+    for (size_t spur_idx = 0; spur_idx + 1 < prev.nodes.size(); ++spur_idx) {
+      const NodeId spur_node = prev.nodes[spur_idx];
+
+      // Root = prefix of prev up to the spur node.
+      Path root;
+      root.nodes.assign(prev.nodes.begin(),
+                        prev.nodes.begin() + static_cast<long>(spur_idx) + 1);
+      root.edges.assign(prev.edges.begin(),
+                        prev.edges.begin() + static_cast<long>(spur_idx));
+      root.distance = 0.0;
+      for (const EdgeId e : root.edges) {
+        root.distance += g.Edge(e).weight;
+      }
+
+      // Remove the next edge of every accepted path sharing this root.
+      for (const Path& accepted : result) {
+        if (accepted.nodes.size() > spur_idx &&
+            std::equal(root.nodes.begin(), root.nodes.end(),
+                       accepted.nodes.begin())) {
+          if (spur_idx < accepted.edges.size()) {
+            disable(accepted.edges[spur_idx]);
+          }
+        }
+      }
+      // Remove root nodes (except the spur node) so paths stay loopless:
+      // disabling all incident edges removes a node from Dijkstra's view.
+      for (size_t i = 0; i < spur_idx; ++i) {
+        for (const HalfEdge& half : g.Neighbours(root.nodes[i])) {
+          disable(half.edge);
+        }
+      }
+
+      if (std::optional<Path> spur = ShortestPath(g, spur_node, dst)) {
+        Path total;
+        total.nodes = root.nodes;
+        total.nodes.insert(total.nodes.end(), spur->nodes.begin() + 1,
+                           spur->nodes.end());
+        total.edges = root.edges;
+        total.edges.insert(total.edges.end(), spur->edges.begin(),
+                           spur->edges.end());
+        total.distance = root.distance + spur->distance;
+        candidates.insert(std::move(total));
+      }
+      restore_all();
+    }
+
+    // Pop the best unused candidate.
+    bool found = false;
+    while (!candidates.empty()) {
+      Path best = *candidates.begin();
+      candidates.erase(candidates.begin());
+      const bool duplicate =
+          std::any_of(result.begin(), result.end(),
+                      [&](const Path& p) { return p.nodes == best.nodes; });
+      if (!duplicate) {
+        result.push_back(std::move(best));
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      break;  // candidate space exhausted
+    }
+  }
+  return result;
+}
+
+}  // namespace leosim::graph

@@ -1,0 +1,17 @@
+// Yen's algorithm: K shortest loopless paths. Used by the routing-policy
+// extension (core/routing.hpp) to generate candidate paths beyond the
+// paper's greedy edge-disjoint scheme.
+#pragma once
+
+#include <vector>
+
+#include "graph/dijkstra.hpp"
+
+namespace leosim::graph {
+
+// Returns up to k loopless paths in non-decreasing distance order. The
+// graph is temporarily mutated (edges disabled during spur computations)
+// and fully restored before returning; caller-disabled edges stay disabled.
+std::vector<Path> KShortestPaths(Graph& g, NodeId src, NodeId dst, int k);
+
+}  // namespace leosim::graph

@@ -1,0 +1,17 @@
+#include "ground/station.hpp"
+
+namespace leosim::ground {
+
+std::string_view ToString(StationKind kind) {
+  switch (kind) {
+    case StationKind::kCity:
+      return "city";
+    case StationKind::kRelay:
+      return "relay";
+    case StationKind::kAircraft:
+      return "aircraft";
+  }
+  return "unknown";
+}
+
+}  // namespace leosim::ground

@@ -1,0 +1,27 @@
+// Ground-segment node types: city ground terminals (traffic sources/sinks
+// and transit), pure relay terminals, and aircraft acting as relays.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geo/coordinates.hpp"
+
+namespace leosim::ground {
+
+enum class StationKind {
+  kCity,      // sources/sinks traffic AND may transit
+  kRelay,     // transit only (the 0.5-degree land grid)
+  kAircraft,  // transit only, position time-varying (handled per snapshot)
+};
+
+struct GroundStation {
+  std::string name;
+  geo::GeodeticCoord coord;
+  StationKind kind{StationKind::kCity};
+};
+
+// Human-readable label for a station kind.
+std::string_view ToString(StationKind kind);
+
+}  // namespace leosim::ground

@@ -1,0 +1,77 @@
+#include "itur/p618.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/angles.hpp"
+#include "itur/p838.hpp"
+
+namespace leosim::itur {
+
+double RainAttenuation001Db(const RainPathParams& params) {
+  const double hr = params.rain_height_km;
+  const double hs = params.station_height_km;
+  if (hr <= hs || params.rain_rate_001 <= 0.0) {
+    return 0.0;
+  }
+  const double theta = std::clamp(params.elevation_deg, 5.0, 90.0);
+  const double theta_rad = geo::DegToRad(theta);
+  const double sin_t = std::sin(theta_rad);
+  const double cos_t = std::cos(theta_rad);
+  const double f = params.frequency_ghz;
+
+  // Step 2: slant path length below rain height.
+  const double ls = (hr - hs) / sin_t;
+  // Step 3: horizontal projection.
+  const double lg = ls * cos_t;
+  // Step 4: specific attenuation at R_0.01 (circular polarisation).
+  const double gamma_r = SpecificRainAttenuationDbPerKm(f, params.rain_rate_001,
+                                                        Polarisation::kCircular);
+  // Step 5: horizontal reduction factor.
+  const double r001 =
+      1.0 / (1.0 + 0.78 * std::sqrt(lg * gamma_r / f) -
+             0.38 * (1.0 - std::exp(-2.0 * lg)));
+  // Step 6: vertical adjustment factor.
+  const double zeta = geo::RadToDeg(std::atan2(hr - hs, lg * r001));
+  double lr;
+  if (zeta > theta) {
+    lr = lg * r001 / cos_t;
+  } else {
+    lr = (hr - hs) / sin_t;
+  }
+  const double abs_lat = std::fabs(params.latitude_deg);
+  const double chi = abs_lat < 36.0 ? 36.0 - abs_lat : 0.0;
+  const double v001 =
+      1.0 / (1.0 + std::sqrt(sin_t) *
+                       (31.0 * (1.0 - std::exp(-theta / (1.0 + chi))) *
+                            std::sqrt(lr * gamma_r) / (f * f) -
+                        0.45));
+  // Step 9-10: effective path length and A_0.01.
+  const double le = lr * v001;
+  return gamma_r * le;
+}
+
+double RainAttenuationDb(const RainPathParams& params, double exceedance_pct) {
+  const double a001 = RainAttenuation001Db(params);
+  if (a001 <= 0.0) {
+    return 0.0;
+  }
+  const double p = std::clamp(exceedance_pct, 0.001, 5.0);
+  const double theta = std::clamp(params.elevation_deg, 5.0, 90.0);
+  const double abs_lat = std::fabs(params.latitude_deg);
+
+  double beta = 0.0;
+  if (p < 1.0 && abs_lat < 36.0) {
+    if (theta >= 25.0) {
+      beta = -0.005 * (abs_lat - 36.0);
+    } else {
+      beta = -0.005 * (abs_lat - 36.0) + 1.8 -
+             4.25 * std::sin(geo::DegToRad(theta));
+    }
+  }
+  const double exponent = -(0.655 + 0.033 * std::log(p) - 0.045 * std::log(a001) -
+                            beta * (1.0 - p) * std::sin(geo::DegToRad(theta)));
+  return a001 * std::pow(p / 0.01, exponent);
+}
+
+}  // namespace leosim::itur

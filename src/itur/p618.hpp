@@ -1,0 +1,23 @@
+// ITU-R P.618-13 §2.2.1.1: rain attenuation exceeded for a given
+// percentage of an average year on an Earth-space slant path.
+#pragma once
+
+namespace leosim::itur {
+
+struct RainPathParams {
+  double frequency_ghz{12.0};
+  double elevation_deg{30.0};
+  double latitude_deg{0.0};       // of the ground terminal
+  double station_height_km{0.0};  // above mean sea level
+  double rain_rate_001{40.0};     // R_0.01, mm/h
+  double rain_height_km{5.0};     // h_R from P.839
+};
+
+// Attenuation (dB) exceeded 0.01% of the average year.
+double RainAttenuation001Db(const RainPathParams& params);
+
+// Attenuation (dB) exceeded `exceedance_pct` percent of the year, for
+// exceedance in [0.001, 5].
+double RainAttenuationDb(const RainPathParams& params, double exceedance_pct);
+
+}  // namespace leosim::itur

@@ -1,0 +1,67 @@
+#include "itur/p676.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/angles.hpp"
+
+namespace leosim::itur {
+
+namespace {
+
+// Equivalent heights for the cosecant slant-path model (P.676 Annex 2,
+// away from the 60 GHz complex).
+constexpr double kOxygenEquivalentHeightKm = 6.1;
+constexpr double kVapourEquivalentHeightKm = 2.1;
+
+}  // namespace
+
+double OxygenSpecificAttenuationDbPerKm(double frequency_ghz, double temperature_k,
+                                        double pressure_hpa) {
+  const double f = frequency_ghz;
+  const double rp = pressure_hpa / 1013.25;
+  const double rt = 288.0 / temperature_k;
+  // P.676 Annex 2 approximation for f < 54 GHz.
+  const double term1 = 7.2 * std::pow(rt, 2.8) / (f * f + 0.34 * rp * rp * std::pow(rt, 1.6));
+  const double term2 = 0.62 / (std::pow(54.0 - std::min(f, 53.9), 1.16) + 0.83);
+  return (term1 + term2) * f * f * rp * rp * 1e-3;
+}
+
+double WaterVapourSpecificAttenuationDbPerKm(double frequency_ghz,
+                                             double vapour_density_g_m3,
+                                             double temperature_k,
+                                             double pressure_hpa) {
+  const double f = frequency_ghz;
+  const double rho = vapour_density_g_m3;
+  const double rp = pressure_hpa / 1013.25;
+  const double rt = 288.0 / temperature_k;
+  const double eta1 = 0.955 * rp * std::pow(rt, 0.68) + 0.006 * rho;
+  const auto g = [f](double fi) {
+    const double r = (f - fi) / (f + fi);
+    return 1.0 + r * r;
+  };
+  // Main water-vapour resonance lines at 22.235, 183.31 and 325.153 GHz.
+  const double line22 = 3.98 * eta1 * std::exp(2.23 * (1.0 - rt)) /
+                        ((f - 22.235) * (f - 22.235) + 9.42 * eta1 * eta1) * g(22.235);
+  const double line183 = 11.96 * eta1 * std::exp(0.7 * (1.0 - rt)) /
+                         ((f - 183.31) * (f - 183.31) + 11.14 * eta1 * eta1);
+  const double line325 = 3.66 * eta1 * std::exp(1.6 * (1.0 - rt)) /
+                         ((f - 325.153) * (f - 325.153) + 9.22 * eta1 * eta1);
+  const double continuum = 0.0313 * rp * std::pow(rt, 2.0) + 1.61e-3;
+  return (continuum + line22 + line183 + line325) * f * f * rho * 1e-4;
+}
+
+double GaseousAttenuationDb(double frequency_ghz, double elevation_deg,
+                            double vapour_density_g_m3, double temperature_k,
+                            double pressure_hpa) {
+  const double el = std::clamp(elevation_deg, 5.0, 90.0);
+  const double gamma_o =
+      OxygenSpecificAttenuationDbPerKm(frequency_ghz, temperature_k, pressure_hpa);
+  const double gamma_w = WaterVapourSpecificAttenuationDbPerKm(
+      frequency_ghz, vapour_density_g_m3, temperature_k, pressure_hpa);
+  const double zenith =
+      gamma_o * kOxygenEquivalentHeightKm + gamma_w * kVapourEquivalentHeightKm;
+  return zenith / std::sin(geo::DegToRad(el));
+}
+
+}  // namespace leosim::itur

@@ -1,0 +1,28 @@
+// ITU-R P.676 (Annex 2 approximation): gaseous attenuation from dry air
+// (oxygen) and water vapour, valid for frequencies up to ~50 GHz away from
+// the 60 GHz oxygen complex — comfortably covering the Ku/Ka bands the
+// paper's constellations use.
+#pragma once
+
+namespace leosim::itur {
+
+// Specific attenuation of dry air at sea level, dB/km.
+double OxygenSpecificAttenuationDbPerKm(double frequency_ghz,
+                                        double temperature_k = 288.15,
+                                        double pressure_hpa = 1013.25);
+
+// Specific attenuation of water vapour, dB/km, for surface vapour density
+// rho (g/m^3).
+double WaterVapourSpecificAttenuationDbPerKm(double frequency_ghz,
+                                             double vapour_density_g_m3,
+                                             double temperature_k = 288.15,
+                                             double pressure_hpa = 1013.25);
+
+// Slant-path gaseous attenuation, dB, using equivalent heights
+// (h_o ~ 6.1 km, h_w ~ 2.1 km) and the cosecant law for elevation >= 5 deg.
+double GaseousAttenuationDb(double frequency_ghz, double elevation_deg,
+                            double vapour_density_g_m3,
+                            double temperature_k = 288.15,
+                            double pressure_hpa = 1013.25);
+
+}  // namespace leosim::itur

@@ -1,0 +1,88 @@
+#include "itur/p838.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace leosim::itur {
+
+namespace {
+
+struct TableRow {
+  double f_ghz;
+  double k_h, alpha_h;
+  double k_v, alpha_v;
+};
+
+// ITU-R P.838-3 coefficients at selected frequencies (transcribed to the
+// precision relevant for this library; intermediate frequencies are
+// interpolated as documented in the header).
+constexpr TableRow kTable[] = {
+    {1.0, 0.0000259, 0.9691, 0.0000308, 0.8592},
+    {2.0, 0.0000847, 1.0664, 0.0000998, 0.9490},
+    {4.0, 0.0006510, 1.1210, 0.0005910, 1.0750},
+    {6.0, 0.0017500, 1.3080, 0.0015500, 1.2650},
+    {8.0, 0.0045400, 1.3270, 0.0039500, 1.3100},
+    {10.0, 0.0121700, 1.2571, 0.0112900, 1.2156},
+    {12.0, 0.0238600, 1.1825, 0.0245500, 1.1216},
+    {15.0, 0.0448100, 1.1233, 0.0500800, 1.0440},
+    {20.0, 0.0916400, 1.0568, 0.0961100, 0.9847},
+    {25.0, 0.1586000, 0.9991, 0.1533000, 0.9491},
+    {30.0, 0.2403000, 0.9485, 0.2291000, 0.9129},
+    {35.0, 0.3374000, 0.9047, 0.3224000, 0.8761},
+    {40.0, 0.4431000, 0.8673, 0.4274000, 0.8421},
+    {50.0, 0.6161000, 0.8084, 0.6090000, 0.7871},
+    {60.0, 0.8606000, 0.7656, 0.8515000, 0.7486},
+    {80.0, 1.2168000, 0.7021, 1.2031000, 0.6876},
+    {100.0, 1.4189000, 0.6609, 1.4011000, 0.6527},
+};
+
+constexpr int kRows = static_cast<int>(sizeof(kTable) / sizeof(kTable[0]));
+
+}  // namespace
+
+RainCoefficients P838Coefficients(double frequency_ghz, Polarisation pol) {
+  if (frequency_ghz < kTable[0].f_ghz || frequency_ghz > kTable[kRows - 1].f_ghz) {
+    throw std::out_of_range("P838 frequency must be in [1, 100] GHz");
+  }
+  int hi = 1;
+  while (hi < kRows - 1 && kTable[hi].f_ghz < frequency_ghz) {
+    ++hi;
+  }
+  const TableRow& a = kTable[hi - 1];
+  const TableRow& b = kTable[hi];
+  const double t =
+      (std::log(frequency_ghz) - std::log(a.f_ghz)) / (std::log(b.f_ghz) - std::log(a.f_ghz));
+
+  const auto interp = [t](double lo, double hi_v) { return lo + t * (hi_v - lo); };
+  const double k_h = std::exp(interp(std::log(a.k_h), std::log(b.k_h)));
+  const double k_v = std::exp(interp(std::log(a.k_v), std::log(b.k_v)));
+  const double alpha_h = interp(a.alpha_h, b.alpha_h);
+  const double alpha_v = interp(a.alpha_v, b.alpha_v);
+
+  switch (pol) {
+    case Polarisation::kHorizontal:
+      return {k_h, alpha_h};
+    case Polarisation::kVertical:
+      return {k_v, alpha_v};
+    case Polarisation::kCircular: {
+      // P.838 combining for circular polarisation (tau=45 deg, horizontal
+      // path): k = (kH + kV)/2, alpha = (kH aH + kV aV) / (kH + kV).
+      const double k = 0.5 * (k_h + k_v);
+      const double alpha = (k_h * alpha_h + k_v * alpha_v) / (k_h + k_v);
+      return {k, alpha};
+    }
+  }
+  return {};
+}
+
+double SpecificRainAttenuationDbPerKm(double frequency_ghz, double rain_rate_mm_h,
+                                      Polarisation pol) {
+  if (rain_rate_mm_h <= 0.0) {
+    return 0.0;
+  }
+  const RainCoefficients c = P838Coefficients(frequency_ghz, pol);
+  return c.k * std::pow(rain_rate_mm_h, c.alpha);
+}
+
+}  // namespace leosim::itur

@@ -1,0 +1,25 @@
+// ITU-R P.838-3: specific attenuation due to rain.
+//
+// gamma_R = k * R^alpha (dB/km), with k and alpha depending on frequency
+// and polarisation. The coefficients are tabulated (values transcribed to
+// the precision needed here from the published tables) and interpolated:
+// log(k) linearly in log(f), alpha linearly in log(f).
+#pragma once
+
+namespace leosim::itur {
+
+enum class Polarisation { kHorizontal, kVertical, kCircular };
+
+struct RainCoefficients {
+  double k{0.0};
+  double alpha{0.0};
+};
+
+// Coefficients at `frequency_ghz` in [1, 100].
+RainCoefficients P838Coefficients(double frequency_ghz, Polarisation pol);
+
+// Specific rain attenuation, dB/km, at rain rate `rain_rate_mm_h`.
+double SpecificRainAttenuationDbPerKm(double frequency_ghz, double rain_rate_mm_h,
+                                      Polarisation pol = Polarisation::kCircular);
+
+}  // namespace leosim::itur

@@ -1,0 +1,7 @@
+#include "itur/p839.hpp"
+
+namespace leosim::itur {
+
+double RainHeightKm(double zero_isotherm_km) { return zero_isotherm_km + 0.36; }
+
+}  // namespace leosim::itur

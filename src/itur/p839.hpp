@@ -1,0 +1,10 @@
+// ITU-R P.839-4: rain height model.
+#pragma once
+
+namespace leosim::itur {
+
+// Mean annual rain height above sea level, km:
+// h_R = h0 + 0.36, with h0 the mean annual 0-degree isotherm height.
+double RainHeightKm(double zero_isotherm_km);
+
+}  // namespace leosim::itur

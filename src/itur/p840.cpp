@@ -1,0 +1,45 @@
+#include "itur/p840.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/angles.hpp"
+
+namespace leosim::itur {
+
+namespace {
+
+// Double-Debye dielectric permittivity of liquid water (P.840-8 §2).
+void DoubleDebye(double f_ghz, double temperature_k, double* eps_prime,
+                 double* eps_second) {
+  const double theta = 300.0 / temperature_k;
+  const double eps0 = 77.66 + 103.3 * (theta - 1.0);
+  const double eps1 = 0.0671 * eps0;
+  const double eps2 = 3.52;
+  const double fp = 20.20 - 146.0 * (theta - 1.0) + 316.0 * (theta - 1.0) * (theta - 1.0);
+  const double fs = 39.8 * fp;
+  const double rp = f_ghz / fp;
+  const double rs = f_ghz / fs;
+  *eps_second = f_ghz * (eps0 - eps1) / (fp * (1.0 + rp * rp)) +
+                f_ghz * (eps1 - eps2) / (fs * (1.0 + rs * rs));
+  *eps_prime = (eps0 - eps1) / (1.0 + rp * rp) + (eps1 - eps2) / (1.0 + rs * rs) + eps2;
+}
+
+}  // namespace
+
+double CloudSpecificCoefficient(double frequency_ghz, double temperature_k) {
+  double eps_prime = 0.0;
+  double eps_second = 0.0;
+  DoubleDebye(frequency_ghz, temperature_k, &eps_prime, &eps_second);
+  const double eta = (2.0 + eps_prime) / eps_second;
+  return 0.819 * frequency_ghz / (eps_second * (1.0 + eta * eta));
+}
+
+double CloudAttenuationDb(double frequency_ghz, double elevation_deg,
+                          double liquid_water_kg_m2, double temperature_k) {
+  const double el = std::clamp(elevation_deg, 5.0, 90.0);
+  const double kl = CloudSpecificCoefficient(frequency_ghz, temperature_k);
+  return liquid_water_kg_m2 * kl / std::sin(geo::DegToRad(el));
+}
+
+}  // namespace leosim::itur

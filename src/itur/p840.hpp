@@ -1,0 +1,17 @@
+// ITU-R P.840: attenuation due to clouds (Rayleigh approximation with the
+// double-Debye permittivity model for liquid water).
+#pragma once
+
+namespace leosim::itur {
+
+// Cloud specific attenuation coefficient Kl, (dB/km)/(g/m^3), at the given
+// frequency and liquid-water temperature.
+double CloudSpecificCoefficient(double frequency_ghz, double temperature_k = 273.15);
+
+// Slant-path cloud attenuation, dB, for columnar liquid water content
+// `liquid_water_kg_m2` and elevation >= 5 deg:
+// A_c = L * Kl / sin(elevation).
+double CloudAttenuationDb(double frequency_ghz, double elevation_deg,
+                          double liquid_water_kg_m2, double temperature_k = 273.15);
+
+}  // namespace leosim::itur

@@ -1,0 +1,15 @@
+#include "link/radio.hpp"
+
+#include "geo/coordinates.hpp"
+
+namespace leosim::link {
+
+double PropagationLatencyMs(double distance_km) {
+  return distance_km / geo::kSpeedOfLightKmPerSec * 1000.0;
+}
+
+double PropagationLatencyMs(const geo::Vec3& a, const geo::Vec3& b) {
+  return PropagationLatencyMs(a.DistanceTo(b));
+}
+
+}  // namespace leosim::link

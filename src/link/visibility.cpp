@@ -1,0 +1,101 @@
+#include "link/visibility.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/angles.hpp"
+#include "geo/geodesic.hpp"
+
+namespace leosim::link {
+
+bool IsVisible(const geo::Vec3& ground_ecef, const geo::Vec3& sat_ecef,
+               double min_elevation_deg) {
+  return geo::ElevationAngleDeg(ground_ecef, sat_ecef) >= min_elevation_deg;
+}
+
+std::vector<int> VisibleSatellitesBruteForce(const geo::Vec3& ground_ecef,
+                                             const std::vector<geo::Vec3>& sat_ecef,
+                                             double min_elevation_deg) {
+  std::vector<int> visible;
+  for (size_t i = 0; i < sat_ecef.size(); ++i) {
+    if (IsVisible(ground_ecef, sat_ecef[i], min_elevation_deg)) {
+      visible.push_back(static_cast<int>(i));
+    }
+  }
+  return visible;
+}
+
+SatelliteIndex::SatelliteIndex(const std::vector<geo::Vec3>& sat_ecef,
+                               double coverage_radius_km)
+    : sat_ecef_(sat_ecef),
+      radius_deg_(geo::RadToDeg(coverage_radius_km / geo::kEarthRadiusKm)) {
+  // Cell size ~ coverage radius keeps the candidate scan to a 3x3-ish
+  // neighbourhood at low latitudes.
+  cell_deg_ = std::clamp(radius_deg_, 2.0, 30.0);
+  lat_cells_ = static_cast<int>(std::ceil(180.0 / cell_deg_));
+  lon_cells_ = static_cast<int>(std::ceil(360.0 / cell_deg_));
+  cells_.resize(static_cast<size_t>(lat_cells_) * lon_cells_);
+  for (size_t i = 0; i < sat_ecef_.size(); ++i) {
+    const geo::GeodeticCoord sub = geo::EcefToGeodetic(sat_ecef_[i]);
+    const int li = std::clamp(
+        static_cast<int>((sub.latitude_deg + 90.0) / cell_deg_), 0, lat_cells_ - 1);
+    const int wi = std::clamp(
+        static_cast<int>((sub.longitude_deg + 180.0) / cell_deg_), 0, lon_cells_ - 1);
+    cells_[static_cast<size_t>(li) * lon_cells_ + wi].push_back(static_cast<int>(i));
+  }
+}
+
+std::vector<int> SatelliteIndex::CandidateCells(double lat_deg, double lon_deg) const {
+  std::vector<int> cell_ids;
+  const int lat_span = static_cast<int>(std::ceil(radius_deg_ / cell_deg_)) + 1;
+  const int centre_li = std::clamp(static_cast<int>((lat_deg + 90.0) / cell_deg_), 0,
+                                   lat_cells_ - 1);
+  for (int dli = -lat_span; dli <= lat_span; ++dli) {
+    const int li = centre_li + dli;
+    if (li < 0 || li >= lat_cells_) {
+      continue;
+    }
+    // Longitude span widens with the row's latitude; near poles take all.
+    const double row_lat =
+        std::min(std::fabs(-90.0 + (li + 0.5) * cell_deg_) + cell_deg_, 89.9);
+    const double cos_lat = std::cos(geo::DegToRad(row_lat));
+    int lon_span;
+    if (cos_lat < 0.05) {
+      lon_span = lon_cells_;  // take the whole ring
+    } else {
+      lon_span = static_cast<int>(std::ceil(radius_deg_ / (cell_deg_ * cos_lat))) + 1;
+    }
+    const int centre_wi = static_cast<int>((lon_deg + 180.0) / cell_deg_);
+    const int lo = centre_wi - lon_span;
+    const int hi = centre_wi + lon_span;
+    if (hi - lo + 1 >= lon_cells_) {
+      for (int wi = 0; wi < lon_cells_; ++wi) {
+        cell_ids.push_back(li * lon_cells_ + wi);
+      }
+    } else {
+      for (int raw = lo; raw <= hi; ++raw) {
+        const int wi = ((raw % lon_cells_) + lon_cells_) % lon_cells_;
+        cell_ids.push_back(li * lon_cells_ + wi);
+      }
+    }
+  }
+  return cell_ids;
+}
+
+std::vector<int> SatelliteIndex::Visible(const geo::Vec3& ground_ecef,
+                                         double min_elevation_deg) const {
+  const geo::GeodeticCoord g = geo::EcefToGeodetic(ground_ecef);
+  std::vector<int> visible;
+  for (const int cell : CandidateCells(g.latitude_deg, g.longitude_deg)) {
+    for (const int sat : cells_[static_cast<size_t>(cell)]) {
+      if (IsVisible(ground_ecef, sat_ecef_[static_cast<size_t>(sat)],
+                    min_elevation_deg)) {
+        visible.push_back(sat);
+      }
+    }
+  }
+  std::sort(visible.begin(), visible.end());
+  return visible;
+}
+
+}  // namespace leosim::link

@@ -1,0 +1,51 @@
+// Ground-terminal <-> satellite visibility.
+//
+// A terminal sees a satellite when the elevation angle exceeds the
+// constellation's minimum (paper §2: 25 deg for Starlink, 30 deg for
+// Kuiper). SatelliteIndex is a latitude/longitude cell hash over
+// sub-satellite points that turns the per-snapshot "which satellites can
+// this GT see" query from O(#sats) into O(#candidates in nearby cells).
+#pragma once
+
+#include <vector>
+
+#include "geo/coordinates.hpp"
+#include "geo/vec3.hpp"
+
+namespace leosim::link {
+
+// True when `sat_ecef` is visible from `ground_ecef` at or above
+// `min_elevation_deg`.
+bool IsVisible(const geo::Vec3& ground_ecef, const geo::Vec3& sat_ecef,
+               double min_elevation_deg);
+
+// Brute-force visible set; mostly for tests and small inputs.
+std::vector<int> VisibleSatellitesBruteForce(const geo::Vec3& ground_ecef,
+                                             const std::vector<geo::Vec3>& sat_ecef,
+                                             double min_elevation_deg);
+
+class SatelliteIndex {
+ public:
+  // Builds an index over one snapshot of satellite positions (ECEF, km).
+  // `coverage_radius_km` bounds the ground distance at which any terminal
+  // could see a satellite (geo::CoverageRadiusKm of the highest shell).
+  SatelliteIndex(const std::vector<geo::Vec3>& sat_ecef, double coverage_radius_km);
+
+  // Satellites visible from the terminal at `ground_ecef` at or above
+  // `min_elevation_deg`. Exact (the cell scan over-approximates, then each
+  // candidate is elevation-checked).
+  std::vector<int> Visible(const geo::Vec3& ground_ecef,
+                           double min_elevation_deg) const;
+
+ private:
+  std::vector<int> CandidateCells(double lat_deg, double lon_deg) const;
+
+  std::vector<geo::Vec3> sat_ecef_;  // copied; the index owns its snapshot
+  double cell_deg_;
+  int lat_cells_;
+  int lon_cells_;
+  double radius_deg_;
+  std::vector<std::vector<int>> cells_;  // lat-major cell -> satellite ids
+};
+
+}  // namespace leosim::link

@@ -1,0 +1,25 @@
+#include "orbit/elements.hpp"
+
+#include <cmath>
+
+#include "geo/angles.hpp"
+#include "geo/coordinates.hpp"
+
+namespace leosim::orbit {
+
+double OrbitRadiusKm(double altitude_km) { return geo::kEarthRadiusKm + altitude_km; }
+
+double MeanMotionRadPerSec(double altitude_km) {
+  const double r = OrbitRadiusKm(altitude_km);
+  return std::sqrt(kMuEarthKm3PerSec2 / (r * r * r));
+}
+
+double OrbitalPeriodSec(double altitude_km) {
+  return 2.0 * geo::kPi / MeanMotionRadPerSec(altitude_km);
+}
+
+double OrbitalSpeedKmPerSec(double altitude_km) {
+  return MeanMotionRadPerSec(altitude_km) * OrbitRadiusKm(altitude_km);
+}
+
+}  // namespace leosim::orbit

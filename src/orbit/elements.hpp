@@ -1,0 +1,36 @@
+// Orbital elements for the circular low-Earth orbits used by broadband
+// constellations, and the standard two-body relations between them.
+#pragma once
+
+namespace leosim::orbit {
+
+// Earth's gravitational parameter, km^3/s^2 (WGS84 value).
+inline constexpr double kMuEarthKm3PerSec2 = 398600.4418;
+
+// Elements of a circular orbit. The orbit is fully determined by its
+// altitude (which fixes the radius and mean motion), inclination, the right
+// ascension of the ascending node (RAAN), and the argument of latitude at
+// the simulation epoch (angle from the ascending node along the orbit).
+struct CircularOrbitElements {
+  double altitude_km{550.0};
+  double inclination_deg{53.0};
+  double raan_deg{0.0};
+  double arg_latitude_epoch_deg{0.0};
+
+  constexpr bool operator==(const CircularOrbitElements&) const = default;
+};
+
+// Orbital radius from the Earth's centre, km.
+double OrbitRadiusKm(double altitude_km);
+
+// Mean motion, rad/s, for a circular orbit at the given altitude.
+double MeanMotionRadPerSec(double altitude_km);
+
+// Orbital period, seconds. For Starlink's 550 km shell this is ~95.6 min,
+// matching the paper's "~100 minutes".
+double OrbitalPeriodSec(double altitude_km);
+
+// Orbital speed, km/s.
+double OrbitalSpeedKmPerSec(double altitude_km);
+
+}  // namespace leosim::orbit

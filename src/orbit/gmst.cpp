@@ -1,0 +1,33 @@
+#include "orbit/gmst.hpp"
+
+#include <cmath>
+
+#include "geo/angles.hpp"
+
+namespace leosim::orbit {
+
+double JulianDate(int year, int month, int day, int hour, int minute, double second) {
+  const int a = (14 - month) / 12;
+  const int y = year + 4800 - a;
+  const int m = month + 12 * a - 3;
+  const long jdn = day + (153L * m + 2) / 5 + 365L * y + y / 4 - y / 100 + y / 400 -
+                   32045L;
+  const double day_fraction =
+      (hour - 12) / 24.0 + minute / 1440.0 + second / 86400.0;
+  return static_cast<double>(jdn) + day_fraction;
+}
+
+double GmstRad(double julian_date) {
+  // Centuries of UT1 since J2000.0.
+  const double t = (julian_date - 2451545.0) / 36525.0;
+  // IAU 1982 GMST, seconds of time.
+  double gmst_sec = 67310.54841 + (876600.0 * 3600.0 + 8640184.812866) * t +
+                    0.093104 * t * t - 6.2e-6 * t * t * t;
+  gmst_sec = std::fmod(gmst_sec, 86400.0);
+  if (gmst_sec < 0.0) {
+    gmst_sec += 86400.0;
+  }
+  return gmst_sec * (2.0 * geo::kPi / 86400.0);
+}
+
+}  // namespace leosim::orbit

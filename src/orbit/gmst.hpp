@@ -1,0 +1,16 @@
+// Greenwich Mean Sidereal Time, for callers that want to anchor the
+// simulation epoch to a real UTC instant rather than the default
+// "ECI == ECEF at t = 0" convention used by the experiments.
+#pragma once
+
+namespace leosim::orbit {
+
+// Julian date from a proleptic-Gregorian UTC calendar instant.
+// (Fliegel & Van Flandern algorithm; valid for all dates of interest.)
+double JulianDate(int year, int month, int day, int hour, int minute, double second);
+
+// GMST angle in radians, in [0, 2*pi), at the given Julian date (UT1~UTC).
+// IAU 1982 polynomial expression.
+double GmstRad(double julian_date);
+
+}  // namespace leosim::orbit

@@ -1,0 +1,36 @@
+// Ground tracks and pass prediction for a single orbit — the classic
+// "when does the next satellite rise over my site" utilities that any
+// constellation toolkit ships.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "geo/coordinates.hpp"
+#include "orbit/propagator.hpp"
+
+namespace leosim::orbit {
+
+// Sub-satellite points sampled over [t0, t1] every `step_sec`.
+std::vector<geo::GeodeticCoord> GroundTrack(const CircularOrbit& orbit,
+                                            double t0_sec, double t1_sec,
+                                            double step_sec);
+
+struct Pass {
+  double rise_time_sec{0.0};
+  double set_time_sec{0.0};
+  double max_elevation_deg{0.0};
+
+  double DurationSec() const { return set_time_sec - rise_time_sec; }
+};
+
+// Next interval after `t0_sec` (within `horizon_sec`) during which the
+// satellite is visible from `terminal` at >= min_elevation_deg. Rise/set
+// are refined by bisection to ~0.1 s. Returns nullopt if no pass starts
+// inside the horizon.
+std::optional<Pass> FindNextPass(const CircularOrbit& orbit,
+                                 const geo::GeodeticCoord& terminal,
+                                 double min_elevation_deg, double t0_sec,
+                                 double horizon_sec);
+
+}  // namespace leosim::orbit

@@ -1,0 +1,69 @@
+#include "orbit/propagator.hpp"
+
+#include <cmath>
+
+#include "geo/angles.hpp"
+#include "geo/coordinates.hpp"
+
+namespace leosim::orbit {
+
+namespace {
+
+// Rotates the in-plane position (cos u, sin u, 0) scaled by r into the
+// inertial frame given RAAN and inclination.
+geo::Vec3 PerifocalToEci(double r, double u, double raan, double inclination) {
+  const double cos_u = std::cos(u);
+  const double sin_u = std::sin(u);
+  const double cos_raan = std::cos(raan);
+  const double sin_raan = std::sin(raan);
+  const double cos_i = std::cos(inclination);
+  const double sin_i = std::sin(inclination);
+  return {r * (cos_raan * cos_u - sin_raan * sin_u * cos_i),
+          r * (sin_raan * cos_u + cos_raan * sin_u * cos_i), r * sin_u * sin_i};
+}
+
+}  // namespace
+
+double J2RaanDriftRadPerSec(double altitude_km, double inclination_deg) {
+  const double r = OrbitRadiusKm(altitude_km);
+  const double n = MeanMotionRadPerSec(altitude_km);
+  const double re_over_r = geo::kEarthRadiusKm / r;
+  return -1.5 * kJ2 * n * re_over_r * re_over_r *
+         std::cos(geo::DegToRad(inclination_deg));
+}
+
+CircularOrbit::CircularOrbit(const CircularOrbitElements& elements,
+                             bool apply_j2_regression)
+    : elements_(elements),
+      radius_km_(OrbitRadiusKm(elements.altitude_km)),
+      mean_motion_rad_s_(MeanMotionRadPerSec(elements.altitude_km)),
+      raan_drift_rad_s_(apply_j2_regression
+                            ? J2RaanDriftRadPerSec(elements.altitude_km,
+                                                   elements.inclination_deg)
+                            : 0.0) {}
+
+geo::Vec3 CircularOrbit::PositionEci(double seconds_since_epoch) const {
+  const double u = geo::DegToRad(elements_.arg_latitude_epoch_deg) +
+                   mean_motion_rad_s_ * seconds_since_epoch;
+  const double raan =
+      geo::DegToRad(elements_.raan_deg) + raan_drift_rad_s_ * seconds_since_epoch;
+  return PerifocalToEci(radius_km_, u, raan, geo::DegToRad(elements_.inclination_deg));
+}
+
+geo::Vec3 CircularOrbit::VelocityEci(double seconds_since_epoch) const {
+  const double u = geo::DegToRad(elements_.arg_latitude_epoch_deg) +
+                   mean_motion_rad_s_ * seconds_since_epoch;
+  const double raan =
+      geo::DegToRad(elements_.raan_deg) + raan_drift_rad_s_ * seconds_since_epoch;
+  // d/dt of the perifocal position: u advances at the mean motion, so the
+  // velocity is the in-plane tangent scaled by v = n * r.
+  const double v = mean_motion_rad_s_ * radius_km_;
+  return PerifocalToEci(v, u + geo::kPi / 2.0, raan,
+                        geo::DegToRad(elements_.inclination_deg));
+}
+
+geo::Vec3 CircularOrbit::PositionEcef(double seconds_since_epoch) const {
+  return geo::EciToEcef(PositionEci(seconds_since_epoch), seconds_since_epoch);
+}
+
+}  // namespace leosim::orbit

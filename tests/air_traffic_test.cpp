@@ -1,0 +1,148 @@
+#include "air/traffic_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "air/flight.hpp"
+#include "air/schedule.hpp"
+#include "data/airports.hpp"
+#include "geo/geodesic.hpp"
+
+namespace leosim::air {
+namespace {
+
+geo::GeodeticCoord Coord(const char* iata) { return data::FindAirport(iata).Coord(); }
+
+TEST(FlightTest, NotAirborneBeforeDepartureOrAfterArrival) {
+  const Flight f(Coord("JFK"), Coord("LHR"), 1000.0);
+  EXPECT_FALSE(f.PositionAt(999.0).has_value());
+  EXPECT_TRUE(f.PositionAt(1000.0).has_value());
+  EXPECT_TRUE(f.PositionAt(f.arrival_time_sec()).has_value());
+  EXPECT_FALSE(f.PositionAt(f.arrival_time_sec() + 1.0).has_value());
+}
+
+TEST(FlightTest, DurationMatchesDistanceAndSpeed) {
+  const Flight f(Coord("JFK"), Coord("LHR"), 0.0, 900.0);
+  // JFK-LHR great-circle is ~5540 km -> ~6.2 h at 900 km/h.
+  EXPECT_NEAR(f.route_length_km(), 5540.0, 60.0);
+  EXPECT_NEAR(f.duration_sec(), f.route_length_km() / 900.0 * 3600.0, 1e-6);
+}
+
+TEST(FlightTest, FliesAtCruiseAltitude) {
+  const Flight f(Coord("JFK"), Coord("LHR"), 0.0);
+  const auto mid = f.PositionAt(f.duration_sec() / 2.0);
+  ASSERT_TRUE(mid.has_value());
+  EXPECT_DOUBLE_EQ(mid->altitude_km, kDefaultCruiseAltitudeKm);
+}
+
+TEST(FlightTest, MidFlightPositionIsOverNorthAtlantic) {
+  const Flight f(Coord("JFK"), Coord("LHR"), 0.0);
+  const auto mid = f.PositionAt(f.duration_sec() / 2.0);
+  ASSERT_TRUE(mid.has_value());
+  // The JFK-LHR great circle passes well north of both endpoints.
+  EXPECT_GT(mid->latitude_deg, 51.0);
+  EXPECT_LT(mid->longitude_deg, -20.0);
+  EXPECT_GT(mid->longitude_deg, -60.0);
+}
+
+TEST(FlightTest, ProgressIsMonotonic) {
+  const Flight f(Coord("LAX"), Coord("SYD"), 0.0);
+  double prev_remaining = 1e18;
+  for (double t = 0.0; t <= f.duration_sec(); t += f.duration_sec() / 20.0) {
+    const auto pos = f.PositionAt(t);
+    ASSERT_TRUE(pos.has_value());
+    const double remaining = geo::GreatCircleDistanceKm(*pos, Coord("SYD"));
+    EXPECT_LT(remaining, prev_remaining + 1e-6);
+    prev_remaining = remaining;
+  }
+  EXPECT_NEAR(prev_remaining, 0.0, 1.0);
+}
+
+TEST(ScheduleTest, RouteTableNonTrivial) {
+  EXPECT_GE(DefaultIntercontinentalRoutes().size(), 80u);
+  EXPECT_GT(TotalDailyFlights(DefaultIntercontinentalRoutes()), 500);
+}
+
+TEST(ScheduleTest, AllRouteAirportsExist) {
+  for (const Route& r : DefaultIntercontinentalRoutes()) {
+    EXPECT_NO_THROW(data::FindAirport(r.from_iata)) << r.from_iata;
+    EXPECT_NO_THROW(data::FindAirport(r.to_iata)) << r.to_iata;
+    EXPECT_GT(r.flights_per_day, 0);
+  }
+}
+
+TEST(ScheduleTest, GeneratesBothDirections) {
+  const std::vector<Route> routes = {{"JFK", "LHR", 3}};
+  const std::vector<Flight> flights = GenerateFlights(routes, 1);
+  EXPECT_EQ(flights.size(), 6u);
+}
+
+TEST(ScheduleTest, FrequencyScaleRoundsUp) {
+  const std::vector<Route> routes = {{"JFK", "LHR", 3}};
+  EXPECT_EQ(GenerateFlights(routes, 1, 0.5).size(), 4u);   // ceil(1.5)=2 per dir
+  EXPECT_EQ(GenerateFlights(routes, 1, 2.0).size(), 12u);  // 6 per dir
+}
+
+TEST(ScheduleTest, DeparturesWithinRequestedWindow) {
+  const std::vector<Flight> flights =
+      GenerateFlights(DefaultIntercontinentalRoutes(), 1, 1.0, 7, -86400.0);
+  for (const Flight& f : flights) {
+    EXPECT_GE(f.departure_time_sec(), -86400.0);
+    EXPECT_LT(f.departure_time_sec(), 0.0);
+  }
+}
+
+TEST(ScheduleTest, Deterministic) {
+  const std::vector<Flight> a = GenerateFlights(DefaultIntercontinentalRoutes(), 1);
+  const std::vector<Flight> b = GenerateFlights(DefaultIntercontinentalRoutes(), 1);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].departure_time_sec(), b[i].departure_time_sec());
+  }
+}
+
+TEST(TrafficModelTest, SteadyStateTrafficAllDay) {
+  const AirTrafficModel model(1.0);
+  for (double t : {0.0, 6.0 * 3600, 12.0 * 3600, 18.0 * 3600, 86399.0}) {
+    const auto airborne = model.AirbornePositions(t);
+    // Hundreds of long-haul aircraft are airborne at any instant.
+    EXPECT_GT(airborne.size(), 100u) << "t=" << t;
+  }
+}
+
+TEST(TrafficModelTest, OverWaterSubsetOfAirborne) {
+  const AirTrafficModel model(1.0);
+  const double t = 43200.0;
+  const auto airborne = model.AirbornePositions(t);
+  const auto over_water = model.OverWaterPositions(t);
+  EXPECT_LT(over_water.size(), airborne.size());
+  EXPECT_GT(over_water.size(), 20u);
+}
+
+TEST(TrafficModelTest, NorthAtlanticDenserThanSouthAtlantic) {
+  // The core asymmetry behind Fig. 3: count aircraft over each basin
+  // across the day.
+  const AirTrafficModel model(1.0);
+  int north = 0;
+  int south = 0;
+  for (double t = 0.0; t < 86400.0; t += 3600.0) {
+    for (const geo::GeodeticCoord& p : model.OverWaterPositions(t)) {
+      const bool atlantic_lon = p.longitude_deg > -70.0 && p.longitude_deg < 0.0;
+      if (!atlantic_lon) continue;
+      if (p.latitude_deg > 35.0 && p.latitude_deg < 65.0) ++north;
+      if (p.latitude_deg < -5.0 && p.latitude_deg > -45.0) ++south;
+    }
+  }
+  EXPECT_GT(north, 5 * south) << "north=" << north << " south=" << south;
+  EXPECT_GT(south, 0);
+}
+
+TEST(TrafficModelTest, CustomFlightListRespected) {
+  std::vector<Flight> flights;
+  flights.emplace_back(Coord("JFK"), Coord("LHR"), 0.0);
+  const AirTrafficModel model(std::move(flights));
+  EXPECT_EQ(model.AirbornePositions(3600.0).size(), 1u);
+  EXPECT_EQ(model.AirbornePositions(86400.0).size(), 0u);
+}
+
+}  // namespace
+}  // namespace leosim::air

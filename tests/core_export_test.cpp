@@ -1,0 +1,60 @@
+#include "core/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/stats.hpp"
+
+namespace leosim::core {
+namespace {
+
+TEST(CsvTest, HeaderAndRows) {
+  std::ostringstream os;
+  CsvWriter writer(os, {"a", "b"});
+  writer.WriteRow(std::vector<std::string>{"1", "x"});
+  writer.WriteRow(std::vector<double>{2.5, 3.0});
+  EXPECT_EQ(writer.rows_written(), 2);
+  EXPECT_EQ(os.str(), "a,b\n1,x\n2.5,3\n");
+}
+
+TEST(CsvTest, EscapesSpecialCells) {
+  EXPECT_EQ(CsvEscape("plain"), "plain");
+  EXPECT_EQ(CsvEscape("with,comma"), "\"with,comma\"");
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvEscape("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(CsvTest, RejectsMismatchedWidth) {
+  std::ostringstream os;
+  CsvWriter writer(os, {"a", "b"});
+  EXPECT_THROW(writer.WriteRow(std::vector<std::string>{"only-one"}),
+               std::invalid_argument);
+  EXPECT_THROW(CsvWriter(os, {}), std::invalid_argument);
+}
+
+TEST(CsvTest, DoubleRoundTripPrecision) {
+  std::ostringstream os;
+  CsvWriter writer(os, {"v"});
+  writer.WriteRow(std::vector<double>{0.1234567890123456});
+  const std::string out = os.str();
+  const double parsed = std::stod(out.substr(out.find('\n') + 1));
+  EXPECT_DOUBLE_EQ(parsed, 0.1234567890123456);
+}
+
+TEST(CsvTest, CdfExport) {
+  std::ostringstream os;
+  WriteCdfCsv(os, "rtt_ms", EmpiricalCdf({3.0, 1.0, 2.0}, 3));
+  EXPECT_EQ(os.str().substr(0, 11), "rtt_ms,cdf\n");
+  // Three quantile rows follow the header.
+  int newlines = 0;
+  for (const char c : os.str()) {
+    if (c == '\n') {
+      ++newlines;
+    }
+  }
+  EXPECT_EQ(newlines, 4);
+}
+
+}  // namespace
+}  // namespace leosim::core

@@ -1,0 +1,58 @@
+#include "core/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace leosim::core {
+namespace {
+
+TEST(ParallelForTest, VisitsEveryIndexExactlyOnce) {
+  const int n = 1000;
+  std::vector<std::atomic<int>> visits(n);
+  ParallelFor(n, [&](int i) { visits[static_cast<size_t>(i)].fetch_add(1); });
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(visits[static_cast<size_t>(i)].load(), 1) << i;
+  }
+}
+
+TEST(ParallelForTest, HandlesZeroAndNegativeCounts) {
+  int calls = 0;
+  ParallelFor(0, [&](int) { ++calls; });
+  ParallelFor(-5, [&](int) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelForTest, SingleThreadIsSequential) {
+  std::vector<int> order;
+  ParallelFor(10, [&](int i) { order.push_back(i); }, 1);
+  std::vector<int> expected(10);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ParallelForTest, PropagatesExceptions) {
+  EXPECT_THROW(
+      ParallelFor(
+          16, [](int i) {
+            if (i == 7) {
+              throw std::runtime_error("boom");
+            }
+          },
+          4),
+      std::runtime_error);
+}
+
+TEST(ParallelForTest, SumMatchesAcrossThreadCounts) {
+  const int n = 500;
+  for (const int threads : {1, 2, 4, 8}) {
+    std::atomic<long> sum{0};
+    ParallelFor(n, [&](int i) { sum.fetch_add(i); }, threads);
+    EXPECT_EQ(sum.load(), static_cast<long>(n) * (n - 1) / 2) << threads;
+  }
+}
+
+}  // namespace
+}  // namespace leosim::core

@@ -1,0 +1,99 @@
+#include "data/climate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/airports.hpp"
+
+namespace leosim::data {
+namespace {
+
+TEST(ClimateTest, TropicsRainHarderThanTemperate) {
+  // Singapore-ish vs central-Europe-ish.
+  EXPECT_GT(RainRate001MmPerHour(1.3, 103.8), RainRate001MmPerHour(50.0, 15.0));
+}
+
+TEST(ClimateTest, TropicalRainRateInItuBallpark) {
+  // ITU-R P.837 gives R_0.01 of roughly 60-110 mm/h in the deep tropics.
+  const double r = RainRate001MmPerHour(5.0, 100.0);
+  EXPECT_GT(r, 55.0);
+  EXPECT_LT(r, 120.0);
+}
+
+TEST(ClimateTest, TemperateRainRateInItuBallpark) {
+  // Mid-latitude Europe: ~20-40 mm/h.
+  const double r = RainRate001MmPerHour(48.9, 2.35);
+  EXPECT_GT(r, 15.0);
+  EXPECT_LT(r, 50.0);
+}
+
+TEST(ClimateTest, DesertsDrierThanTropics) {
+  EXPECT_LT(RainRate001MmPerHour(23.0, 10.0),   // Sahara
+            0.5 * RainRate001MmPerHour(5.0, 100.0));
+  EXPECT_LT(RainRate001MmPerHour(-25.0, 133.0),  // central Australia
+            RainRate001MmPerHour(-5.0, 145.0));  // New Guinea
+}
+
+TEST(ClimateTest, RainRateAlwaysPositive) {
+  for (double lat = -90.0; lat <= 90.0; lat += 10.0) {
+    for (double lon = -180.0; lon < 180.0; lon += 30.0) {
+      EXPECT_GT(RainRate001MmPerHour(lat, lon), 0.0);
+    }
+  }
+}
+
+TEST(ClimateTest, CloudWaterPeaksInTropics) {
+  EXPECT_GT(CloudLiquidWaterKgPerM2(5.0, 110.0), CloudLiquidWaterKgPerM2(70.0, 110.0));
+}
+
+TEST(ClimateTest, VapourDensityDecaysPoleward) {
+  const double tropics = WaterVapourDensityGPerM3(3.0, 0.0);
+  const double mid = WaterVapourDensityGPerM3(45.0, 0.0);
+  const double polar = WaterVapourDensityGPerM3(80.0, 0.0);
+  EXPECT_GT(tropics, mid);
+  EXPECT_GT(mid, polar);
+  EXPECT_GT(polar, 0.0);
+}
+
+TEST(ClimateTest, SurfaceTemperatureRange) {
+  EXPECT_NEAR(SurfaceTemperatureK(0.0, 0.0), 302.0, 1.0);
+  EXPECT_LT(SurfaceTemperatureK(90.0, 0.0), 260.0);
+  EXPECT_GT(SurfaceTemperatureK(90.0, 0.0), 230.0);
+}
+
+TEST(ClimateTest, IsothermFollowsP839Shape) {
+  EXPECT_NEAR(ZeroDegreeIsothermKm(0.0, 0.0), 5.0, 1e-9);
+  EXPECT_NEAR(ZeroDegreeIsothermKm(23.0, 50.0), 5.0, 1e-9);
+  EXPECT_LT(ZeroDegreeIsothermKm(60.0, 0.0), 3.5);
+  EXPECT_GE(ZeroDegreeIsothermKm(89.0, 0.0), 0.0);
+}
+
+TEST(ClimateTest, WetRefractivityTracksHumidity) {
+  EXPECT_GT(WetRefractivityNUnits(5.0, 100.0), WetRefractivityNUnits(60.0, 100.0));
+  EXPECT_GT(WetRefractivityNUnits(80.0, 0.0), 0.0);
+}
+
+TEST(AirportsTest, MajorHubsPresent) {
+  for (const char* code : {"JFK", "LHR", "HND", "SYD", "GRU", "JNB", "SIN", "DXB"}) {
+    EXPECT_NO_THROW(FindAirport(code)) << code;
+  }
+  EXPECT_THROW(FindAirport("XXX"), std::out_of_range);
+}
+
+TEST(AirportsTest, CoordinatesValid) {
+  EXPECT_GE(MajorAirports().size(), 60u);
+  for (const Airport& a : MajorAirports()) {
+    EXPECT_GE(a.latitude_deg, -90.0) << a.iata;
+    EXPECT_LE(a.latitude_deg, 90.0) << a.iata;
+    EXPECT_GE(a.longitude_deg, -180.0) << a.iata;
+    EXPECT_LE(a.longitude_deg, 180.0) << a.iata;
+    EXPECT_EQ(a.iata.size(), 3u);
+  }
+}
+
+TEST(AirportsTest, KnownCoordinatesAccurate) {
+  EXPECT_NEAR(FindAirport("LHR").latitude_deg, 51.47, 0.1);
+  EXPECT_NEAR(FindAirport("SYD").longitude_deg, 151.18, 0.2);
+}
+
+}  // namespace
+}  // namespace leosim::data

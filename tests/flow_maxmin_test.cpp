@@ -1,0 +1,181 @@
+#include "flow/maxmin.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "flow/flow_network.hpp"
+
+namespace leosim::flow {
+namespace {
+
+TEST(FlowNetworkTest, Construction) {
+  FlowNetwork net;
+  const LinkId l0 = net.AddLink(10.0);
+  const LinkId l1 = net.AddLink(20.0);
+  const FlowId f = net.AddFlow({l0, l1});
+  EXPECT_EQ(net.NumLinks(), 2);
+  EXPECT_EQ(net.NumFlows(), 1);
+  EXPECT_DOUBLE_EQ(net.LinkCapacity(l0), 10.0);
+  EXPECT_EQ(net.FlowLinks(f), (std::vector<LinkId>{l0, l1}));
+  EXPECT_EQ(net.LinkFlows(l0), (std::vector<FlowId>{f}));
+}
+
+TEST(FlowNetworkTest, RejectsInvalid) {
+  FlowNetwork net;
+  EXPECT_THROW(net.AddLink(-1.0), std::invalid_argument);
+  EXPECT_THROW(net.AddFlow({0}), std::out_of_range);
+}
+
+TEST(MaxMinTest, SingleFlowGetsFullCapacity) {
+  FlowNetwork net;
+  const LinkId l = net.AddLink(20.0);
+  net.AddFlow({l});
+  const Allocation alloc = MaxMinFairAllocate(net);
+  EXPECT_DOUBLE_EQ(alloc.flow_rate_gbps[0], 20.0);
+  EXPECT_DOUBLE_EQ(alloc.total_gbps, 20.0);
+}
+
+TEST(MaxMinTest, EqualSharesOnSharedLink) {
+  FlowNetwork net;
+  const LinkId l = net.AddLink(30.0);
+  for (int i = 0; i < 3; ++i) {
+    net.AddFlow({l});
+  }
+  const Allocation alloc = MaxMinFairAllocate(net);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(alloc.flow_rate_gbps[static_cast<size_t>(i)], 10.0);
+  }
+}
+
+TEST(MaxMinTest, ClassicTextbookExample) {
+  // Two links: A (cap 10) and B (cap 4). Flow 1 uses A only; flow 2 uses
+  // A and B; flow 3 uses B only. Max-min: flows 2,3 get 2 each on B; flow 1
+  // then gets the remaining 8 on A.
+  FlowNetwork net;
+  const LinkId a = net.AddLink(10.0);
+  const LinkId b = net.AddLink(4.0);
+  const FlowId f1 = net.AddFlow({a});
+  const FlowId f2 = net.AddFlow({a, b});
+  const FlowId f3 = net.AddFlow({b});
+  const Allocation alloc = MaxMinFairAllocate(net);
+  EXPECT_DOUBLE_EQ(alloc.flow_rate_gbps[static_cast<size_t>(f2)], 2.0);
+  EXPECT_DOUBLE_EQ(alloc.flow_rate_gbps[static_cast<size_t>(f3)], 2.0);
+  EXPECT_DOUBLE_EQ(alloc.flow_rate_gbps[static_cast<size_t>(f1)], 8.0);
+  EXPECT_DOUBLE_EQ(alloc.total_gbps, 12.0);
+}
+
+TEST(MaxMinTest, EmptyPathFlowGetsZero) {
+  FlowNetwork net;
+  net.AddLink(10.0);
+  const FlowId f = net.AddFlow({});
+  const Allocation alloc = MaxMinFairAllocate(net);
+  EXPECT_DOUBLE_EQ(alloc.flow_rate_gbps[static_cast<size_t>(f)], 0.0);
+}
+
+TEST(MaxMinTest, ZeroCapacityLinkStarvesItsFlows) {
+  FlowNetwork net;
+  const LinkId dead = net.AddLink(0.0);
+  const LinkId live = net.AddLink(10.0);
+  const FlowId f_dead = net.AddFlow({dead, live});
+  const FlowId f_live = net.AddFlow({live});
+  const Allocation alloc = MaxMinFairAllocate(net);
+  EXPECT_DOUBLE_EQ(alloc.flow_rate_gbps[static_cast<size_t>(f_dead)], 0.0);
+  EXPECT_DOUBLE_EQ(alloc.flow_rate_gbps[static_cast<size_t>(f_live)], 10.0);
+}
+
+TEST(MaxMinTest, NoLinkOversubscribed) {
+  // Random-ish mesh; verify feasibility and max-min optimality conditions.
+  FlowNetwork net;
+  for (int i = 0; i < 10; ++i) {
+    net.AddLink(5.0 + i);
+  }
+  for (int f = 0; f < 25; ++f) {
+    std::vector<LinkId> path;
+    for (int l = 0; l < 10; ++l) {
+      if ((f * 7 + l * 3) % 4 == 0) {
+        path.push_back(l);
+      }
+    }
+    net.AddFlow(path);
+  }
+  const Allocation alloc = MaxMinFairAllocate(net);
+  const std::vector<double> util = LinkUtilisation(net, alloc);
+  for (const double u : util) {
+    EXPECT_LE(u, 1.0 + 1e-9);
+  }
+}
+
+TEST(MaxMinTest, EveryFlowHasASaturatedBottleneck) {
+  // Max-min optimality: every flow with a non-empty path must cross at
+  // least one saturated link where it is among the maximal-rate flows.
+  FlowNetwork net;
+  for (int i = 0; i < 6; ++i) {
+    net.AddLink(10.0 + 3.0 * i);
+  }
+  for (int f = 0; f < 12; ++f) {
+    std::vector<LinkId> path;
+    for (int l = 0; l < 6; ++l) {
+      if ((f + l) % 3 == 0) {
+        path.push_back(l);
+      }
+    }
+    if (path.empty()) {
+      path.push_back(f % 6);
+    }
+    net.AddFlow(path);
+  }
+  const Allocation alloc = MaxMinFairAllocate(net);
+  const std::vector<double> util = LinkUtilisation(net, alloc);
+  for (FlowId f = 0; f < net.NumFlows(); ++f) {
+    bool has_bottleneck = false;
+    for (const LinkId l : net.FlowLinks(f)) {
+      if (util[static_cast<size_t>(l)] < 1.0 - 1e-6) {
+        continue;
+      }
+      double max_rate_on_link = 0.0;
+      for (const FlowId other : net.LinkFlows(l)) {
+        max_rate_on_link =
+            std::max(max_rate_on_link, alloc.flow_rate_gbps[static_cast<size_t>(other)]);
+      }
+      if (alloc.flow_rate_gbps[static_cast<size_t>(f)] >= max_rate_on_link - 1e-9) {
+        has_bottleneck = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(has_bottleneck) << "flow " << f;
+  }
+}
+
+TEST(MaxMinTest, TotalMatchesSumOfRates) {
+  FlowNetwork net;
+  const LinkId l = net.AddLink(7.0);
+  net.AddFlow({l});
+  net.AddFlow({l});
+  const Allocation alloc = MaxMinFairAllocate(net);
+  const double sum = std::accumulate(alloc.flow_rate_gbps.begin(),
+                                     alloc.flow_rate_gbps.end(), 0.0);
+  EXPECT_DOUBLE_EQ(alloc.total_gbps, sum);
+}
+
+// Property sweep: N flows share one link of capacity C -> each gets C/N.
+class FairShareTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FairShareTest, EqualSplit) {
+  const int n = GetParam();
+  FlowNetwork net;
+  const LinkId l = net.AddLink(100.0);
+  for (int i = 0; i < n; ++i) {
+    net.AddFlow({l});
+  }
+  const Allocation alloc = MaxMinFairAllocate(net);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(alloc.flow_rate_gbps[static_cast<size_t>(i)], 100.0 / n, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FlowCounts, FairShareTest,
+                         ::testing::Values(1, 2, 3, 7, 16, 100));
+
+}  // namespace
+}  // namespace leosim::flow

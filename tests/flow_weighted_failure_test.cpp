@@ -1,0 +1,147 @@
+// Tests for the weighted max-min allocator and the satellite-failure study.
+#include <gtest/gtest.h>
+
+#include "core/failure_study.hpp"
+#include "flow/maxmin.hpp"
+
+namespace leosim {
+namespace {
+
+TEST(WeightedMaxMinTest, UnitWeightsMatchUnweighted) {
+  flow::FlowNetwork net;
+  const flow::LinkId a = net.AddLink(10.0);
+  const flow::LinkId b = net.AddLink(4.0);
+  net.AddFlow({a});
+  net.AddFlow({a, b});
+  net.AddFlow({b});
+  const auto plain = flow::MaxMinFairAllocate(net);
+  const auto weighted =
+      flow::MaxMinFairAllocateWeighted(net, {1.0, 1.0, 1.0});
+  ASSERT_EQ(plain.flow_rate_gbps.size(), weighted.flow_rate_gbps.size());
+  for (size_t i = 0; i < plain.flow_rate_gbps.size(); ++i) {
+    EXPECT_NEAR(plain.flow_rate_gbps[i], weighted.flow_rate_gbps[i], 1e-9);
+  }
+}
+
+TEST(WeightedMaxMinTest, WeightsSplitSharedLinkProportionally) {
+  flow::FlowNetwork net;
+  const flow::LinkId l = net.AddLink(30.0);
+  net.AddFlow({l});
+  net.AddFlow({l});
+  const auto alloc = flow::MaxMinFairAllocateWeighted(net, {2.0, 1.0});
+  EXPECT_NEAR(alloc.flow_rate_gbps[0], 20.0, 1e-9);
+  EXPECT_NEAR(alloc.flow_rate_gbps[1], 10.0, 1e-9);
+  EXPECT_NEAR(alloc.total_gbps, 30.0, 1e-9);
+}
+
+TEST(WeightedMaxMinTest, WeightedBottleneckCascades) {
+  // Link A (12) carries f1(w=1) and f2(w=2); link B (30) carries f2 and
+  // f3(w=1). A bottlenecks first: shares 12/3=4 -> f1=4, f2=8. B then has
+  // 22 left for f3 alone -> 22.
+  flow::FlowNetwork net;
+  const flow::LinkId a = net.AddLink(12.0);
+  const flow::LinkId b = net.AddLink(30.0);
+  net.AddFlow({a});
+  net.AddFlow({a, b});
+  net.AddFlow({b});
+  const auto alloc = flow::MaxMinFairAllocateWeighted(net, {1.0, 2.0, 1.0});
+  EXPECT_NEAR(alloc.flow_rate_gbps[0], 4.0, 1e-9);
+  EXPECT_NEAR(alloc.flow_rate_gbps[1], 8.0, 1e-9);
+  EXPECT_NEAR(alloc.flow_rate_gbps[2], 22.0, 1e-9);
+}
+
+TEST(WeightedMaxMinTest, NoLinkOversubscribedUnderWeights) {
+  flow::FlowNetwork net;
+  for (int i = 0; i < 8; ++i) {
+    net.AddLink(10.0 + i);
+  }
+  std::vector<double> weights;
+  for (int f = 0; f < 20; ++f) {
+    std::vector<flow::LinkId> path;
+    for (int l = 0; l < 8; ++l) {
+      if ((f + 2 * l) % 3 == 0) {
+        path.push_back(l);
+      }
+    }
+    if (path.empty()) {
+      path.push_back(f % 8);
+    }
+    net.AddFlow(path);
+    weights.push_back(0.5 + (f % 4));
+  }
+  const auto alloc = flow::MaxMinFairAllocateWeighted(net, weights);
+  for (const double u : flow::LinkUtilisation(net, alloc)) {
+    EXPECT_LE(u, 1.0 + 1e-9);
+  }
+}
+
+TEST(WeightedMaxMinTest, RejectsBadWeights) {
+  flow::FlowNetwork net;
+  const flow::LinkId l = net.AddLink(10.0);
+  net.AddFlow({l});
+  EXPECT_THROW(flow::MaxMinFairAllocateWeighted(net, {}), std::invalid_argument);
+  EXPECT_THROW(flow::MaxMinFairAllocateWeighted(net, {0.0}), std::invalid_argument);
+  EXPECT_THROW(flow::MaxMinFairAllocateWeighted(net, {-1.0}), std::invalid_argument);
+}
+
+class WeightRatioTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(WeightRatioTest, TwoFlowRatioPreserved) {
+  const double ratio = GetParam();
+  flow::FlowNetwork net;
+  const flow::LinkId l = net.AddLink(100.0);
+  net.AddFlow({l});
+  net.AddFlow({l});
+  const auto alloc = flow::MaxMinFairAllocateWeighted(net, {ratio, 1.0});
+  EXPECT_NEAR(alloc.flow_rate_gbps[0] / alloc.flow_rate_gbps[1], ratio, 1e-9);
+  EXPECT_NEAR(alloc.total_gbps, 100.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, WeightRatioTest,
+                         ::testing::Values(0.25, 0.5, 1.0, 2.0, 5.0, 10.0));
+
+TEST(FailureStudyTest, DegradationIsMonotoneAndHybridRobust) {
+  core::NetworkOptions options;
+  options.mode = core::ConnectivityMode::kHybrid;
+  options.relay_spacing_deg = 4.0;
+  const core::NetworkModel hybrid(core::Scenario::Starlink(), options,
+                                  data::AnchorCities());
+  core::TrafficMatrixOptions matrix;
+  matrix.num_pairs = 25;
+  const auto pairs = core::SampleCityPairs(data::AnchorCities(), matrix);
+
+  core::FailureStudyOptions fail;
+  fail.failure_fractions = {0.0, 0.1, 0.3};
+  fail.trials = 2;
+  const auto rows = core::RunFailureStudy(hybrid, pairs, fail);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_NEAR(rows[0].reachable_fraction, 1.0, 1e-9);
+  // Reachability can only degrade as more satellites fail.
+  EXPECT_GE(rows[0].reachable_fraction, rows[1].reachable_fraction - 1e-9);
+  EXPECT_GE(rows[1].reachable_fraction, rows[2].reachable_fraction - 1e-9);
+  // Hybrid should still reach most pairs at 10% failures.
+  EXPECT_GT(rows[1].reachable_fraction, 0.9);
+  // Surviving paths get longer (or stay equal) as the mesh thins.
+  EXPECT_GE(rows[1].mean_rtt_ms, rows[0].mean_rtt_ms - 1e-9);
+}
+
+TEST(FailureStudyTest, GraphRestoredBetweenFractions) {
+  core::NetworkOptions options;
+  options.mode = core::ConnectivityMode::kHybrid;
+  options.relay_spacing_deg = 4.0;
+  const core::NetworkModel hybrid(core::Scenario::Starlink(), options,
+                                  data::AnchorCities());
+  core::TrafficMatrixOptions matrix;
+  matrix.num_pairs = 10;
+  const auto pairs = core::SampleCityPairs(data::AnchorCities(), matrix);
+
+  // Running 30% failures first must not poison a later 0% run.
+  core::FailureStudyOptions fail;
+  fail.failure_fractions = {0.3, 0.0};
+  fail.trials = 1;
+  const auto rows = core::RunFailureStudy(hybrid, pairs, fail);
+  EXPECT_NEAR(rows[1].reachable_fraction, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace leosim

@@ -1,0 +1,109 @@
+#include "geo/vec3.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "geo/angles.hpp"
+
+namespace leosim::geo {
+namespace {
+
+TEST(Vec3Test, DefaultIsZero) {
+  const Vec3 v;
+  EXPECT_EQ(v, Vec3(0.0, 0.0, 0.0));
+  EXPECT_EQ(v.Norm(), 0.0);
+}
+
+TEST(Vec3Test, Arithmetic) {
+  const Vec3 a{1.0, 2.0, 3.0};
+  const Vec3 b{4.0, -5.0, 6.0};
+  EXPECT_EQ(a + b, Vec3(5.0, -3.0, 9.0));
+  EXPECT_EQ(a - b, Vec3(-3.0, 7.0, -3.0));
+  EXPECT_EQ(a * 2.0, Vec3(2.0, 4.0, 6.0));
+  EXPECT_EQ(2.0 * a, Vec3(2.0, 4.0, 6.0));
+  EXPECT_EQ(a / 2.0, Vec3(0.5, 1.0, 1.5));
+  EXPECT_EQ(-a, Vec3(-1.0, -2.0, -3.0));
+}
+
+TEST(Vec3Test, CompoundAssignment) {
+  Vec3 v{1.0, 1.0, 1.0};
+  v += {1.0, 2.0, 3.0};
+  EXPECT_EQ(v, Vec3(2.0, 3.0, 4.0));
+  v -= {1.0, 1.0, 1.0};
+  EXPECT_EQ(v, Vec3(1.0, 2.0, 3.0));
+  v *= 3.0;
+  EXPECT_EQ(v, Vec3(3.0, 6.0, 9.0));
+}
+
+TEST(Vec3Test, DotAndCross) {
+  const Vec3 x{1.0, 0.0, 0.0};
+  const Vec3 y{0.0, 1.0, 0.0};
+  const Vec3 z{0.0, 0.0, 1.0};
+  EXPECT_EQ(x.Dot(y), 0.0);
+  EXPECT_EQ(x.Cross(y), z);
+  EXPECT_EQ(y.Cross(z), x);
+  EXPECT_EQ(z.Cross(x), y);
+  EXPECT_EQ(x.Cross(x), Vec3(0.0, 0.0, 0.0));
+}
+
+TEST(Vec3Test, NormAndDistance) {
+  const Vec3 v{3.0, 4.0, 0.0};
+  EXPECT_DOUBLE_EQ(v.Norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.NormSquared(), 25.0);
+  EXPECT_DOUBLE_EQ(v.DistanceTo({0.0, 0.0, 0.0}), 5.0);
+  EXPECT_DOUBLE_EQ(v.DistanceTo({3.0, 4.0, 12.0}), 12.0);
+}
+
+TEST(Vec3Test, NormalizedUnitLength) {
+  const Vec3 v{1.0, 2.0, -2.0};
+  EXPECT_NEAR(v.Normalized().Norm(), 1.0, 1e-12);
+}
+
+TEST(Vec3Test, NormalizedZeroVectorStaysZero) {
+  const Vec3 zero;
+  EXPECT_EQ(zero.Normalized(), zero);
+}
+
+TEST(Vec3Test, AngleBetweenOrthogonal) {
+  EXPECT_NEAR(AngleBetweenRad({1, 0, 0}, {0, 1, 0}), kPi / 2.0, 1e-12);
+}
+
+TEST(Vec3Test, AngleBetweenParallelAndAntiparallel) {
+  EXPECT_NEAR(AngleBetweenRad({2, 0, 0}, {5, 0, 0}), 0.0, 1e-12);
+  // acos loses precision near -1; 1e-7 rad is ~0.02 micro-degree.
+  EXPECT_NEAR(AngleBetweenRad({1, 1, 0}, {-2, -2, 0}), kPi, 1e-7);
+}
+
+TEST(Vec3Test, AngleBetweenWithZeroVectorIsZero) {
+  EXPECT_EQ(AngleBetweenRad({0, 0, 0}, {1, 0, 0}), 0.0);
+}
+
+TEST(Vec3Test, StreamOutput) {
+  std::ostringstream os;
+  os << Vec3{1.0, 2.5, -3.0};
+  EXPECT_EQ(os.str(), "(1, 2.5, -3)");
+}
+
+// Property sweep: |a x b|^2 + (a.b)^2 == |a|^2 |b|^2 (Lagrange identity).
+class Vec3PropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(Vec3PropertyTest, LagrangeIdentity) {
+  const int seed = GetParam();
+  // Simple deterministic pseudo-random components.
+  auto component = [seed](int i) {
+    return std::sin(seed * 12.9898 + i * 78.233) * 43758.5453 -
+           std::floor(std::sin(seed * 12.9898 + i * 78.233) * 43758.5453);
+  };
+  const Vec3 a{component(0) * 10 - 5, component(1) * 10 - 5, component(2) * 10 - 5};
+  const Vec3 b{component(3) * 10 - 5, component(4) * 10 - 5, component(5) * 10 - 5};
+  const double lhs = a.Cross(b).NormSquared() + a.Dot(b) * a.Dot(b);
+  const double rhs = a.NormSquared() * b.NormSquared();
+  EXPECT_NEAR(lhs, rhs, 1e-9 * std::max(1.0, rhs));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomVectors, Vec3PropertyTest, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace leosim::geo

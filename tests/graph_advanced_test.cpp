@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/disjoint_paths.hpp"
+#include "graph/suurballe.hpp"
+#include "graph/yen.hpp"
+
+namespace leosim::graph {
+namespace {
+
+// Diamond with a direct edge: three src->dst paths of costs 2, 3, 10.
+Graph Diamond() {
+  Graph g(4);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(1, 3, 1.0);
+  g.AddEdge(0, 2, 1.5);
+  g.AddEdge(2, 3, 1.5);
+  g.AddEdge(0, 3, 10.0);
+  return g;
+}
+
+// The classic trap graph where greedy disjoint paths are suboptimal:
+// the shortest path uses the "bridge" that both disjoint paths need.
+//
+//      1 --- 2
+//     /|     |.
+//    0 |     | 5
+//     .|     |/
+//      3 --- 4
+//
+// Edges: 0-1(1) 0-3(1) 1-2(1) 3-4(1) 2-5(1) 4-5(1) 1-4(0.5) 3-2(4).
+// Shortest path 0-1-4-5 (2.5) uses 1-4; the remaining graph still admits
+// 0-3-2-5 (6) for a greedy total of 8.5. The optimal pair is
+// 0-1-2-5 (3) + 0-3-4-5 (3), total 6.
+Graph Trap() {
+  Graph g(6);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(0, 3, 1.0);
+  g.AddEdge(1, 2, 1.0);
+  g.AddEdge(3, 4, 1.0);
+  g.AddEdge(2, 5, 1.0);
+  g.AddEdge(4, 5, 1.0);
+  g.AddEdge(1, 4, 0.5);
+  g.AddEdge(3, 2, 4.0);
+  return g;
+}
+
+TEST(YenTest, EnumeratesDiamondPathsInOrder) {
+  Graph g = Diamond();
+  const std::vector<Path> paths = KShortestPaths(g, 0, 3, 5);
+  ASSERT_EQ(paths.size(), 3u);
+  EXPECT_DOUBLE_EQ(paths[0].distance, 2.0);
+  EXPECT_DOUBLE_EQ(paths[1].distance, 3.0);
+  EXPECT_DOUBLE_EQ(paths[2].distance, 10.0);
+}
+
+TEST(YenTest, PathsAreDistinctAndLoopless) {
+  Graph g = Trap();
+  const std::vector<Path> paths = KShortestPaths(g, 0, 5, 8);
+  std::set<std::vector<NodeId>> seen;
+  for (const Path& p : paths) {
+    EXPECT_TRUE(seen.insert(p.nodes).second);
+    std::set<NodeId> unique_nodes(p.nodes.begin(), p.nodes.end());
+    EXPECT_EQ(unique_nodes.size(), p.nodes.size()) << "loop in path";
+    EXPECT_EQ(p.nodes.front(), 0);
+    EXPECT_EQ(p.nodes.back(), 5);
+  }
+  // Distances are non-decreasing.
+  for (size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_GE(paths[i].distance, paths[i - 1].distance - 1e-12);
+  }
+}
+
+TEST(YenTest, FindsMoreThanDisjointPaths) {
+  // The diamond has 3 edge-disjoint paths but Yen can also weave through
+  // shared edges on bigger graphs; on a 4-cycle with chord there are more
+  // simple paths than disjoint ones.
+  Graph g(4);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(1, 2, 1.0);
+  g.AddEdge(2, 3, 1.0);
+  g.AddEdge(0, 2, 1.0);
+  g.AddEdge(1, 3, 1.0);
+  const std::vector<Path> yen = KShortestPaths(g, 0, 3, 10);
+  Graph g2 = g;
+  const std::vector<Path> greedy = KEdgeDisjointShortestPaths(g2, 0, 3, 10);
+  EXPECT_GT(yen.size(), greedy.size());
+}
+
+TEST(YenTest, RestoresGraphState) {
+  Graph g = Trap();
+  (void)KShortestPaths(g, 0, 5, 6);
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    EXPECT_TRUE(g.IsEnabled(e));
+  }
+}
+
+TEST(YenTest, KZeroOrUnreachable) {
+  Graph g = Diamond();
+  EXPECT_TRUE(KShortestPaths(g, 0, 3, 0).empty());
+  Graph g2(3);
+  g2.AddEdge(0, 1, 1.0);
+  EXPECT_TRUE(KShortestPaths(g2, 0, 2, 3).empty());
+}
+
+TEST(SuurballeTest, DiamondOptimalPair) {
+  const Graph g = Diamond();
+  const auto pair = ShortestDisjointPair(g, 0, 3);
+  ASSERT_TRUE(pair.has_value());
+  EXPECT_DOUBLE_EQ(pair->first.distance, 2.0);
+  EXPECT_DOUBLE_EQ(pair->second.distance, 3.0);
+  EXPECT_DOUBLE_EQ(pair->TotalDistance(), 5.0);
+}
+
+TEST(SuurballeTest, BeatsGreedyOnTrapGraph) {
+  Graph g = Trap();
+  const std::vector<Path> greedy = KEdgeDisjointShortestPaths(g, 0, 5, 2);
+  ASSERT_EQ(greedy.size(), 2u);
+  const double greedy_total = greedy[0].distance + greedy[1].distance;
+  EXPECT_DOUBLE_EQ(greedy_total, 8.5);
+
+  const auto optimal = ShortestDisjointPair(g, 0, 5);
+  ASSERT_TRUE(optimal.has_value());
+  EXPECT_DOUBLE_EQ(optimal->TotalDistance(), 6.0);
+  EXPECT_LT(optimal->TotalDistance(), greedy_total);
+}
+
+TEST(SuurballeTest, PairIsEdgeDisjoint) {
+  const Graph g = Trap();
+  const auto pair = ShortestDisjointPair(g, 0, 5);
+  ASSERT_TRUE(pair.has_value());
+  std::set<EdgeId> used(pair->first.edges.begin(), pair->first.edges.end());
+  for (const EdgeId e : pair->second.edges) {
+    EXPECT_FALSE(used.contains(e)) << "edge " << e << " reused";
+  }
+}
+
+TEST(SuurballeTest, PathsAreValidWalks) {
+  const Graph g = Trap();
+  const auto pair = ShortestDisjointPair(g, 0, 5);
+  ASSERT_TRUE(pair.has_value());
+  for (const Path* p : {&pair->first, &pair->second}) {
+    EXPECT_EQ(p->nodes.front(), 0);
+    EXPECT_EQ(p->nodes.back(), 5);
+    ASSERT_EQ(p->edges.size() + 1, p->nodes.size());
+    double total = 0.0;
+    for (size_t i = 0; i < p->edges.size(); ++i) {
+      const EdgeRecord& rec = g.Edge(p->edges[i]);
+      const std::set<NodeId> endpoints{rec.a, rec.b};
+      EXPECT_TRUE(endpoints.contains(p->nodes[i]));
+      EXPECT_TRUE(endpoints.contains(p->nodes[i + 1]));
+      total += rec.weight;
+    }
+    EXPECT_NEAR(total, p->distance, 1e-9);
+  }
+}
+
+TEST(SuurballeTest, NoSecondPathReturnsNullopt) {
+  Graph g(3);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(1, 2, 1.0);
+  EXPECT_FALSE(ShortestDisjointPair(g, 0, 2).has_value());
+  EXPECT_FALSE(ShortestDisjointPair(g, 0, 0).has_value());
+}
+
+TEST(SuurballeTest, NeverWorseThanGreedyOnRings) {
+  for (const int n : {4, 6, 10, 16}) {
+    Graph g(n);
+    for (int i = 0; i < n; ++i) {
+      g.AddEdge(i, (i + 1) % n, 1.0 + (i % 3) * 0.25);
+    }
+    const auto optimal = ShortestDisjointPair(g, 0, n / 2);
+    Graph g2 = g;
+    const auto greedy = KEdgeDisjointShortestPaths(g2, 0, n / 2, 2);
+    ASSERT_TRUE(optimal.has_value());
+    ASSERT_EQ(greedy.size(), 2u);
+    EXPECT_LE(optimal->TotalDistance(),
+              greedy[0].distance + greedy[1].distance + 1e-9);
+  }
+}
+
+// Property: on random graphs, Suurballe's pair total <= greedy pair total,
+// and both paths are edge-disjoint valid walks.
+class SuurballeRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SuurballeRandomTest, OptimalAndDisjointOnRandomGraphs) {
+  const int seed = GetParam();
+  uint64_t x = 0x9e3779b9u * static_cast<uint64_t>(seed + 1);
+  auto next = [&x] {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return x;
+  };
+  const int n = 12;
+  Graph g(n);
+  // Ring (guarantees 2-edge-connectivity) plus random chords.
+  for (int i = 0; i < n; ++i) {
+    g.AddEdge(i, (i + 1) % n, 1.0 + static_cast<double>(next() % 100) / 25.0);
+  }
+  for (int c = 0; c < 8; ++c) {
+    const int a = static_cast<int>(next() % n);
+    const int b = static_cast<int>(next() % n);
+    if (a != b) {
+      g.AddEdge(a, b, 1.0 + static_cast<double>(next() % 100) / 25.0);
+    }
+  }
+  const auto optimal = ShortestDisjointPair(g, 0, n / 2);
+  ASSERT_TRUE(optimal.has_value());
+  std::set<EdgeId> used(optimal->first.edges.begin(), optimal->first.edges.end());
+  for (const EdgeId e : optimal->second.edges) {
+    EXPECT_FALSE(used.contains(e));
+  }
+  Graph g2 = g;
+  const auto greedy = KEdgeDisjointShortestPaths(g2, 0, n / 2, 2);
+  ASSERT_GE(greedy.size(), 1u);
+  if (greedy.size() == 2) {
+    EXPECT_LE(optimal->TotalDistance(),
+              greedy[0].distance + greedy[1].distance + 1e-9);
+  }
+  // else: greedy's first choice blocked every second path — the trap case
+  // where only the optimal algorithm still finds a disjoint pair.
+  // The optimal pair's first path can't beat the true shortest path.
+  EXPECT_GE(optimal->first.distance, greedy[0].distance - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, SuurballeRandomTest, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace leosim::graph

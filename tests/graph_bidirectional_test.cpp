@@ -1,0 +1,122 @@
+#include "graph/bidirectional.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/network_builder.hpp"
+#include "data/cities.hpp"
+
+namespace leosim::graph {
+namespace {
+
+TEST(BidirectionalTest, TrivialCases) {
+  Graph g(3);
+  g.AddEdge(0, 1, 2.0);
+  const auto same = BidirectionalShortestPath(g, 1, 1);
+  ASSERT_TRUE(same.has_value());
+  EXPECT_DOUBLE_EQ(same->distance, 0.0);
+  EXPECT_FALSE(BidirectionalShortestPath(g, 0, 2).has_value());
+}
+
+TEST(BidirectionalTest, MatchesDijkstraOnDiamond) {
+  Graph g(4);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(1, 3, 1.0);
+  g.AddEdge(0, 2, 1.5);
+  g.AddEdge(2, 3, 1.5);
+  g.AddEdge(0, 3, 10.0);
+  const auto bi = BidirectionalShortestPath(g, 0, 3);
+  const auto uni = ShortestPath(g, 0, 3);
+  ASSERT_TRUE(bi.has_value());
+  ASSERT_TRUE(uni.has_value());
+  EXPECT_DOUBLE_EQ(bi->distance, uni->distance);
+  EXPECT_EQ(bi->nodes, uni->nodes);
+}
+
+TEST(BidirectionalTest, PathIsValidWalk) {
+  Graph g(6);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(1, 2, 2.0);
+  g.AddEdge(2, 5, 1.0);
+  g.AddEdge(0, 3, 1.5);
+  g.AddEdge(3, 4, 1.5);
+  g.AddEdge(4, 5, 1.5);
+  const auto path = BidirectionalShortestPath(g, 0, 5);
+  ASSERT_TRUE(path.has_value());
+  ASSERT_EQ(path->edges.size() + 1, path->nodes.size());
+  double total = 0.0;
+  for (size_t i = 0; i < path->edges.size(); ++i) {
+    const EdgeRecord& rec = g.Edge(path->edges[i]);
+    EXPECT_TRUE((rec.a == path->nodes[i] && rec.b == path->nodes[i + 1]) ||
+                (rec.b == path->nodes[i] && rec.a == path->nodes[i + 1]));
+    total += rec.weight;
+  }
+  EXPECT_NEAR(total, path->distance, 1e-12);
+}
+
+TEST(BidirectionalTest, RespectsDisabledEdges) {
+  Graph g(3);
+  const EdgeId direct = g.AddEdge(0, 2, 1.0);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(1, 2, 1.0);
+  g.SetEnabled(direct, false);
+  const auto path = BidirectionalShortestPath(g, 0, 2);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_DOUBLE_EQ(path->distance, 2.0);
+}
+
+// Property: equivalence with unidirectional Dijkstra on random graphs.
+class BidirectionalRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BidirectionalRandomTest, DistanceMatchesDijkstra) {
+  const int seed = GetParam();
+  uint64_t x = 0x243f6a88ULL * static_cast<uint64_t>(seed + 1);
+  auto next = [&x] {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return x;
+  };
+  const int n = 40;
+  Graph g(n);
+  for (int e = 0; e < 120; ++e) {
+    const int a = static_cast<int>(next() % n);
+    const int b = static_cast<int>(next() % n);
+    if (a != b) {
+      g.AddEdge(a, b, 0.5 + static_cast<double>(next() % 1000) / 100.0);
+    }
+  }
+  for (int q = 0; q < 20; ++q) {
+    const NodeId src = static_cast<NodeId>(next() % n);
+    const NodeId dst = static_cast<NodeId>(next() % n);
+    const auto bi = BidirectionalShortestPath(g, src, dst);
+    const auto uni = ShortestPath(g, src, dst);
+    ASSERT_EQ(bi.has_value(), uni.has_value()) << src << "->" << dst;
+    if (bi.has_value()) {
+      EXPECT_NEAR(bi->distance, uni->distance, 1e-9) << src << "->" << dst;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, BidirectionalRandomTest,
+                         ::testing::Range(0, 15));
+
+TEST(BidirectionalTest, MatchesDijkstraOnSnapshotGraph) {
+  core::NetworkOptions options;
+  options.mode = core::ConnectivityMode::kHybrid;
+  options.relay_spacing_deg = 4.0;
+  const core::NetworkModel model(core::Scenario::Starlink(), options,
+                                 data::AnchorCities());
+  const auto snap = model.BuildSnapshot(0.0);
+  for (const auto& [a, b] : {std::pair{0, 50}, {3, 200}, {10, 111}, {7, 320}}) {
+    const auto bi = BidirectionalShortestPath(snap.graph, snap.CityNode(a),
+                                              snap.CityNode(b));
+    const auto uni = ShortestPath(snap.graph, snap.CityNode(a), snap.CityNode(b));
+    ASSERT_EQ(bi.has_value(), uni.has_value());
+    if (bi.has_value()) {
+      EXPECT_NEAR(bi->distance, uni->distance, 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace leosim::graph

@@ -1,0 +1,184 @@
+#include "orbit/walker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "geo/coordinates.hpp"
+#include "orbit/elements.hpp"
+#include "orbit/isl_grid.hpp"
+
+namespace leosim::orbit {
+namespace {
+
+TEST(WalkerTest, StarlinkShellCounts) {
+  const Constellation c = Constellation::WalkerDelta(StarlinkShell1());
+  EXPECT_EQ(c.NumShells(), 1);
+  EXPECT_EQ(c.NumSatellites(), 72 * 22);
+}
+
+TEST(WalkerTest, KuiperShellCounts) {
+  const Constellation c = Constellation::WalkerDelta(KuiperShell1());
+  EXPECT_EQ(c.NumSatellites(), 34 * 34);
+  EXPECT_DOUBLE_EQ(c.shell(0).altitude_km, 630.0);
+  EXPECT_DOUBLE_EQ(c.shell(0).inclination_deg, 51.9);
+}
+
+TEST(WalkerTest, RejectsEmptyShell) {
+  OrbitalShell bad = StarlinkShell1();
+  bad.num_planes = 0;
+  Constellation c;
+  EXPECT_THROW(c.AddShell(bad), std::invalid_argument);
+}
+
+TEST(WalkerTest, IdIndexRoundTripAllSatellites) {
+  const Constellation c = Constellation::WalkerDelta(StarlinkShell1());
+  for (int i = 0; i < c.NumSatellites(); ++i) {
+    const SatelliteId id = c.IdOf(i);
+    EXPECT_EQ(c.IndexOf(id), i);
+    EXPECT_EQ(id.shell, 0);
+    EXPECT_GE(id.plane, 0);
+    EXPECT_LT(id.plane, 72);
+    EXPECT_GE(id.slot, 0);
+    EXPECT_LT(id.slot, 22);
+  }
+}
+
+TEST(WalkerTest, IdOfOutOfRangeThrows) {
+  const Constellation c = Constellation::WalkerDelta(StarlinkShell1());
+  EXPECT_THROW(c.IdOf(-1), std::out_of_range);
+  EXPECT_THROW(c.IdOf(c.NumSatellites()), std::out_of_range);
+  EXPECT_THROW(c.IndexOf({0, 72, 0}), std::out_of_range);
+}
+
+TEST(WalkerTest, AllSatellitesAtShellAltitude) {
+  const Constellation c = Constellation::WalkerDelta(StarlinkShell1());
+  const std::vector<geo::Vec3> positions = c.PositionsEcef(1234.0);
+  for (const geo::Vec3& p : positions) {
+    EXPECT_NEAR(p.Norm(), OrbitRadiusKm(550.0), 1e-6);
+  }
+}
+
+TEST(WalkerTest, NoSatelliteCollisions) {
+  // Walker delta planes cross each other, so some satellites do pass within
+  // a few kilometres — but none may actually collide (sub-km separation).
+  const Constellation c = Constellation::WalkerDelta(StarlinkShell1());
+  const std::vector<geo::Vec3> p = c.PositionsEcef(0.0);
+  int colliding_pairs = 0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    for (size_t j = i + 1; j < p.size(); ++j) {
+      if (p[i].DistanceTo(p[j]) < 1.0) ++colliding_pairs;
+    }
+  }
+  EXPECT_EQ(colliding_pairs, 0);
+}
+
+TEST(WalkerTest, RaanUniformSpread) {
+  const Constellation c = Constellation::WalkerDelta(StarlinkShell1());
+  const double raan_p0 = c.orbit(c.IndexOf({0, 0, 0})).elements().raan_deg;
+  const double raan_p1 = c.orbit(c.IndexOf({0, 1, 0})).elements().raan_deg;
+  EXPECT_NEAR(raan_p1 - raan_p0, 360.0 / 72.0, 1e-12);
+}
+
+TEST(WalkerTest, MultiShellIndexing) {
+  Constellation c;
+  const int start0 = c.AddShell(StarlinkShell1());
+  const int start1 = c.AddShell(PolarShell());
+  EXPECT_EQ(start0, 0);
+  EXPECT_EQ(start1, 72 * 22);
+  EXPECT_EQ(c.NumSatellites(), 72 * 22 + 24 * 24);
+  EXPECT_EQ(c.IdOf(start1).shell, 1);
+  EXPECT_EQ(c.IdOf(start1 - 1).shell, 0);
+  EXPECT_EQ(c.IndexOf({1, 0, 0}), start1);
+}
+
+TEST(IslGridTest, StarlinkPlusGridEdgeCount) {
+  const Constellation c = Constellation::WalkerDelta(StarlinkShell1());
+  const std::vector<IslEdge> edges = PlusGridIsls(c, 0);
+  EXPECT_EQ(edges.size(), static_cast<size_t>(2 * 72 * 22));
+}
+
+TEST(IslGridTest, EverySatelliteHasDegreeFour) {
+  const Constellation c = Constellation::WalkerDelta(KuiperShell1());
+  const std::vector<IslEdge> edges = PlusGridIsls(c, 0);
+  std::vector<int> degree(c.NumSatellites(), 0);
+  for (const IslEdge& e : edges) {
+    ++degree[e.first];
+    ++degree[e.second];
+  }
+  for (int d : degree) {
+    EXPECT_EQ(d, 4);  // paper §2: each satellite forms 4 ISLs
+  }
+}
+
+TEST(IslGridTest, NoDuplicateOrSelfEdges) {
+  const Constellation c = Constellation::WalkerDelta(StarlinkShell1());
+  const std::vector<IslEdge> edges = PlusGridIsls(c, 0);
+  std::set<IslEdge> unique_edges(edges.begin(), edges.end());
+  EXPECT_EQ(unique_edges.size(), edges.size());
+  for (const IslEdge& e : edges) {
+    EXPECT_LT(e.first, e.second);
+  }
+}
+
+TEST(IslGridTest, IslsStayAboveAtmosphere) {
+  // Paper §2: ISLs must not dip below ~80 km altitude; +Grid links easily
+  // satisfy this for Starlink.
+  const Constellation c = Constellation::WalkerDelta(StarlinkShell1());
+  const std::vector<IslEdge> edges = PlusGridIsls(c, 0);
+  const double min_alt = MinIslAltitudeKm(c, edges, {0.0, 900.0, 2700.0});
+  EXPECT_GT(min_alt, 80.0);
+}
+
+TEST(IslGridTest, IslLengthsReasonable) {
+  const Constellation c = Constellation::WalkerDelta(StarlinkShell1());
+  const std::vector<IslEdge> edges = PlusGridIsls(c, 0);
+  const double max_len = MaxIslLengthKm(c, edges, {0.0, 1800.0});
+  // Intra-plane spacing for 22 sats at 550 km is ~1970 km; cross-plane links
+  // are shorter. Demonstrated ISL ranges reach 4900 km (paper §2).
+  EXPECT_GT(max_len, 1000.0);
+  EXPECT_LT(max_len, 4900.0);
+}
+
+TEST(IslGridTest, AllShellsCombinesEdges) {
+  Constellation c;
+  c.AddShell(StarlinkShell1());
+  c.AddShell(PolarShell());
+  const std::vector<IslEdge> all = PlusGridIslsAllShells(c);
+  EXPECT_EQ(all.size(), static_cast<size_t>(2 * 72 * 22 + 2 * 24 * 24));
+  // No edge may cross shells.
+  for (const IslEdge& e : all) {
+    EXPECT_EQ(c.IdOf(e.first).shell, c.IdOf(e.second).shell);
+  }
+}
+
+// Property: +Grid is vertex-transitive in counts for arbitrary shell sizes.
+class IslGridParamTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(IslGridParamTest, DegreeFourForAllShellShapes) {
+  const auto [planes, slots] = GetParam();
+  OrbitalShell shell;
+  shell.num_planes = planes;
+  shell.sats_per_plane = slots;
+  shell.altitude_km = 550.0;
+  shell.inclination_deg = 53.0;
+  const Constellation c = Constellation::WalkerDelta(shell);
+  const std::vector<IslEdge> edges = PlusGridIsls(c, 0);
+  std::vector<int> degree(c.NumSatellites(), 0);
+  for (const IslEdge& e : edges) {
+    ++degree[e.first];
+    ++degree[e.second];
+  }
+  for (int d : degree) {
+    EXPECT_EQ(d, 4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ShellShapes, IslGridParamTest,
+                         ::testing::Values(std::tuple{4, 4}, std::tuple{3, 8},
+                                           std::tuple{8, 3}, std::tuple{10, 10},
+                                           std::tuple{34, 34}));
+
+}  // namespace
+}  // namespace leosim::orbit
