@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_beams"
+  "../bench/ablation_beams.pdb"
+  "CMakeFiles/ablation_beams.dir/ablation_beams.cpp.o"
+  "CMakeFiles/ablation_beams.dir/ablation_beams.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_beams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_kaband"
+  "../bench/ablation_kaband.pdb"
+  "CMakeFiles/ablation_kaband.dir/ablation_kaband.cpp.o"
+  "CMakeFiles/ablation_kaband.dir/ablation_kaband.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_kaband.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

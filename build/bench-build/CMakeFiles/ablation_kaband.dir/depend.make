@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_kaband.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_updown"
+  "../bench/ablation_updown.pdb"
+  "CMakeFiles/ablation_updown.dir/ablation_updown.cpp.o"
+  "CMakeFiles/ablation_updown.dir/ablation_updown.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_updown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

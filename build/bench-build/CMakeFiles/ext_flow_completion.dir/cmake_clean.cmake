@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_flow_completion"
+  "../bench/ext_flow_completion.pdb"
+  "CMakeFiles/ext_flow_completion.dir/ext_flow_completion.cpp.o"
+  "CMakeFiles/ext_flow_completion.dir/ext_flow_completion.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_flow_completion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

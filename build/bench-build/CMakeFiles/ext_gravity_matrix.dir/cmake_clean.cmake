@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_gravity_matrix"
+  "../bench/ext_gravity_matrix.pdb"
+  "CMakeFiles/ext_gravity_matrix.dir/ext_gravity_matrix.cpp.o"
+  "CMakeFiles/ext_gravity_matrix.dir/ext_gravity_matrix.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_gravity_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_gso_network"
+  "../bench/ext_gso_network.pdb"
+  "CMakeFiles/ext_gso_network.dir/ext_gso_network.cpp.o"
+  "CMakeFiles/ext_gso_network.dir/ext_gso_network.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_gso_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_handover"
+  "../bench/ext_handover.pdb"
+  "CMakeFiles/ext_handover.dir/ext_handover.cpp.o"
+  "CMakeFiles/ext_handover.dir/ext_handover.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_handover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_route_churn"
+  "../bench/ext_route_churn.pdb"
+  "CMakeFiles/ext_route_churn.dir/ext_route_churn.cpp.o"
+  "CMakeFiles/ext_route_churn.dir/ext_route_churn.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_route_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

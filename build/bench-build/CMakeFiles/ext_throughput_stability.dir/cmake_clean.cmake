@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_throughput_stability"
+  "../bench/ext_throughput_stability.pdb"
+  "CMakeFiles/ext_throughput_stability.dir/ext_throughput_stability.cpp.o"
+  "CMakeFiles/ext_throughput_stability.dir/ext_throughput_stability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_throughput_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_weather_outage"
+  "../bench/ext_weather_outage.pdb"
+  "CMakeFiles/ext_weather_outage.dir/ext_weather_outage.cpp.o"
+  "CMakeFiles/ext_weather_outage.dir/ext_weather_outage.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_weather_outage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

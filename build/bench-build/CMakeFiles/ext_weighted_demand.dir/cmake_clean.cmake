@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_weighted_demand"
+  "../bench/ext_weighted_demand.pdb"
+  "CMakeFiles/ext_weighted_demand.dir/ext_weighted_demand.cpp.o"
+  "CMakeFiles/ext_weighted_demand.dir/ext_weighted_demand.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_weighted_demand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

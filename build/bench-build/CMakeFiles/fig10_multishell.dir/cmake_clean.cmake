@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_multishell"
+  "../bench/fig10_multishell.pdb"
+  "CMakeFiles/fig10_multishell.dir/fig10_multishell.cpp.o"
+  "CMakeFiles/fig10_multishell.dir/fig10_multishell.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_multishell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

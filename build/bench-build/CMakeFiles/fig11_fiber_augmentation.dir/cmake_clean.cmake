@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_fiber_augmentation"
+  "../bench/fig11_fiber_augmentation.pdb"
+  "CMakeFiles/fig11_fiber_augmentation.dir/fig11_fiber_augmentation.cpp.o"
+  "CMakeFiles/fig11_fiber_augmentation.dir/fig11_fiber_augmentation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_fiber_augmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_path_churn"
+  "../bench/fig3_path_churn.pdb"
+  "CMakeFiles/fig3_path_churn.dir/fig3_path_churn.cpp.o"
+  "CMakeFiles/fig3_path_churn.dir/fig3_path_churn.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_path_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_throughput"
+  "../bench/fig4_throughput.pdb"
+  "CMakeFiles/fig4_throughput.dir/fig4_throughput.cpp.o"
+  "CMakeFiles/fig4_throughput.dir/fig4_throughput.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_isl_capacity"
+  "../bench/fig5_isl_capacity.pdb"
+  "CMakeFiles/fig5_isl_capacity.dir/fig5_isl_capacity.cpp.o"
+  "CMakeFiles/fig5_isl_capacity.dir/fig5_isl_capacity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_isl_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_isl_capacity.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_attenuation"
+  "../bench/fig6_attenuation.pdb"
+  "CMakeFiles/fig6_attenuation.dir/fig6_attenuation.cpp.o"
+  "CMakeFiles/fig6_attenuation.dir/fig6_attenuation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_attenuation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_delhi_sydney"
+  "../bench/fig8_delhi_sydney.pdb"
+  "CMakeFiles/fig8_delhi_sydney.dir/fig8_delhi_sydney.cpp.o"
+  "CMakeFiles/fig8_delhi_sydney.dir/fig8_delhi_sydney.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_delhi_sydney.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_gso_arc"
+  "../bench/fig9_gso_arc.pdb"
+  "CMakeFiles/fig9_gso_arc.dir/fig9_gso_arc.cpp.o"
+  "CMakeFiles/fig9_gso_arc.dir/fig9_gso_arc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_gso_arc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/city_pair_explorer.dir/city_pair_explorer.cpp.o"
+  "CMakeFiles/city_pair_explorer.dir/city_pair_explorer.cpp.o.d"
+  "city_pair_explorer"
+  "city_pair_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/city_pair_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

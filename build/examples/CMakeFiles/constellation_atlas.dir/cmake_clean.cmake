@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constellation_atlas.dir/constellation_atlas.cpp.o"
+  "CMakeFiles/constellation_atlas.dir/constellation_atlas.cpp.o.d"
+  "constellation_atlas"
+  "constellation_atlas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constellation_atlas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leosim_cli.dir/leosim_cli.cpp.o"
+  "CMakeFiles/leosim_cli.dir/leosim_cli.cpp.o.d"
+  "leosim_cli"
+  "leosim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leosim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

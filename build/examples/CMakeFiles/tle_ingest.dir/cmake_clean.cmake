@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tle_ingest.dir/tle_ingest.cpp.o"
+  "CMakeFiles/tle_ingest.dir/tle_ingest.cpp.o.d"
+  "tle_ingest"
+  "tle_ingest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tle_ingest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

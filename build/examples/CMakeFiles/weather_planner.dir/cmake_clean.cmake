@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weather_planner.dir/weather_planner.cpp.o"
+  "CMakeFiles/weather_planner.dir/weather_planner.cpp.o.d"
+  "weather_planner"
+  "weather_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weather_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,81 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/air/flight.cpp" "src/CMakeFiles/leosim.dir/air/flight.cpp.o" "gcc" "src/CMakeFiles/leosim.dir/air/flight.cpp.o.d"
+  "/root/repo/src/air/schedule.cpp" "src/CMakeFiles/leosim.dir/air/schedule.cpp.o" "gcc" "src/CMakeFiles/leosim.dir/air/schedule.cpp.o.d"
+  "/root/repo/src/air/traffic_model.cpp" "src/CMakeFiles/leosim.dir/air/traffic_model.cpp.o" "gcc" "src/CMakeFiles/leosim.dir/air/traffic_model.cpp.o.d"
+  "/root/repo/src/core/attenuation_study.cpp" "src/CMakeFiles/leosim.dir/core/attenuation_study.cpp.o" "gcc" "src/CMakeFiles/leosim.dir/core/attenuation_study.cpp.o.d"
+  "/root/repo/src/core/churn_study.cpp" "src/CMakeFiles/leosim.dir/core/churn_study.cpp.o" "gcc" "src/CMakeFiles/leosim.dir/core/churn_study.cpp.o.d"
+  "/root/repo/src/core/coverage_study.cpp" "src/CMakeFiles/leosim.dir/core/coverage_study.cpp.o" "gcc" "src/CMakeFiles/leosim.dir/core/coverage_study.cpp.o.d"
+  "/root/repo/src/core/export.cpp" "src/CMakeFiles/leosim.dir/core/export.cpp.o" "gcc" "src/CMakeFiles/leosim.dir/core/export.cpp.o.d"
+  "/root/repo/src/core/failure_study.cpp" "src/CMakeFiles/leosim.dir/core/failure_study.cpp.o" "gcc" "src/CMakeFiles/leosim.dir/core/failure_study.cpp.o.d"
+  "/root/repo/src/core/fiber_study.cpp" "src/CMakeFiles/leosim.dir/core/fiber_study.cpp.o" "gcc" "src/CMakeFiles/leosim.dir/core/fiber_study.cpp.o.d"
+  "/root/repo/src/core/gso_network_study.cpp" "src/CMakeFiles/leosim.dir/core/gso_network_study.cpp.o" "gcc" "src/CMakeFiles/leosim.dir/core/gso_network_study.cpp.o.d"
+  "/root/repo/src/core/gso_study.cpp" "src/CMakeFiles/leosim.dir/core/gso_study.cpp.o" "gcc" "src/CMakeFiles/leosim.dir/core/gso_study.cpp.o.d"
+  "/root/repo/src/core/handover_study.cpp" "src/CMakeFiles/leosim.dir/core/handover_study.cpp.o" "gcc" "src/CMakeFiles/leosim.dir/core/handover_study.cpp.o.d"
+  "/root/repo/src/core/latency_study.cpp" "src/CMakeFiles/leosim.dir/core/latency_study.cpp.o" "gcc" "src/CMakeFiles/leosim.dir/core/latency_study.cpp.o.d"
+  "/root/repo/src/core/multishell_study.cpp" "src/CMakeFiles/leosim.dir/core/multishell_study.cpp.o" "gcc" "src/CMakeFiles/leosim.dir/core/multishell_study.cpp.o.d"
+  "/root/repo/src/core/network_builder.cpp" "src/CMakeFiles/leosim.dir/core/network_builder.cpp.o" "gcc" "src/CMakeFiles/leosim.dir/core/network_builder.cpp.o.d"
+  "/root/repo/src/core/outage_study.cpp" "src/CMakeFiles/leosim.dir/core/outage_study.cpp.o" "gcc" "src/CMakeFiles/leosim.dir/core/outage_study.cpp.o.d"
+  "/root/repo/src/core/parallel.cpp" "src/CMakeFiles/leosim.dir/core/parallel.cpp.o" "gcc" "src/CMakeFiles/leosim.dir/core/parallel.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/leosim.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/leosim.dir/core/report.cpp.o.d"
+  "/root/repo/src/core/routing.cpp" "src/CMakeFiles/leosim.dir/core/routing.cpp.o" "gcc" "src/CMakeFiles/leosim.dir/core/routing.cpp.o.d"
+  "/root/repo/src/core/scenario.cpp" "src/CMakeFiles/leosim.dir/core/scenario.cpp.o" "gcc" "src/CMakeFiles/leosim.dir/core/scenario.cpp.o.d"
+  "/root/repo/src/core/stats.cpp" "src/CMakeFiles/leosim.dir/core/stats.cpp.o" "gcc" "src/CMakeFiles/leosim.dir/core/stats.cpp.o.d"
+  "/root/repo/src/core/throughput_study.cpp" "src/CMakeFiles/leosim.dir/core/throughput_study.cpp.o" "gcc" "src/CMakeFiles/leosim.dir/core/throughput_study.cpp.o.d"
+  "/root/repo/src/core/traffic_matrix.cpp" "src/CMakeFiles/leosim.dir/core/traffic_matrix.cpp.o" "gcc" "src/CMakeFiles/leosim.dir/core/traffic_matrix.cpp.o.d"
+  "/root/repo/src/data/airports.cpp" "src/CMakeFiles/leosim.dir/data/airports.cpp.o" "gcc" "src/CMakeFiles/leosim.dir/data/airports.cpp.o.d"
+  "/root/repo/src/data/cities.cpp" "src/CMakeFiles/leosim.dir/data/cities.cpp.o" "gcc" "src/CMakeFiles/leosim.dir/data/cities.cpp.o.d"
+  "/root/repo/src/data/city_catalog.cpp" "src/CMakeFiles/leosim.dir/data/city_catalog.cpp.o" "gcc" "src/CMakeFiles/leosim.dir/data/city_catalog.cpp.o.d"
+  "/root/repo/src/data/climate.cpp" "src/CMakeFiles/leosim.dir/data/climate.cpp.o" "gcc" "src/CMakeFiles/leosim.dir/data/climate.cpp.o.d"
+  "/root/repo/src/data/land_polygons.cpp" "src/CMakeFiles/leosim.dir/data/land_polygons.cpp.o" "gcc" "src/CMakeFiles/leosim.dir/data/land_polygons.cpp.o.d"
+  "/root/repo/src/data/landmask.cpp" "src/CMakeFiles/leosim.dir/data/landmask.cpp.o" "gcc" "src/CMakeFiles/leosim.dir/data/landmask.cpp.o.d"
+  "/root/repo/src/flow/flow_network.cpp" "src/CMakeFiles/leosim.dir/flow/flow_network.cpp.o" "gcc" "src/CMakeFiles/leosim.dir/flow/flow_network.cpp.o.d"
+  "/root/repo/src/flow/maxmin.cpp" "src/CMakeFiles/leosim.dir/flow/maxmin.cpp.o" "gcc" "src/CMakeFiles/leosim.dir/flow/maxmin.cpp.o.d"
+  "/root/repo/src/flow/temporal.cpp" "src/CMakeFiles/leosim.dir/flow/temporal.cpp.o" "gcc" "src/CMakeFiles/leosim.dir/flow/temporal.cpp.o.d"
+  "/root/repo/src/geo/angles.cpp" "src/CMakeFiles/leosim.dir/geo/angles.cpp.o" "gcc" "src/CMakeFiles/leosim.dir/geo/angles.cpp.o.d"
+  "/root/repo/src/geo/coordinates.cpp" "src/CMakeFiles/leosim.dir/geo/coordinates.cpp.o" "gcc" "src/CMakeFiles/leosim.dir/geo/coordinates.cpp.o.d"
+  "/root/repo/src/geo/geodesic.cpp" "src/CMakeFiles/leosim.dir/geo/geodesic.cpp.o" "gcc" "src/CMakeFiles/leosim.dir/geo/geodesic.cpp.o.d"
+  "/root/repo/src/geo/vec3.cpp" "src/CMakeFiles/leosim.dir/geo/vec3.cpp.o" "gcc" "src/CMakeFiles/leosim.dir/geo/vec3.cpp.o.d"
+  "/root/repo/src/graph/bidirectional.cpp" "src/CMakeFiles/leosim.dir/graph/bidirectional.cpp.o" "gcc" "src/CMakeFiles/leosim.dir/graph/bidirectional.cpp.o.d"
+  "/root/repo/src/graph/components.cpp" "src/CMakeFiles/leosim.dir/graph/components.cpp.o" "gcc" "src/CMakeFiles/leosim.dir/graph/components.cpp.o.d"
+  "/root/repo/src/graph/dijkstra.cpp" "src/CMakeFiles/leosim.dir/graph/dijkstra.cpp.o" "gcc" "src/CMakeFiles/leosim.dir/graph/dijkstra.cpp.o.d"
+  "/root/repo/src/graph/disjoint_paths.cpp" "src/CMakeFiles/leosim.dir/graph/disjoint_paths.cpp.o" "gcc" "src/CMakeFiles/leosim.dir/graph/disjoint_paths.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/leosim.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/leosim.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/suurballe.cpp" "src/CMakeFiles/leosim.dir/graph/suurballe.cpp.o" "gcc" "src/CMakeFiles/leosim.dir/graph/suurballe.cpp.o.d"
+  "/root/repo/src/graph/yen.cpp" "src/CMakeFiles/leosim.dir/graph/yen.cpp.o" "gcc" "src/CMakeFiles/leosim.dir/graph/yen.cpp.o.d"
+  "/root/repo/src/ground/fiber.cpp" "src/CMakeFiles/leosim.dir/ground/fiber.cpp.o" "gcc" "src/CMakeFiles/leosim.dir/ground/fiber.cpp.o.d"
+  "/root/repo/src/ground/relay_grid.cpp" "src/CMakeFiles/leosim.dir/ground/relay_grid.cpp.o" "gcc" "src/CMakeFiles/leosim.dir/ground/relay_grid.cpp.o.d"
+  "/root/repo/src/ground/station.cpp" "src/CMakeFiles/leosim.dir/ground/station.cpp.o" "gcc" "src/CMakeFiles/leosim.dir/ground/station.cpp.o.d"
+  "/root/repo/src/itur/p618.cpp" "src/CMakeFiles/leosim.dir/itur/p618.cpp.o" "gcc" "src/CMakeFiles/leosim.dir/itur/p618.cpp.o.d"
+  "/root/repo/src/itur/p676.cpp" "src/CMakeFiles/leosim.dir/itur/p676.cpp.o" "gcc" "src/CMakeFiles/leosim.dir/itur/p676.cpp.o.d"
+  "/root/repo/src/itur/p838.cpp" "src/CMakeFiles/leosim.dir/itur/p838.cpp.o" "gcc" "src/CMakeFiles/leosim.dir/itur/p838.cpp.o.d"
+  "/root/repo/src/itur/p839.cpp" "src/CMakeFiles/leosim.dir/itur/p839.cpp.o" "gcc" "src/CMakeFiles/leosim.dir/itur/p839.cpp.o.d"
+  "/root/repo/src/itur/p840.cpp" "src/CMakeFiles/leosim.dir/itur/p840.cpp.o" "gcc" "src/CMakeFiles/leosim.dir/itur/p840.cpp.o.d"
+  "/root/repo/src/itur/scintillation.cpp" "src/CMakeFiles/leosim.dir/itur/scintillation.cpp.o" "gcc" "src/CMakeFiles/leosim.dir/itur/scintillation.cpp.o.d"
+  "/root/repo/src/itur/slant_path.cpp" "src/CMakeFiles/leosim.dir/itur/slant_path.cpp.o" "gcc" "src/CMakeFiles/leosim.dir/itur/slant_path.cpp.o.d"
+  "/root/repo/src/link/gso.cpp" "src/CMakeFiles/leosim.dir/link/gso.cpp.o" "gcc" "src/CMakeFiles/leosim.dir/link/gso.cpp.o.d"
+  "/root/repo/src/link/radio.cpp" "src/CMakeFiles/leosim.dir/link/radio.cpp.o" "gcc" "src/CMakeFiles/leosim.dir/link/radio.cpp.o.d"
+  "/root/repo/src/link/visibility.cpp" "src/CMakeFiles/leosim.dir/link/visibility.cpp.o" "gcc" "src/CMakeFiles/leosim.dir/link/visibility.cpp.o.d"
+  "/root/repo/src/orbit/elements.cpp" "src/CMakeFiles/leosim.dir/orbit/elements.cpp.o" "gcc" "src/CMakeFiles/leosim.dir/orbit/elements.cpp.o.d"
+  "/root/repo/src/orbit/gmst.cpp" "src/CMakeFiles/leosim.dir/orbit/gmst.cpp.o" "gcc" "src/CMakeFiles/leosim.dir/orbit/gmst.cpp.o.d"
+  "/root/repo/src/orbit/ground_track.cpp" "src/CMakeFiles/leosim.dir/orbit/ground_track.cpp.o" "gcc" "src/CMakeFiles/leosim.dir/orbit/ground_track.cpp.o.d"
+  "/root/repo/src/orbit/isl_grid.cpp" "src/CMakeFiles/leosim.dir/orbit/isl_grid.cpp.o" "gcc" "src/CMakeFiles/leosim.dir/orbit/isl_grid.cpp.o.d"
+  "/root/repo/src/orbit/propagator.cpp" "src/CMakeFiles/leosim.dir/orbit/propagator.cpp.o" "gcc" "src/CMakeFiles/leosim.dir/orbit/propagator.cpp.o.d"
+  "/root/repo/src/orbit/tle.cpp" "src/CMakeFiles/leosim.dir/orbit/tle.cpp.o" "gcc" "src/CMakeFiles/leosim.dir/orbit/tle.cpp.o.d"
+  "/root/repo/src/orbit/walker.cpp" "src/CMakeFiles/leosim.dir/orbit/walker.cpp.o" "gcc" "src/CMakeFiles/leosim.dir/orbit/walker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

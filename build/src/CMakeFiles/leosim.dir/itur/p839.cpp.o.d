@@ -1,0 +1,2 @@
+src/CMakeFiles/leosim.dir/itur/p839.cpp.o: /root/repo/src/itur/p839.cpp \
+ /usr/include/stdc-predef.h /root/repo/src/itur/p839.hpp

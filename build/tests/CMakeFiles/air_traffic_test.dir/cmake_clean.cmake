@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/air_traffic_test.dir/air_traffic_test.cpp.o"
+  "CMakeFiles/air_traffic_test.dir/air_traffic_test.cpp.o.d"
+  "air_traffic_test"
+  "air_traffic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/air_traffic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_export_test.dir/core_export_test.cpp.o"
+  "CMakeFiles/core_export_test.dir/core_export_test.cpp.o.d"
+  "core_export_test"
+  "core_export_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_export_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_studies_test.dir/core_studies_test.cpp.o"
+  "CMakeFiles/core_studies_test.dir/core_studies_test.cpp.o.d"
+  "core_studies_test"
+  "core_studies_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_studies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_climate_test.dir/data_climate_test.cpp.o"
+  "CMakeFiles/data_climate_test.dir/data_climate_test.cpp.o.d"
+  "data_climate_test"
+  "data_climate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_climate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

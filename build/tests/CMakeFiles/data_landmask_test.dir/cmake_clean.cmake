@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_landmask_test.dir/data_landmask_test.cpp.o"
+  "CMakeFiles/data_landmask_test.dir/data_landmask_test.cpp.o.d"
+  "data_landmask_test"
+  "data_landmask_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_landmask_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_maxmin_test.dir/flow_maxmin_test.cpp.o"
+  "CMakeFiles/flow_maxmin_test.dir/flow_maxmin_test.cpp.o.d"
+  "flow_maxmin_test"
+  "flow_maxmin_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_maxmin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_temporal_test.dir/flow_temporal_test.cpp.o"
+  "CMakeFiles/flow_temporal_test.dir/flow_temporal_test.cpp.o.d"
+  "flow_temporal_test"
+  "flow_temporal_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_temporal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_weighted_failure_test.dir/flow_weighted_failure_test.cpp.o"
+  "CMakeFiles/flow_weighted_failure_test.dir/flow_weighted_failure_test.cpp.o.d"
+  "flow_weighted_failure_test"
+  "flow_weighted_failure_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_weighted_failure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_coordinates_test.dir/geo_coordinates_test.cpp.o"
+  "CMakeFiles/geo_coordinates_test.dir/geo_coordinates_test.cpp.o.d"
+  "geo_coordinates_test"
+  "geo_coordinates_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_coordinates_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

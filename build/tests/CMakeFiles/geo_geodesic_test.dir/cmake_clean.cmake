@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_geodesic_test.dir/geo_geodesic_test.cpp.o"
+  "CMakeFiles/geo_geodesic_test.dir/geo_geodesic_test.cpp.o.d"
+  "geo_geodesic_test"
+  "geo_geodesic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_geodesic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_vec3_test.dir/geo_vec3_test.cpp.o"
+  "CMakeFiles/geo_vec3_test.dir/geo_vec3_test.cpp.o.d"
+  "geo_vec3_test"
+  "geo_vec3_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_vec3_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_advanced_test.dir/graph_advanced_test.cpp.o"
+  "CMakeFiles/graph_advanced_test.dir/graph_advanced_test.cpp.o.d"
+  "graph_advanced_test"
+  "graph_advanced_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_advanced_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_bidirectional_test.dir/graph_bidirectional_test.cpp.o"
+  "CMakeFiles/graph_bidirectional_test.dir/graph_bidirectional_test.cpp.o.d"
+  "graph_bidirectional_test"
+  "graph_bidirectional_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_bidirectional_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itur_test.dir/itur_test.cpp.o"
+  "CMakeFiles/itur_test.dir/itur_test.cpp.o.d"
+  "itur_test"
+  "itur_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itur_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orbit_ground_track_test.dir/orbit_ground_track_test.cpp.o"
+  "CMakeFiles/orbit_ground_track_test.dir/orbit_ground_track_test.cpp.o.d"
+  "orbit_ground_track_test"
+  "orbit_ground_track_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orbit_ground_track_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orbit_propagator_test.dir/orbit_propagator_test.cpp.o"
+  "CMakeFiles/orbit_propagator_test.dir/orbit_propagator_test.cpp.o.d"
+  "orbit_propagator_test"
+  "orbit_propagator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orbit_propagator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orbit_tle_test.dir/orbit_tle_test.cpp.o"
+  "CMakeFiles/orbit_tle_test.dir/orbit_tle_test.cpp.o.d"
+  "orbit_tle_test"
+  "orbit_tle_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orbit_tle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orbit_walker_test.dir/orbit_walker_test.cpp.o"
+  "CMakeFiles/orbit_walker_test.dir/orbit_walker_test.cpp.o.d"
+  "orbit_walker_test"
+  "orbit_walker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orbit_walker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
