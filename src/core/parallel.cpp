@@ -28,13 +28,14 @@ void ParallelFor(int count, const std::function<void(int)>& body, int num_thread
   }
 
   std::atomic<int> next{0};
+  std::atomic<bool> stop{false};
   std::exception_ptr first_error;
   std::mutex error_mutex;
   std::vector<std::thread> threads;
   threads.reserve(static_cast<size_t>(workers));
   for (int w = 0; w < workers; ++w) {
     threads.emplace_back([&] {
-      for (;;) {
+      while (!stop.load(std::memory_order_relaxed)) {
         const int i = next.fetch_add(1);
         if (i >= count) {
           return;
@@ -46,6 +47,7 @@ void ParallelFor(int count, const std::function<void(int)>& body, int num_thread
           if (!first_error) {
             first_error = std::current_exception();
           }
+          stop.store(true, std::memory_order_relaxed);
         }
       }
     });

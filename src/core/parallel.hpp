@@ -8,8 +8,18 @@
 namespace leosim::core {
 
 // Invokes body(0..count-1) across up to `num_threads` worker threads
-// (0 = hardware concurrency). The body must be thread-safe for distinct
-// indices. Exceptions thrown by the body propagate to the caller.
+// (0 = hardware concurrency; values above `count` are clamped to
+// `count`). The body must be thread-safe for distinct indices.
+// `count <= 0` is a no-op.
+//
+// Exception semantics: the first exception captured from any worker is
+// rethrown to the caller after all workers have joined. Capturing an
+// exception also raises a shared stop flag, so iterations that have not
+// yet been claimed by a worker are skipped rather than drained —
+// callers must not assume every index ran when ParallelFor throws.
+// Iterations already in flight on other workers still run to
+// completion; at most one additional iteration per worker may start
+// after the failure due to the relaxed flag check.
 void ParallelFor(int count, const std::function<void(int)>& body,
                  int num_threads = 0);
 

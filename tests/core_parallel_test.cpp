@@ -3,7 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <mutex>
 #include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace leosim::core {
@@ -51,6 +56,74 @@ TEST(ParallelForTest, SumMatchesAcrossThreadCounts) {
     std::atomic<long> sum{0};
     ParallelFor(n, [&](int i) { sum.fetch_add(i); }, threads);
     EXPECT_EQ(sum.load(), static_cast<long>(n) * (n - 1) / 2) << threads;
+  }
+}
+
+TEST(ParallelForTest, RethrowsTheFirstCapturedError) {
+  // Index 0 throws immediately; index 15 throws only after a generous
+  // delay, so the error captured first is deterministic in practice.
+  try {
+    ParallelFor(
+        16,
+        [](int i) {
+          if (i == 0) {
+            throw std::runtime_error("first");
+          }
+          if (i == 15) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(200));
+            throw std::runtime_error("late");
+          }
+        },
+        2);
+    FAIL() << "expected ParallelFor to throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+}
+
+TEST(ParallelForTest, ExceptionSkipsUnclaimedIterations) {
+  // After the failure is captured the stop flag keeps workers from
+  // draining the remaining ~50M iterations, so far fewer than `count`
+  // bodies run. (Timing-dependent in the exact number, but the gap is
+  // enormous: a handful versus fifty million.)
+  const int count = 50'000'000;
+  std::atomic<long> executed{0};
+  EXPECT_THROW(ParallelFor(
+                   count,
+                   [&](int i) {
+                     executed.fetch_add(1);
+                     if (i == 0) {
+                       throw std::runtime_error("boom");
+                     }
+                   },
+                   4),
+               std::runtime_error);
+  EXPECT_LT(executed.load(), static_cast<long>(count));
+}
+
+TEST(ParallelForTest, ClampsThreadCountToWorkItemCount) {
+  // Requesting far more threads than work items must not spawn idle
+  // workers: at most `count` distinct threads may execute bodies.
+  const int count = 4;
+  std::mutex mutex;
+  std::set<std::thread::id> thread_ids;
+  ParallelFor(
+      count,
+      [&](int) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        const std::lock_guard<std::mutex> lock(mutex);
+        thread_ids.insert(std::this_thread::get_id());
+      },
+      64);
+  EXPECT_LE(thread_ids.size(), static_cast<size_t>(count));
+  EXPECT_GE(thread_ids.size(), 1u);
+}
+
+TEST(ParallelForTest, ZeroCountIsNoOpForAnyThreadCount) {
+  for (const int threads : {0, 1, 8, 64}) {
+    std::atomic<int> calls{0};
+    ParallelFor(0, [&](int) { calls.fetch_add(1); }, threads);
+    EXPECT_EQ(calls.load(), 0) << threads;
   }
 }
 

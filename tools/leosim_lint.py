@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""Project-specific lints for leosim that clang-tidy cannot express.
+
+Rules (each maps to a repo invariant documented in DESIGN.md):
+
+  nondeterminism   No rand()/srand()/time(nullptr) in src/ or bench/.
+                   Studies must be reproducible run-to-run; use a
+                   seeded std::mt19937[_64] and pass epochs explicitly.
+  geo-float       No `float` in src/geo. Geodesy is double-only; a
+                   single-precision intermediate silently costs ~1 m of
+                   position accuracy at Earth scale.
+  pragma-once     Every header carries `#pragma once`.
+  using-namespace No `using namespace` at namespace scope in headers.
+  self-contained  Every header compiles standalone (g++ -fsyntax-only),
+                   i.e. includes everything it uses.
+
+Exit status 0 when the tree is clean, 1 otherwise. Run via tools/lint.sh
+or directly: python3 tools/leosim_lint.py [--no-compile].
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import re
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+NONDETERMINISM_RE = re.compile(
+    r"\b(?:std::)?(?:rand|srand)\s*\(|\b(?:std::)?time\s*\(\s*(?:nullptr|NULL|0)\s*\)"
+)
+FLOAT_RE = re.compile(r"\bfloat\b")
+USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\b")
+PRAGMA_ONCE_RE = re.compile(r"^\s*#\s*pragma\s+once\s*$")
+
+
+def tracked_files(patterns: list[str]) -> list[Path]:
+    out = subprocess.run(
+        ["git", "ls-files", "--", *patterns],
+        cwd=REPO_ROOT, capture_output=True, text=True, check=True,
+    ).stdout
+    return [REPO_ROOT / line for line in out.splitlines() if line]
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving line structure
+    so reported line numbers stay accurate."""
+    result: list[str] = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif c == "/" and nxt == "*":
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n and text[i + 1] == "/"):
+                if text[i] == "\n":
+                    result.append("\n")
+                i += 1
+            i += 2
+        elif c in "\"'":
+            quote = c
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    i += 1
+                elif text[i] == "\n":
+                    result.append("\n")
+                i += 1
+            i += 1
+        else:
+            result.append(c)
+            i += 1
+    return "".join(result)
+
+
+def grep_lint(findings: list[str]) -> None:
+    sources = tracked_files(["src/*.cpp", "src/*.hpp", "bench/*.cpp", "bench/*.hpp"])
+    headers = tracked_files(["src/*.hpp", "bench/*.hpp", "tests/*.hpp", "examples/*.hpp"])
+
+    for path in sources:
+        rel = path.relative_to(REPO_ROOT)
+        code = strip_comments_and_strings(path.read_text())
+        for lineno, line in enumerate(code.splitlines(), start=1):
+            if NONDETERMINISM_RE.search(line):
+                findings.append(
+                    f"{rel}:{lineno}: [nondeterminism] rand()/srand()/time(nullptr) "
+                    "forbidden in studies; use a seeded std::mt19937"
+                )
+            if str(rel).startswith("src/geo/") and FLOAT_RE.search(line):
+                findings.append(
+                    f"{rel}:{lineno}: [geo-float] `float` forbidden in src/geo "
+                    "(geodesy is double-only)"
+                )
+
+    for path in headers:
+        rel = path.relative_to(REPO_ROOT)
+        raw = path.read_text()
+        if not any(PRAGMA_ONCE_RE.match(line) for line in raw.splitlines()):
+            findings.append(f"{rel}:1: [pragma-once] header missing `#pragma once`")
+        code = strip_comments_and_strings(raw)
+        for lineno, line in enumerate(code.splitlines(), start=1):
+            if USING_NAMESPACE_RE.match(line):
+                findings.append(
+                    f"{rel}:{lineno}: [using-namespace] `using namespace` forbidden "
+                    "at namespace scope in headers"
+                )
+
+
+def check_self_contained(path: Path, compiler: str) -> str | None:
+    rel = path.relative_to(REPO_ROOT)
+    if str(rel).startswith("src/"):
+        include_name = str(rel.relative_to("src"))
+    else:
+        include_name = rel.name
+    proc = subprocess.run(
+        [compiler, "-std=c++20", "-fsyntax-only",
+         "-I", str(REPO_ROOT / "src"), "-I", str(REPO_ROOT / "bench"),
+         "-x", "c++", "-"],
+        input=f'#include "{include_name}"\n',
+        capture_output=True, text=True, cwd=REPO_ROOT,
+    )
+    if proc.returncode != 0:
+        first_err = next(
+            (l for l in proc.stderr.splitlines() if "error:" in l), proc.stderr.strip()
+        )
+        return f"{rel}:1: [self-contained] header does not compile standalone: {first_err}"
+    return None
+
+
+def compile_lint(findings: list[str]) -> None:
+    compiler = shutil.which("g++") or shutil.which("c++") or shutil.which("clang++")
+    if compiler is None:
+        print("[leosim_lint] no C++ compiler found -- skipping self-contained check")
+        return
+    headers = tracked_files(["src/*.hpp", "bench/*.hpp", "tests/*.hpp", "examples/*.hpp"])
+    with concurrent.futures.ThreadPoolExecutor() as pool:
+        for result in pool.map(lambda p: check_self_contained(p, compiler), headers):
+            if result is not None:
+                findings.append(result)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--no-compile", action="store_true",
+                        help="skip the (slower) header self-containment check")
+    args = parser.parse_args()
+
+    findings: list[str] = []
+    grep_lint(findings)
+    if not args.no_compile:
+        compile_lint(findings)
+
+    for finding in sorted(findings):
+        print(finding)
+    if findings:
+        print(f"[leosim_lint] {len(findings)} finding(s)")
+        return 1
+    print("[leosim_lint] clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

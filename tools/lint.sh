@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Static-analysis runner for leosim: clang-tidy (if installed) plus the
+# project's custom lint. Exits non-zero on any finding.
+#
+# Usage:
+#   tools/lint.sh [BUILD_DIR]
+#
+# BUILD_DIR must contain compile_commands.json (generated automatically
+# by the root CMakeLists via CMAKE_EXPORT_COMPILE_COMMANDS). Defaults to
+# ./build. clang-tidy is optional: when the binary is absent the step is
+# skipped with a notice so the custom lint still gates the tree on
+# machines (and CI runners) without LLVM installed.
+
+set -u -o pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+status=0
+
+cd "${repo_root}"
+
+# ---------------------------------------------------------------- clang-tidy
+clang_tidy_bin=""
+for candidate in clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 \
+                 clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+  if command -v "${candidate}" >/dev/null 2>&1; then
+    clang_tidy_bin="${candidate}"
+    break
+  fi
+done
+
+if [[ -z "${clang_tidy_bin}" ]]; then
+  echo "[lint] clang-tidy not found on PATH -- skipping clang-tidy step"
+elif [[ ! -f "${build_dir}/compile_commands.json" ]]; then
+  echo "[lint] ${build_dir}/compile_commands.json missing -- configure with" >&2
+  echo "[lint]   cmake -B ${build_dir} -S . (CMAKE_EXPORT_COMPILE_COMMANDS is on by default)" >&2
+  status=1
+else
+  echo "[lint] running ${clang_tidy_bin} over src/ tests/ bench/ examples/"
+  mapfile -t tidy_sources < <(git ls-files 'src/*.cpp' 'tests/*.cpp' 'bench/*.cpp' 'examples/*.cpp')
+  jobs="$(nproc 2>/dev/null || echo 4)"
+  if ! printf '%s\n' "${tidy_sources[@]}" \
+      | xargs -P "${jobs}" -n 8 "${clang_tidy_bin}" -p "${build_dir}" --quiet; then
+    echo "[lint] clang-tidy reported findings" >&2
+    status=1
+  fi
+fi
+
+# ---------------------------------------------------------------- custom lint
+echo "[lint] running tools/leosim_lint.py"
+if ! python3 "${repo_root}/tools/leosim_lint.py"; then
+  status=1
+fi
+
+if [[ "${status}" -eq 0 ]]; then
+  echo "[lint] OK"
+fi
+exit "${status}"
