@@ -14,11 +14,14 @@
 // EXPERIMENTS.md for the mapping.
 #pragma once
 
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/latency_study.hpp"
@@ -118,6 +121,111 @@ inline std::vector<core::CityPair> MakePairs(const BenchConfig& config,
   options.seed = config.seed;
   return core::SampleCityPairs(cities, options);
 }
+
+// --- Timed micro/pipeline benchmarks with a machine-readable record ----
+//
+// BenchSuite is the shared harness behind bench_pipeline and micro_core:
+// each benchmark runs `reps` repetitions of a timed block (each block
+// performing `iters_per_rep` operations) and records the MEDIAN ns/op, so
+// one-off scheduler hiccups do not skew the perf trajectory tracked in
+// git. The emitted JSON schema (BENCH_pipeline.json, BENCH_micro.json):
+//
+//   {
+//     "suite": "<name>",
+//     "config": { "<key>": "<value>", ... },
+//     "results": [
+//       { "name": "<bench>", "reps": N, "iters_per_rep": M,
+//         "median_ns_per_op": X, "min_ns_per_op": Y, "ops_per_sec": Z },
+//       ...
+//     ]
+//   }
+struct BenchResult {
+  std::string name;
+  int reps{0};
+  int64_t iters_per_rep{0};
+  double median_ns_per_op{0.0};
+  double min_ns_per_op{0.0};
+  double ops_per_sec{0.0};
+};
+
+class BenchSuite {
+ public:
+  explicit BenchSuite(std::string name) : name_(std::move(name)) {}
+
+  void AddConfig(const std::string& key, const std::string& value) {
+    config_.emplace_back(key, value);
+  }
+
+  // Runs `fn` (a block of `iters_per_rep` operations) `reps` times and
+  // records the median per-operation latency. Prints a human-readable row
+  // as it goes so the binary is useful interactively too.
+  template <typename Fn>
+  void Run(const std::string& bench_name, int reps, int64_t iters_per_rep, Fn&& fn) {
+    std::vector<double> ns_per_op(static_cast<size_t>(reps));
+    for (int r = 0; r < reps; ++r) {
+      const auto start = std::chrono::steady_clock::now();
+      fn();
+      const auto stop = std::chrono::steady_clock::now();
+      const double ns =
+          std::chrono::duration<double, std::nano>(stop - start).count();
+      ns_per_op[static_cast<size_t>(r)] = ns / static_cast<double>(iters_per_rep);
+    }
+    std::sort(ns_per_op.begin(), ns_per_op.end());
+    BenchResult result;
+    result.name = bench_name;
+    result.reps = reps;
+    result.iters_per_rep = iters_per_rep;
+    result.min_ns_per_op = ns_per_op.front();
+    const size_t mid = ns_per_op.size() / 2;
+    result.median_ns_per_op =
+        ns_per_op.size() % 2 == 1
+            ? ns_per_op[mid]
+            : 0.5 * (ns_per_op[mid - 1] + ns_per_op[mid]);
+    result.ops_per_sec =
+        result.median_ns_per_op > 0.0 ? 1e9 / result.median_ns_per_op : 0.0;
+    std::printf("%-32s median %14.1f ns/op   min %14.1f ns/op   %12.1f ops/s\n",
+                bench_name.c_str(), result.median_ns_per_op, result.min_ns_per_op,
+                result.ops_per_sec);
+    std::fflush(stdout);
+    results_.push_back(std::move(result));
+  }
+
+  // Writes the JSON record; returns false (with a stderr note) on I/O error.
+  bool WriteJson(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"suite\": \"%s\",\n  \"config\": {", name_.c_str());
+    for (size_t i = 0; i < config_.size(); ++i) {
+      std::fprintf(f, "%s\n    \"%s\": \"%s\"", i == 0 ? "" : ",",
+                   config_[i].first.c_str(), config_[i].second.c_str());
+    }
+    std::fprintf(f, "\n  },\n  \"results\": [");
+    for (size_t i = 0; i < results_.size(); ++i) {
+      const BenchResult& r = results_[i];
+      std::fprintf(f,
+                   "%s\n    { \"name\": \"%s\", \"reps\": %d, "
+                   "\"iters_per_rep\": %lld, \"median_ns_per_op\": %.1f, "
+                   "\"min_ns_per_op\": %.1f, \"ops_per_sec\": %.1f }",
+                   i == 0 ? "" : ",", r.name.c_str(), r.reps,
+                   static_cast<long long>(r.iters_per_rep), r.median_ns_per_op,
+                   r.min_ns_per_op, r.ops_per_sec);
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::printf("# wrote %s\n", path.c_str());
+    return true;
+  }
+
+  const std::vector<BenchResult>& results() const { return results_; }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> config_;
+  std::vector<BenchResult> results_;
+};
 
 inline void PrintConfig(const BenchConfig& config, const char* what) {
   std::printf("# %s\n", what);

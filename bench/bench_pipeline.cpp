@@ -1,0 +1,121 @@
+// Snapshot-pipeline performance benchmark (tracked in BENCH_pipeline.json).
+//
+// Times the three layers that dominate every figure reproduction —
+// snapshot construction, satellite-visibility queries, and single-pair
+// shortest paths — plus the end-to-end latency study (the paper's Fig. 2
+// inner loop) whose wall-clock is the repo's headline perf number. Run
+// with fixed flags so successive JSON records are comparable:
+//
+//   bench_pipeline --pairs=100 --snapshots=4 --spacing=3
+//
+// The committed BENCH_pipeline.json at the repo root is the baseline for
+// the CI perf-smoke job; refresh it (same flags, quiet machine) whenever
+// a PR intentionally moves these numbers.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/latency_study.hpp"
+#include "core/scenario.hpp"
+#include "geo/geodesic.hpp"
+#include "graph/dijkstra.hpp"
+#include "link/visibility.hpp"
+
+namespace {
+
+using namespace leosim;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchConfig config = bench::ParseFlags(argc, argv);
+  bench::PrintConfig(config, "snapshot-pipeline benchmark");
+
+  const std::vector<data::City> cities = bench::MakeCities(config);
+  const core::Scenario scenario = core::Scenario::Starlink();
+  const core::NetworkModel hybrid(
+      scenario, bench::MakeOptions(config, core::ConnectivityMode::kHybrid), cities);
+  const core::NetworkModel bent_pipe(
+      scenario, bench::MakeOptions(config, core::ConnectivityMode::kBentPipe), cities);
+  const std::vector<core::CityPair> pairs = bench::MakePairs(config, cities);
+
+  bench::BenchSuite suite("pipeline");
+  suite.AddConfig("constellation", "starlink-s1");
+  suite.AddConfig("cities", std::to_string(cities.size()));
+  suite.AddConfig("pairs", std::to_string(pairs.size()));
+  suite.AddConfig("relay_spacing_deg", std::to_string(config.relay_spacing_deg));
+  suite.AddConfig("snapshots", std::to_string(config.num_snapshots));
+
+  // 1. Snapshot construction at rolling times (graph + ECEF + index + edges).
+  {
+    double t = 0.0;
+    suite.Run("snapshot_build", 5, 4, [&] {
+      for (int i = 0; i < 4; ++i) {
+        const core::NetworkModel::Snapshot snap = hybrid.BuildSnapshot(t);
+        t += 300.0;
+        (void)snap;
+      }
+    });
+  }
+
+  // 2. Spatial-index build + visibility queries over every city terminal.
+  {
+    const std::vector<geo::Vec3> sats =
+        hybrid.constellation().PositionsEcef(0.0);
+    const double coverage =
+        geo::CoverageRadiusKm(scenario.shell.altitude_km,
+                              scenario.radio.min_elevation_deg);
+    suite.Run("index_build", 7, 4, [&] {
+      for (int i = 0; i < 4; ++i) {
+        const link::SatelliteIndex index(sats, coverage + 100.0);
+        (void)index;
+      }
+    });
+    const link::SatelliteIndex index(sats, coverage + 100.0);
+    std::vector<geo::Vec3> terminals;
+    terminals.reserve(cities.size());
+    for (const data::City& c : cities) {
+      terminals.push_back(geo::GeodeticToEcef(c.Coord()));
+    }
+    size_t total_visible = 0;
+    suite.Run("index_query", 7, static_cast<int64_t>(terminals.size()), [&] {
+      for (const geo::Vec3& gt : terminals) {
+        total_visible +=
+            index.Visible(gt, scenario.radio.min_elevation_deg).size();
+      }
+    });
+    std::printf("# visibility checksum: %zu sat-links\n", total_visible);
+  }
+
+  // 3. Single-pair shortest paths on one fixed snapshot.
+  {
+    const core::NetworkModel::Snapshot snap = hybrid.BuildSnapshot(0.0);
+    const int queries = 64;
+    double checksum = 0.0;
+    suite.Run("dijkstra_pair", 5, queries, [&] {
+      for (int i = 0; i < queries; ++i) {
+        const int a = i % snap.num_cities;
+        const int b = (i * 7 + 41) % snap.num_cities;
+        const auto path =
+            graph::ShortestPath(snap.graph, snap.CityNode(a), snap.CityNode(b));
+        if (path.has_value()) {
+          checksum += path->distance;
+        }
+      }
+    });
+    std::printf("# dijkstra checksum: %.3f ms summed\n", checksum);
+  }
+
+  // 4. End-to-end latency study (Fig. 2 inner loop): BP + hybrid snapshots
+  //    and every pair's shortest path at every timestep.
+  {
+    const core::SnapshotSchedule schedule = bench::MakeSchedule(config);
+    suite.Run("latency_study_e2e", 3, 1, [&] {
+      const core::LatencyStudyResult result =
+          core::RunLatencyStudy(bent_pipe, hybrid, pairs, schedule);
+      (void)result;
+    });
+  }
+
+  suite.WriteJson("BENCH_pipeline.json");
+  return 0;
+}

@@ -60,17 +60,20 @@ AttenuationDistributions RunAttenuationStudy(const NetworkModel& bp_model,
   const NetworkModel::Snapshot isl_snap = isl_model.BuildSnapshot(time_sec);
 
   AttenuationDistributions result;
+  graph::DijkstraWorkspace dijkstra_ws;
   for (const CityPair& pair : pairs) {
-    const auto bp_path = graph::ShortestPath(
-        bp_snap.graph, bp_snap.CityNode(pair.a), bp_snap.CityNode(pair.b));
+    const auto bp_path =
+        graph::ShortestPath(bp_snap.graph, bp_snap.CityNode(pair.a),
+                            bp_snap.CityNode(pair.b), dijkstra_ws);
     if (bp_path.has_value()) {
       result.bp_db.push_back(
           WorstLinkAttenuationDb(bp_model, bp_snap, *bp_path, options));
     } else {
       ++result.bp_unreachable;
     }
-    const auto isl_path = graph::ShortestPath(
-        isl_snap.graph, isl_snap.CityNode(pair.a), isl_snap.CityNode(pair.b));
+    const auto isl_path =
+        graph::ShortestPath(isl_snap.graph, isl_snap.CityNode(pair.a),
+                            isl_snap.CityNode(pair.b), dijkstra_ws);
     if (isl_path.has_value()) {
       result.isl_db.push_back(
           WorstLinkAttenuationDb(isl_model, isl_snap, *isl_path, options));

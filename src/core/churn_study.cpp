@@ -44,10 +44,12 @@ ChurnStats ChurnForPair(const NetworkModel& model, int idx_a, int idx_b,
   int jitter_steps = 0;
   double jaccard_sum = 0.0;
   double jitter_sum = 0.0;
+  NetworkModel::SnapshotWorkspace snapshot_ws;
+  graph::DijkstraWorkspace dijkstra_ws;
   for (const double t : schedule.Times()) {
-    const auto snap = model.BuildSnapshot(t);
+    const auto& snap = model.BuildSnapshot(t, &snapshot_ws);
     const auto path = graph::ShortestPath(snap.graph, snap.CityNode(idx_a),
-                                          snap.CityNode(idx_b));
+                                          snap.CityNode(idx_b), dijkstra_ws);
     ++stats.snapshots;
     if (!path.has_value()) {
       prev_nodes.clear();
@@ -101,12 +103,15 @@ AggregateChurn RunAggregateChurnStudy(const NetworkModel& model,
   std::vector<PairState> state(pairs.size());
 
   const std::vector<double> times = schedule.Times();
+  NetworkModel::SnapshotWorkspace snapshot_ws;
+  graph::DijkstraWorkspace dijkstra_ws;
   for (const double t : times) {
-    const auto snap = model.BuildSnapshot(t);
+    const auto& snap = model.BuildSnapshot(t, &snapshot_ws);
     for (size_t i = 0; i < pairs.size(); ++i) {
       PairState& ps = state[i];
-      const auto path = graph::ShortestPath(snap.graph, snap.CityNode(pairs[i].a),
-                                            snap.CityNode(pairs[i].b));
+      const auto path =
+          graph::ShortestPath(snap.graph, snap.CityNode(pairs[i].a),
+                              snap.CityNode(pairs[i].b), dijkstra_ws);
       if (!path.has_value()) {
         ps.have_prev = false;
         continue;

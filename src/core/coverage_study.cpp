@@ -19,18 +19,26 @@ std::vector<CoverageRow> RunCoverageStudy(const Scenario& scenario,
     rows.push_back({lat, 0.0, 0.0});
   }
 
+  std::vector<geo::Vec3> row_ecef;
+  row_ecef.reserve(rows.size());
+  for (const CoverageRow& row : rows) {
+    row_ecef.push_back(
+        geo::GeodeticToEcef({row.latitude_deg, options.longitude_deg, 0.0}));
+  }
+
   int samples = 0;
+  std::vector<geo::Vec3> sats;
+  link::SatelliteIndex index;
+  std::vector<int> visible;
   for (double t = 0.0; t <= options.duration_sec; t += options.step_sec) {
-    const std::vector<geo::Vec3> sats = constellation.PositionsEcef(t);
-    const link::SatelliteIndex index(sats, coverage + 100.0);
+    constellation.PositionsEcefInto(t, &sats);
+    index.Rebuild(sats, coverage + 100.0);
     ++samples;
-    for (CoverageRow& row : rows) {
-      const geo::Vec3 gt =
-          geo::GeodeticToEcef({row.latitude_deg, options.longitude_deg, 0.0});
-      const size_t visible =
-          index.Visible(gt, scenario.radio.min_elevation_deg).size();
-      row.mean_visible += static_cast<double>(visible);
-      if (static_cast<int>(visible) >= options.min_satellites) {
+    for (size_t i = 0; i < rows.size(); ++i) {
+      CoverageRow& row = rows[i];
+      index.VisibleInto(row_ecef[i], scenario.radio.min_elevation_deg, &visible);
+      row.mean_visible += static_cast<double>(visible.size());
+      if (static_cast<int>(visible.size()) >= options.min_satellites) {
         row.availability += 1.0;
       }
     }

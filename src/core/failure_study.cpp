@@ -15,6 +15,7 @@ std::vector<FailureRow> RunFailureStudy(const NetworkModel& model,
   data::SplitMix64 rng(options.seed);
 
   std::vector<FailureRow> rows;
+  graph::DijkstraWorkspace dijkstra_ws;
   for (const double fraction : options.failure_fractions) {
     const int failures =
         static_cast<int>(fraction * static_cast<double>(snap.num_sats));
@@ -44,7 +45,7 @@ std::vector<FailureRow> RunFailureStudy(const NetworkModel& model,
       int reachable = 0;
       for (const CityPair& pair : pairs) {
         const auto path = graph::ShortestPath(snap.graph, snap.CityNode(pair.a),
-                                              snap.CityNode(pair.b));
+                                              snap.CityNode(pair.b), dijkstra_ws);
         if (path.has_value()) {
           ++reachable;
           rtt_sum += 2.0 * path->distance;

@@ -28,13 +28,16 @@ FiberStudyResult RunFiberStudy(const Scenario& scenario,
   double metro_distinct_sum = 0.0;
   double group_distinct_sum = 0.0;
   const std::vector<double> times = schedule.Times();
+  std::vector<geo::Vec3> sats;
+  link::SatelliteIndex index;
+  std::vector<int> visible;
   for (const double t : times) {
-    const std::vector<geo::Vec3> sats = constellation.PositionsEcef(t);
-    const link::SatelliteIndex index(sats, coverage + 100.0);
+    constellation.PositionsEcefInto(t, &sats);
+    index.Rebuild(sats, coverage + 100.0);
     std::set<int> group_sats;
     for (size_t i = 0; i < sites.size(); ++i) {
-      const std::vector<int> visible = index.Visible(
-          geo::GeodeticToEcef(sites[i]->Coord()), scenario.radio.min_elevation_deg);
+      index.VisibleInto(geo::GeodeticToEcef(sites[i]->Coord()),
+                        scenario.radio.min_elevation_deg, &visible);
       visible_sum[i] += static_cast<double>(visible.size());
       if (i == 0) {
         metro_distinct_sum += static_cast<double>(visible.size());

@@ -24,11 +24,14 @@ GsoModeImpact CompareMode(const Scenario& scenario,
   double rtt_without_sum = 0.0;
   double rtt_with_sum = 0.0;
   int both = 0;
+  graph::DijkstraWorkspace dijkstra_ws;
   for (const CityPair& pair : pairs) {
-    const auto p0 = graph::ShortestPath(plain_snap.graph, plain_snap.CityNode(pair.a),
-                                        plain_snap.CityNode(pair.b));
-    const auto p1 = graph::ShortestPath(excl_snap.graph, excl_snap.CityNode(pair.a),
-                                        excl_snap.CityNode(pair.b));
+    const auto p0 =
+        graph::ShortestPath(plain_snap.graph, plain_snap.CityNode(pair.a),
+                            plain_snap.CityNode(pair.b), dijkstra_ws);
+    const auto p1 =
+        graph::ShortestPath(excl_snap.graph, excl_snap.CityNode(pair.a),
+                            excl_snap.CityNode(pair.b), dijkstra_ws);
     if (p0.has_value()) {
       ++impact.reachable_without_exclusion;
     }

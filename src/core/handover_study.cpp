@@ -29,11 +29,13 @@ HandoverStats RunHandoverStudy(const Scenario& scenario,
   int endings = 0;
 
   std::vector<int> previous;
+  std::vector<geo::Vec3> sats;
+  link::SatelliteIndex index;
+  std::vector<int> visible;
   for (double t = 0.0; t <= options.duration_sec; t += options.step_sec) {
-    const std::vector<geo::Vec3> sats = constellation.PositionsEcef(t);
-    const link::SatelliteIndex index(sats, coverage + 100.0);
-    const std::vector<int> visible =
-        index.Visible(gt, scenario.radio.min_elevation_deg);
+    constellation.PositionsEcefInto(t, &sats);
+    index.Rebuild(sats, coverage + 100.0);
+    index.VisibleInto(gt, scenario.radio.min_elevation_deg, &visible);
 
     visible_sum += static_cast<int>(visible.size());
     ++samples;

@@ -7,12 +7,20 @@
 #include "core/parallel.hpp"
 #include "geo/coordinates.hpp"
 #include "graph/dijkstra.hpp"
+#include "link/radio.hpp"
 
 namespace leosim::core {
 
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// A* potential safety factor. The straight-line propagation latency to
+// the destination is an exact lower bound in real arithmetic; shaving
+// one part in 1e12 keeps it admissible under floating-point rounding
+// (per-edge rounding errors are ~1e-16 relative) without measurably
+// loosening the bound.
+constexpr double kPotentialSlack = 1.0 - 1e-12;
 
 std::vector<PairRttSeries> InitSeries(const std::vector<CityPair>& pairs,
                                       size_t num_snapshots) {
@@ -27,15 +35,36 @@ std::vector<PairRttSeries> InitSeries(const std::vector<CityPair>& pairs,
   return series;
 }
 
-// Fills snapshot column `slot` of every pair's series.
+// Per-worker scratch: snapshot storage plus Dijkstra arrays, reused
+// across every slot a worker claims so the steady state allocates
+// nothing.
+struct StudyScratch {
+  NetworkModel::SnapshotWorkspace snapshot;
+  graph::DijkstraWorkspace dijkstra;
+};
+
+// Fills snapshot column `slot` of every pair's series. Pair queries run
+// goal-directed (A* with the straight-line latency bound): the settled
+// region shrinks to the corridor around the great-circle route, and the
+// returned distance is the same shortest-path latency plain Dijkstra
+// yields.
 void FillSnapshotRtts(const NetworkModel& model, double time_sec, size_t slot,
                       const std::vector<CityPair>& pairs,
-                      std::vector<PairRttSeries>* series) {
-  const NetworkModel::Snapshot snap = model.BuildSnapshot(time_sec);
+                      std::vector<PairRttSeries>* series, StudyScratch* scratch) {
+  const NetworkModel::Snapshot& snap = model.BuildSnapshot(time_sec, &scratch->snapshot);
   for (size_t i = 0; i < pairs.size(); ++i) {
     const graph::NodeId src = snap.CityNode(pairs[i].a);
     const graph::NodeId dst = snap.CityNode(pairs[i].b);
-    const auto path = graph::ShortestPath(snap.graph, src, dst);
+    const geo::Vec3 dst_pos = snap.node_ecef[static_cast<size_t>(dst)];
+    // Plain lambda (not graph::PotentialFn) so it inlines into the A*
+    // relax loop.
+    const auto potential = [&snap, &dst_pos](graph::NodeId n) {
+      return kPotentialSlack *
+             link::PropagationLatencyMs(snap.node_ecef[static_cast<size_t>(n)],
+                                        dst_pos);
+    };
+    const auto path =
+        graph::ShortestPathAStar(snap.graph, src, dst, scratch->dijkstra, potential);
     // RTT = out-and-back over the same path: 2x the one-way latency.
     (*series)[i].rtt_ms[slot] = path.has_value() ? 2.0 * path->distance : kInf;
   }
@@ -114,12 +143,17 @@ LatencyStudyResult RunLatencyStudy(const NetworkModel& bp_model,
   result.snapshot_times = schedule.Times();
   result.bp = InitSeries(pairs, result.snapshot_times.size());
   result.hybrid = InitSeries(pairs, result.snapshot_times.size());
-  // Snapshots are independent; fan out across cores.
-  ParallelFor(static_cast<int>(result.snapshot_times.size()), [&](int slot) {
+  // Snapshots are independent; fan out across cores, with per-worker
+  // scratch that persists across the slots each worker claims. (Worker
+  // count never exceeds the slot count, so sizing by slots is safe.)
+  const int slots = static_cast<int>(result.snapshot_times.size());
+  std::vector<StudyScratch> scratch(static_cast<size_t>(slots));
+  ParallelForWorkers(slots, [&](int worker, int slot) {
+    StudyScratch& ws = scratch[static_cast<size_t>(worker)];
     const double t = result.snapshot_times[static_cast<size_t>(slot)];
-    FillSnapshotRtts(bp_model, t, static_cast<size_t>(slot), pairs, &result.bp);
+    FillSnapshotRtts(bp_model, t, static_cast<size_t>(slot), pairs, &result.bp, &ws);
     FillSnapshotRtts(hybrid_model, t, static_cast<size_t>(slot), pairs,
-                     &result.hybrid);
+                     &result.hybrid, &ws);
   });
   return result;
 }
@@ -140,12 +174,14 @@ std::vector<PathObservation> TracePairPath(const NetworkModel& model,
   }
 
   std::vector<PathObservation> trace;
+  NetworkModel::SnapshotWorkspace snapshot_ws;
+  graph::DijkstraWorkspace dijkstra_ws;
   for (const double t : schedule.Times()) {
-    const NetworkModel::Snapshot snap = model.BuildSnapshot(t);
+    const NetworkModel::Snapshot& snap = model.BuildSnapshot(t, &snapshot_ws);
     PathObservation obs;
     obs.time_sec = t;
-    const auto path =
-        graph::ShortestPath(snap.graph, snap.CityNode(idx_a), snap.CityNode(idx_b));
+    const auto path = graph::ShortestPath(snap.graph, snap.CityNode(idx_a),
+                                          snap.CityNode(idx_b), dijkstra_ws);
     if (path.has_value()) {
       obs.reachable = true;
       obs.rtt_ms = 2.0 * path->distance;

@@ -41,13 +41,18 @@ MultishellResult RunMultishellStudy(const Scenario& scenario,
   result.times_sec = schedule.Times();
   double improvement_sum = 0.0;
   int improvement_count = 0;
+  NetworkModel::SnapshotWorkspace single_ws;
+  NetworkModel::SnapshotWorkspace dual_ws;
+  graph::DijkstraWorkspace dijkstra_ws;
   for (const double t : result.times_sec) {
-    const auto single_snap = single.BuildSnapshot(t);
-    const auto dual_snap = dual.BuildSnapshot(t);
-    const auto single_path = graph::ShortestPath(
-        single_snap.graph, single_snap.CityNode(idx_a), single_snap.CityNode(idx_b));
-    const auto dual_path = graph::ShortestPath(
-        dual_snap.graph, dual_snap.CityNode(idx_a), dual_snap.CityNode(idx_b));
+    const auto& single_snap = single.BuildSnapshot(t, &single_ws);
+    const auto& dual_snap = dual.BuildSnapshot(t, &dual_ws);
+    const auto single_path =
+        graph::ShortestPath(single_snap.graph, single_snap.CityNode(idx_a),
+                            single_snap.CityNode(idx_b), dijkstra_ws);
+    const auto dual_path =
+        graph::ShortestPath(dual_snap.graph, dual_snap.CityNode(idx_a),
+                            dual_snap.CityNode(idx_b), dijkstra_ws);
     const double single_rtt = single_path ? 2.0 * single_path->distance : kInf;
     const double dual_rtt = dual_path ? 2.0 * dual_path->distance : kInf;
     result.single_shell_rtt_ms.push_back(single_rtt);

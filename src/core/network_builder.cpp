@@ -81,13 +81,25 @@ double NetworkModel::IslCapacityGbps() const {
 }
 
 NetworkModel::Snapshot NetworkModel::BuildSnapshot(double time_sec) const {
-  Snapshot snap{graph::Graph(0), {}, 0, 0, 0, 0, {}, {}, {}};
+  SnapshotWorkspace workspace;
+  BuildSnapshot(time_sec, &workspace);
+  return std::move(workspace.snapshot);
+}
+
+const NetworkModel::Snapshot& NetworkModel::BuildSnapshot(
+    double time_sec, SnapshotWorkspace* workspace) const {
+  Snapshot& snap = workspace->snapshot;
+  snap.node_ecef.clear();
+  snap.radio_edges.clear();
+  snap.isl_edges.clear();
   snap.num_sats = constellation_.NumSatellites();
   snap.num_cities = static_cast<int>(cities_.size());
   snap.num_relays = static_cast<int>(relays_.size());
 
-  const std::vector<geo::Vec3> sat_ecef = constellation_.PositionsEcef(time_sec);
+  constellation_.PositionsEcefInto(time_sec, &workspace->sat_ecef);
+  const std::vector<geo::Vec3>& sat_ecef = workspace->sat_ecef;
 
+  snap.aircraft_coords.clear();
   if (air_.has_value()) {
     snap.aircraft_coords = air_->OverWaterPositions(time_sec);
   }
@@ -95,7 +107,7 @@ NetworkModel::Snapshot NetworkModel::BuildSnapshot(double time_sec) const {
 
   const int total_nodes =
       snap.num_sats + snap.num_cities + snap.num_relays + snap.num_aircraft;
-  snap.graph = graph::Graph(total_nodes);
+  snap.graph.Reset(total_nodes);
 
   snap.node_ecef.reserve(static_cast<size_t>(total_nodes));
   snap.node_ecef.insert(snap.node_ecef.end(), sat_ecef.begin(), sat_ecef.end());
@@ -106,29 +118,33 @@ NetworkModel::Snapshot NetworkModel::BuildSnapshot(double time_sec) const {
   }
 
   // Radio links: every ground node (city, relay, aircraft) to every
-  // visible satellite, via the spatial index.
+  // visible satellite, via the spatial index (rebuilt in place each
+  // timestep — satellite positions move, the buckets' storage does not).
   double max_altitude = 0.0;
   for (int s = 0; s < constellation_.NumShells(); ++s) {
     max_altitude = std::max(max_altitude, constellation_.shell(s).altitude_km);
   }
   const double coverage =
       geo::CoverageRadiusKm(max_altitude, scenario_.radio.min_elevation_deg);
-  const link::SatelliteIndex index(sat_ecef, coverage + 100.0);
+  workspace->sat_index.Rebuild(sat_ecef, coverage + 100.0);
 
   const double gt_capacity = GtCapacityGbps();
   const link::GsoConfig gso_config{options_.gso_separation_deg, 180};
   const int first_ground = snap.num_sats;
 
-  // Candidate radio links, grouped per satellite so a beam budget can be
-  // enforced (closest terminals win the contended beams).
-  struct Candidate {
-    int ground;
-    double latency_ms;
-  };
-  std::vector<std::vector<Candidate>> per_sat(static_cast<size_t>(snap.num_sats));
+  // Stage candidate radio links terminal-major, then counting-sort them
+  // satellite-major so a per-satellite beam budget can be enforced
+  // (closest terminals win the contended beams). The sort is stable, so
+  // within one satellite the candidates keep ascending-terminal order —
+  // the same order the per-satellite grouping has always produced.
+  using RadioCandidate = SnapshotWorkspace::RadioCandidate;
+  std::vector<RadioCandidate>& candidates = workspace->candidates;
+  candidates.clear();
   for (int g = first_ground; g < total_nodes; ++g) {
     const geo::Vec3& ground = snap.node_ecef[static_cast<size_t>(g)];
-    for (const int sat : index.Visible(ground, scenario_.radio.min_elevation_deg)) {
+    workspace->sat_index.VisibleInto(ground, scenario_.radio.min_elevation_deg,
+                                     &workspace->visible);
+    for (const int sat : workspace->visible) {
       if (options_.apply_gso_exclusion &&
           link::ViolatesGsoExclusion(ground, sat_ecef[static_cast<size_t>(sat)],
                                      gso_config)) {
@@ -136,23 +152,42 @@ NetworkModel::Snapshot NetworkModel::BuildSnapshot(double time_sec) const {
       }
       const double latency_ms = link::PropagationLatencyMs(
           ground, sat_ecef[static_cast<size_t>(sat)]);
-      per_sat[static_cast<size_t>(sat)].push_back({g, latency_ms});
+      candidates.push_back({sat, g, latency_ms});
     }
   }
+  std::vector<int32_t>& offsets = workspace->candidate_offsets;
+  offsets.assign(static_cast<size_t>(snap.num_sats) + 1, 0);
+  for (const RadioCandidate& c : candidates) {
+    ++offsets[static_cast<size_t>(c.sat) + 1];
+  }
+  for (size_t s = 1; s < offsets.size(); ++s) {
+    offsets[s] += offsets[s - 1];
+  }
+  std::vector<RadioCandidate>& by_satellite = workspace->by_satellite;
+  by_satellite.resize(candidates.size());
+  // offsets[s] doubles as the fill cursor, then is restored by shifting.
+  for (const RadioCandidate& c : candidates) {
+    by_satellite[static_cast<size_t>(offsets[static_cast<size_t>(c.sat)]++)] = c;
+  }
+  for (size_t s = offsets.size() - 1; s > 0; --s) {
+    offsets[s] = offsets[s - 1];
+  }
+  offsets[0] = 0;
+
   for (int sat = 0; sat < snap.num_sats; ++sat) {
-    std::vector<Candidate>& candidates = per_sat[static_cast<size_t>(sat)];
+    const auto begin = by_satellite.begin() + offsets[static_cast<size_t>(sat)];
+    auto end = by_satellite.begin() + offsets[static_cast<size_t>(sat) + 1];
     if (options_.max_gt_links_per_satellite > 0 &&
-        static_cast<int>(candidates.size()) > options_.max_gt_links_per_satellite) {
-      std::nth_element(candidates.begin(),
-                       candidates.begin() + options_.max_gt_links_per_satellite,
-                       candidates.end(), [](const Candidate& a, const Candidate& b) {
+        end - begin > options_.max_gt_links_per_satellite) {
+      std::nth_element(begin, begin + options_.max_gt_links_per_satellite, end,
+                       [](const RadioCandidate& a, const RadioCandidate& b) {
                          return a.latency_ms < b.latency_ms;
                        });
-      candidates.resize(static_cast<size_t>(options_.max_gt_links_per_satellite));
+      end = begin + options_.max_gt_links_per_satellite;
     }
-    for (const Candidate& c : candidates) {
+    for (auto it = begin; it != end; ++it) {
       snap.radio_edges.push_back(
-          snap.graph.AddEdge(sat, c.ground, c.latency_ms, gt_capacity));
+          snap.graph.AddEdge(sat, it->ground, it->latency_ms, gt_capacity));
     }
   }
 
@@ -167,6 +202,9 @@ NetworkModel::Snapshot NetworkModel::BuildSnapshot(double time_sec) const {
           snap.graph.AddEdge(e.first, e.second, latency_ms, isl_capacity));
     }
   }
+  // Build the CSR adjacency now: the snapshot is about to be queried (and
+  // possibly shared read-only across threads).
+  snap.graph.FinalizeAdjacency();
   return snap;
 }
 

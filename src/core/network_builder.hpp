@@ -22,6 +22,7 @@
 #include "data/cities.hpp"
 #include "geo/vec3.hpp"
 #include "graph/graph.hpp"
+#include "link/visibility.hpp"
 #include "orbit/isl_grid.hpp"
 
 namespace leosim::core {
@@ -89,6 +90,33 @@ class NetworkModel {
     int NumNodes() const { return static_cast<int>(node_ecef.size()); }
   };
 
+  // Reusable buffers for BuildSnapshot. A loop over timesteps that passes
+  // the same workspace back in reuses the snapshot's graph/ECEF storage,
+  // the satellite spatial index, and the radio-link staging arrays, so
+  // steady-state snapshot construction performs no allocation. One
+  // workspace per thread; it must not be shared concurrently.
+  class SnapshotWorkspace {
+   public:
+    SnapshotWorkspace() = default;
+
+   private:
+    friend class NetworkModel;
+    // One ground terminal that can see `sat` (flat, counting-sorted into
+    // satellite-major order to apply per-satellite beam budgets).
+    struct RadioCandidate {
+      int32_t sat;
+      int32_t ground;
+      double latency_ms;
+    };
+    Snapshot snapshot;
+    std::vector<geo::Vec3> sat_ecef;
+    link::SatelliteIndex sat_index;
+    std::vector<int> visible;                  // per-terminal query buffer
+    std::vector<RadioCandidate> candidates;    // terminal-major staging
+    std::vector<RadioCandidate> by_satellite;  // satellite-major (sorted)
+    std::vector<int32_t> candidate_offsets;    // per-satellite CSR offsets
+  };
+
   // The model owns its city list (callers typically pass the output of
   // data::GenerateWorldCities).
   NetworkModel(const Scenario& scenario, const NetworkOptions& options,
@@ -100,6 +128,12 @@ class NetworkModel {
                std::vector<data::City> cities,
                const std::vector<orbit::OrbitalShell>& extra_shells);
 
+  // Builds the snapshot into `workspace` and returns a reference to
+  // workspace->snapshot (valid until the next build with that workspace).
+  // Identical output to the value-returning overload below.
+  const Snapshot& BuildSnapshot(double time_sec, SnapshotWorkspace* workspace) const;
+
+  // Convenience wrapper: builds with a throwaway workspace.
   Snapshot BuildSnapshot(double time_sec) const;
 
   const Scenario& scenario() const { return scenario_; }

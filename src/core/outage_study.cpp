@@ -39,6 +39,7 @@ std::vector<OutageRow> RunOutageStudy(const NetworkModel& model,
   }
 
   std::vector<OutageRow> rows;
+  graph::DijkstraWorkspace dijkstra_ws;
   for (const double margin : options.margins_db) {
     // Disable links that would be in outage at this margin.
     int disabled = 0;
@@ -58,7 +59,7 @@ std::vector<OutageRow> RunOutageStudy(const NetworkModel& model,
     double rtt_sum = 0.0;
     for (const CityPair& pair : pairs) {
       const auto path = graph::ShortestPath(snap.graph, snap.CityNode(pair.a),
-                                            snap.CityNode(pair.b));
+                                            snap.CityNode(pair.b), dijkstra_ws);
       if (path.has_value()) {
         ++reachable;
         rtt_sum += 2.0 * path->distance;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -9,20 +10,55 @@
 
 namespace leosim::core {
 
-void ParallelFor(int count, const std::function<void(int)>& body, int num_threads) {
+namespace {
+
+int HardwareWorkers() {
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  return hw > 0 ? hw : 1;
+}
+
+// LEOSIM_THREADS, parsed once per process. Returns 0 when unset/invalid
+// ("use hardware concurrency"), else a value clamped to [1, 1024].
+int EnvThreadOverride() {
+  static const int cached = [] {
+    const char* raw = std::getenv("LEOSIM_THREADS");
+    if (raw == nullptr || *raw == '\0') {
+      return 0;
+    }
+    char* end = nullptr;
+    const long value = std::strtol(raw, &end, 10);
+    if (end == raw || *end != '\0' || value <= 0) {
+      return 0;  // "0", negatives, and garbage all mean "auto"
+    }
+    return static_cast<int>(std::min<long>(value, 1024));
+  }();
+  return cached;
+}
+
+int ResolveWorkers(int count, int num_threads) {
+  int workers = num_threads;
+  if (workers <= 0) {
+    workers = EnvThreadOverride();
+  }
+  if (workers <= 0) {
+    workers = HardwareWorkers();
+  }
+  return std::min(workers, count);
+}
+
+}  // namespace
+
+void ParallelForWorkers(int count,
+                        const std::function<void(int worker, int index)>& body,
+                        int num_threads) {
   if (count <= 0) {
     return;
   }
-  int workers = num_threads > 0 ? num_threads
-                                : static_cast<int>(std::thread::hardware_concurrency());
-  if (workers <= 0) {
-    workers = 1;
-  }
-  workers = std::min(workers, count);
+  const int workers = ResolveWorkers(count, num_threads);
 
   if (workers == 1) {
     for (int i = 0; i < count; ++i) {
-      body(i);
+      body(0, i);
     }
     return;
   }
@@ -34,14 +70,14 @@ void ParallelFor(int count, const std::function<void(int)>& body, int num_thread
   std::vector<std::thread> threads;
   threads.reserve(static_cast<size_t>(workers));
   for (int w = 0; w < workers; ++w) {
-    threads.emplace_back([&] {
+    threads.emplace_back([&, w] {
       while (!stop.load(std::memory_order_relaxed)) {
         const int i = next.fetch_add(1);
         if (i >= count) {
           return;
         }
         try {
-          body(i);
+          body(w, i);
         } catch (...) {
           const std::lock_guard<std::mutex> lock(error_mutex);
           if (!first_error) {
@@ -58,6 +94,11 @@ void ParallelFor(int count, const std::function<void(int)>& body, int num_thread
   if (first_error) {
     std::rethrow_exception(first_error);
   }
+}
+
+void ParallelFor(int count, const std::function<void(int)>& body, int num_threads) {
+  ParallelForWorkers(
+      count, [&body](int /*worker*/, int index) { body(index); }, num_threads);
 }
 
 }  // namespace leosim::core

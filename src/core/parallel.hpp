@@ -7,10 +7,13 @@
 
 namespace leosim::core {
 
-// Invokes body(0..count-1) across up to `num_threads` worker threads
-// (0 = hardware concurrency; values above `count` are clamped to
-// `count`). The body must be thread-safe for distinct indices.
-// `count <= 0` is a no-op.
+// Worker-count resolution, shared by both entry points below:
+//   num_threads > 0  — exactly that many workers (clamped to `count`).
+//   num_threads == 0 — the LEOSIM_THREADS environment variable when set
+//                      (clamped to [1, 1024]; "0" or garbage falls back to
+//                      hardware concurrency), else hardware concurrency.
+// LEOSIM_THREADS lets CI/sanitizer jobs pin thread counts without
+// touching call sites; it is read once per process (first ParallelFor).
 //
 // Exception semantics: the first exception captured from any worker is
 // rethrown to the caller after all workers have joined. Capturing an
@@ -20,7 +23,19 @@ namespace leosim::core {
 // Iterations already in flight on other workers still run to
 // completion; at most one additional iteration per worker may start
 // after the failure due to the relaxed flag check.
+
+// Invokes body(0..count-1) across the resolved number of worker threads.
+// The body must be thread-safe for distinct indices. `count <= 0` is a
+// no-op.
 void ParallelFor(int count, const std::function<void(int)>& body,
                  int num_threads = 0);
+
+// As ParallelFor, additionally passing the worker's index (0..workers-1)
+// so the body can keep per-worker scratch state (e.g. snapshot/Dijkstra
+// workspaces) alive across the iterations that worker claims. Worker
+// indices are dense; the worker count is capped at `count`.
+void ParallelForWorkers(int count,
+                        const std::function<void(int worker, int index)>& body,
+                        int num_threads = 0);
 
 }  // namespace leosim::core

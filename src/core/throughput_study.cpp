@@ -63,8 +63,9 @@ DisconnectionStats RunDisconnectionStudy(const NetworkModel& model,
   DisconnectionStats stats;
   stats.min_fraction = 1.0;
   stats.max_fraction = 0.0;
+  NetworkModel::SnapshotWorkspace snapshot_ws;
   for (const double t : schedule.Times()) {
-    const NetworkModel::Snapshot snap = model.BuildSnapshot(t);
+    const NetworkModel::Snapshot& snap = model.BuildSnapshot(t, &snapshot_ws);
     std::vector<graph::NodeId> sats(static_cast<size_t>(snap.num_sats));
     for (int i = 0; i < snap.num_sats; ++i) {
       sats[static_cast<size_t>(i)] = snap.SatNode(i);

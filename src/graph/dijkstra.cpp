@@ -1,61 +1,50 @@
 #include "graph/dijkstra.hpp"
 
 #include <algorithm>
-#include <queue>
 
 namespace leosim::graph {
 
 namespace {
 
-struct QueueEntry {
-  double distance;
-  NodeId node;
-  bool operator>(const QueueEntry& o) const { return distance > o.distance; }
+// Min-heap ordering over the workspace's recycled vector (std::push_heap /
+// std::pop_heap are the same algorithms std::priority_queue runs, so the
+// settle order — and therefore every result — matches the historical
+// priority_queue implementation exactly).
+struct HeapGreater {
+  bool operator()(const DijkstraWorkspace::QueueEntry& a,
+                  const DijkstraWorkspace::QueueEntry& b) const {
+    return a.distance > b.distance;
+  }
 };
-
-using MinHeap = std::priority_queue<QueueEntry, std::vector<QueueEntry>,
-                                    std::greater<QueueEntry>>;
 
 }  // namespace
 
-std::optional<Path> ShortestPath(const Graph& g, NodeId src, NodeId dst) {
-  const int n = g.NumNodes();
-  std::vector<double> dist(static_cast<size_t>(n), kInfDistance);
-  std::vector<EdgeId> via_edge(static_cast<size_t>(n), -1);
-  MinHeap heap;
-  dist[static_cast<size_t>(src)] = 0.0;
-  heap.push({0.0, src});
-
-  while (!heap.empty()) {
-    const auto [d, u] = heap.top();
-    heap.pop();
-    if (d > dist[static_cast<size_t>(u)]) {
-      continue;  // stale entry
-    }
-    if (u == dst) {
-      break;
-    }
-    for (const HalfEdge& half : g.Neighbours(u)) {
-      if (!g.IsEnabled(half.edge)) {
-        continue;
-      }
-      const double nd = d + g.Edge(half.edge).weight;
-      if (nd < dist[static_cast<size_t>(half.to)]) {
-        dist[static_cast<size_t>(half.to)] = nd;
-        via_edge[static_cast<size_t>(half.to)] = half.edge;
-        heap.push({nd, half.to});
-      }
-    }
+void DijkstraWorkspace::Begin(int num_nodes) {
+  const size_t n = static_cast<size_t>(num_nodes);
+  if (state_.size() < n) {
+    state_.resize(n, NodeState{0.0, -1, 0});
   }
-
-  if (dist[static_cast<size_t>(dst)] == kInfDistance) {
-    return std::nullopt;
+  if (++epoch_ == 0) {
+    for (NodeState& s : state_) {
+      s.stamp = 0;
+    }
+    epoch_ = 1;
   }
+  heap_.clear();
+  astar_heap_.clear();
+}
 
+namespace {
+
+// Walks the predecessor edges back from dst. Shared by both single-pair
+// searches. `via_of(n)` must return the settled predecessor edge of n.
+template <typename ViaFn>
+Path BuildPath(const Graph& g, const ViaFn& via_of, NodeId src, NodeId dst,
+               double distance) {
   Path path;
-  path.distance = dist[static_cast<size_t>(dst)];
+  path.distance = distance;
   for (NodeId cur = dst; cur != src;) {
-    const EdgeId e = via_edge[static_cast<size_t>(cur)];
+    const EdgeId e = via_of(cur);
     path.edges.push_back(e);
     path.nodes.push_back(cur);
     cur = g.OtherEnd(e, cur);
@@ -66,30 +55,85 @@ std::optional<Path> ShortestPath(const Graph& g, NodeId src, NodeId dst) {
   return path;
 }
 
-std::vector<double> ShortestDistances(const Graph& g, NodeId src) {
-  const int n = g.NumNodes();
-  std::vector<double> dist(static_cast<size_t>(n), kInfDistance);
-  MinHeap heap;
-  dist[static_cast<size_t>(src)] = 0.0;
-  heap.push({0.0, src});
+}  // namespace
+
+std::optional<Path> ShortestPath(const Graph& g, NodeId src, NodeId dst) {
+  DijkstraWorkspace workspace;
+  return ShortestPath(g, src, dst, workspace);
+}
+
+std::optional<Path> ShortestPath(const Graph& g, NodeId src, NodeId dst,
+                                 DijkstraWorkspace& workspace) {
+  g.FinalizeAdjacency();
+  workspace.Begin(g.NumNodes());
+  auto& heap = workspace.heap_;
+  workspace.Relax(src, 0.0, -1);
+  heap.push_back({0.0, src});
+
   while (!heap.empty()) {
-    const auto [d, u] = heap.top();
-    heap.pop();
-    if (d > dist[static_cast<size_t>(u)]) {
-      continue;
+    std::pop_heap(heap.begin(), heap.end(), HeapGreater{});
+    const auto [d, u] = heap.back();
+    heap.pop_back();
+    if (d > workspace.DistanceOf(u)) {
+      continue;  // stale entry
+    }
+    if (u == dst) {
+      break;
     }
     for (const HalfEdge& half : g.Neighbours(u)) {
-      if (!g.IsEnabled(half.edge)) {
-        continue;
-      }
-      const double nd = d + g.Edge(half.edge).weight;
-      if (nd < dist[static_cast<size_t>(half.to)]) {
-        dist[static_cast<size_t>(half.to)] = nd;
-        heap.push({nd, half.to});
+      // Disabled edges carry weight = +inf, so they never relax.
+      const double nd = d + half.weight;
+      if (nd < workspace.DistanceOf(half.to)) {
+        workspace.Relax(half.to, nd, half.edge);
+        heap.push_back({nd, half.to});
+        std::push_heap(heap.begin(), heap.end(), HeapGreater{});
       }
     }
   }
+
+  if (workspace.DistanceOf(dst) == kInfDistance) {
+    return std::nullopt;
+  }
+  return BuildPath(
+      g, [&workspace](NodeId n) { return workspace.ViaEdge(n); }, src, dst,
+      workspace.DistanceOf(dst));
+}
+
+std::vector<double> ShortestDistances(const Graph& g, NodeId src) {
+  DijkstraWorkspace workspace;
+  std::vector<double> dist;
+  ShortestDistancesInto(g, src, workspace, &dist);
   return dist;
+}
+
+void ShortestDistancesInto(const Graph& g, NodeId src, DijkstraWorkspace& workspace,
+                           std::vector<double>* out) {
+  g.FinalizeAdjacency();
+  const int n = g.NumNodes();
+  workspace.Begin(n);
+  auto& heap = workspace.heap_;
+  workspace.Relax(src, 0.0, -1);
+  heap.push_back({0.0, src});
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), HeapGreater{});
+    const auto [d, u] = heap.back();
+    heap.pop_back();
+    if (d > workspace.DistanceOf(u)) {
+      continue;
+    }
+    for (const HalfEdge& half : g.Neighbours(u)) {
+      const double nd = d + half.weight;
+      if (nd < workspace.DistanceOf(half.to)) {
+        workspace.Relax(half.to, nd, half.edge);
+        heap.push_back({nd, half.to});
+        std::push_heap(heap.begin(), heap.end(), HeapGreater{});
+      }
+    }
+  }
+  out->resize(static_cast<size_t>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    (*out)[static_cast<size_t>(v)] = workspace.DistanceOf(v);
+  }
 }
 
 }  // namespace leosim::graph

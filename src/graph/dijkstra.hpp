@@ -1,6 +1,11 @@
-// Shortest paths over the snapshot graph (binary-heap Dijkstra).
+// Shortest paths over the snapshot graph (binary-heap Dijkstra, plus a
+// goal-directed A* variant for single-pair queries with a geometric
+// lower bound).
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
+#include <functional>
 #include <limits>
 #include <optional>
 #include <vector>
@@ -19,11 +24,161 @@ struct Path {
   int HopCount() const { return static_cast<int>(edges.size()); }
 };
 
+// Lower bound on the remaining cost from a node to the (implicit) query
+// destination, used by ShortestPathAStar. Must be admissible (never
+// exceed the true remaining cost over enabled edges) and consistent
+// (|potential(u) - potential(v)| <= weight(u, v) for every edge); the
+// straight-line propagation latency to the destination satisfies both
+// for latency-weighted snapshot graphs. ShortestPathAStar is templated
+// on the callable so a plain lambda inlines into the relax loop; this
+// alias is the type-erased fallback for code that must store one.
+using PotentialFn = std::function<double(NodeId)>;
+
+class DijkstraWorkspace;
+
+template <typename Potential>
+std::optional<Path> ShortestPathAStar(const Graph& g, NodeId src, NodeId dst,
+                                      DijkstraWorkspace& workspace,
+                                      const Potential& potential);
+
+// Reusable scratch for the Dijkstra/A* entry points below. Per-node
+// search state (distance, predecessor edge, stamp) is packed into one
+// 16-byte record and epoch-stamped: an entry is live only while its
+// stamp matches the current epoch, so starting a new query is one
+// counter increment (O(touched) total reset work) instead of an O(n)
+// infinity-fill. The heaps' backing stores are recycled across queries
+// too. One workspace serves graphs of any size (arrays grow on demand)
+// but must not be shared across threads.
+class DijkstraWorkspace {
+ public:
+  DijkstraWorkspace() = default;
+
+  // Heap entry types (public so the .cpp's comparators can name them).
+  struct QueueEntry {
+    double distance;
+    NodeId node;
+  };
+  struct AStarEntry {
+    double fscore;    // distance + potential(node): the heap key
+    double distance;  // settled g-value carried to avoid recomputation
+    NodeId node;
+  };
+
+ private:
+  friend std::optional<Path> ShortestPath(const Graph& g, NodeId src, NodeId dst,
+                                          DijkstraWorkspace& workspace);
+  template <typename Potential>
+  friend std::optional<Path> ShortestPathAStar(const Graph& g, NodeId src,
+                                               NodeId dst,
+                                               DijkstraWorkspace& workspace,
+                                               const Potential& potential);
+  friend void ShortestDistancesInto(const Graph& g, NodeId src,
+                                    DijkstraWorkspace& workspace,
+                                    std::vector<double>* out);
+
+  // Distance/predecessor valid only while stamp matches the workspace
+  // epoch. 16 bytes so one relaxation touches a single cache line.
+  struct NodeState {
+    double dist;
+    EdgeId via;
+    uint32_t stamp;
+  };
+
+  // Grows the arrays to `num_nodes` and opens a fresh epoch. Epoch wrap
+  // (once per ~4e9 queries) forces a full stamp clear.
+  void Begin(int num_nodes);
+
+  double DistanceOf(NodeId n) const {
+    const NodeState& s = state_[static_cast<size_t>(n)];
+    return s.stamp == epoch_ ? s.dist : kInfDistance;
+  }
+  void Relax(NodeId n, double dist, EdgeId via) {
+    state_[static_cast<size_t>(n)] = {dist, via, epoch_};
+  }
+  EdgeId ViaEdge(NodeId n) const { return state_[static_cast<size_t>(n)].via; }
+
+  std::vector<NodeState> state_;
+  std::vector<QueueEntry> heap_;
+  std::vector<AStarEntry> astar_heap_;
+  uint32_t epoch_{0};
+};
+
 // Single-pair shortest path; nullopt if dst is unreachable over enabled
 // edges. Early-exits once dst is settled.
 std::optional<Path> ShortestPath(const Graph& g, NodeId src, NodeId dst);
 
+// As above, reusing `workspace` scratch arrays across queries. Results are
+// identical to the workspace-free overload.
+std::optional<Path> ShortestPath(const Graph& g, NodeId src, NodeId dst,
+                                 DijkstraWorkspace& workspace);
+
+// Goal-directed single-pair shortest path: Dijkstra ordered by
+// distance + potential(node). With an admissible, consistent potential
+// this returns a true shortest path while settling only the corridor
+// around it instead of a full distance ball — the big win for
+// repeated point-to-point queries on snapshot graphs, where the
+// straight-line propagation latency to dst is a tight lower bound.
+// Defined inline so `potential` (typically a capturing lambda) inlines
+// into the relax loop; the arithmetic is identical for every callable
+// type, so the result does not depend on how the potential is passed.
+template <typename Potential>
+std::optional<Path> ShortestPathAStar(const Graph& g, NodeId src, NodeId dst,
+                                      DijkstraWorkspace& workspace,
+                                      const Potential& potential) {
+  const auto greater = [](const DijkstraWorkspace::AStarEntry& a,
+                          const DijkstraWorkspace::AStarEntry& b) {
+    return a.fscore > b.fscore;
+  };
+  g.FinalizeAdjacency();
+  workspace.Begin(g.NumNodes());
+  auto& heap = workspace.astar_heap_;
+  workspace.Relax(src, 0.0, -1);
+  heap.push_back({potential(src), 0.0, src});
+
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), greater);
+    const DijkstraWorkspace::AStarEntry top = heap.back();
+    heap.pop_back();
+    if (top.distance > workspace.DistanceOf(top.node)) {
+      continue;  // stale entry
+    }
+    if (top.node == dst) {
+      break;  // consistent potential => dst's g-value is final here
+    }
+    for (const HalfEdge& half : g.Neighbours(top.node)) {
+      // Disabled edges carry weight = +inf, so they never relax.
+      const double nd = top.distance + half.weight;
+      if (nd < workspace.DistanceOf(half.to)) {
+        workspace.Relax(half.to, nd, half.edge);
+        heap.push_back({nd + potential(half.to), nd, half.to});
+        std::push_heap(heap.begin(), heap.end(), greater);
+      }
+    }
+  }
+
+  if (workspace.DistanceOf(dst) == kInfDistance) {
+    return std::nullopt;
+  }
+  Path path;
+  path.distance = workspace.DistanceOf(dst);
+  for (NodeId cur = dst; cur != src;) {
+    const EdgeId e = workspace.ViaEdge(cur);
+    path.edges.push_back(e);
+    path.nodes.push_back(cur);
+    cur = g.OtherEnd(e, cur);
+  }
+  path.nodes.push_back(src);
+  std::reverse(path.nodes.begin(), path.nodes.end());
+  std::reverse(path.edges.begin(), path.edges.end());
+  return path;
+}
+
 // Single-source distances to every node (kInfDistance if unreachable).
 std::vector<double> ShortestDistances(const Graph& g, NodeId src);
+
+// As above into a caller-owned vector (resized to NumNodes()), reusing
+// `workspace` scratch across queries.
+void ShortestDistancesInto(const Graph& g, NodeId src, DijkstraWorkspace& workspace,
+                           std::vector<double>* out);
 
 }  // namespace leosim::graph

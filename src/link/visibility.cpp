@@ -8,17 +8,61 @@
 
 namespace leosim::link {
 
+namespace {
+
+// Spherical latitude/longitude (degrees) straight from the ECEF vector —
+// the binning-only subset of geo::EcefToGeodetic, with no GeodeticCoord
+// struct, altitude, or longitude wrapping beyond what atan2 provides.
+// atan2 already lands in [-180, 180], matching WrapLongitudeDeg for every
+// input except the measure-zero +180 boundary, where the clamp below
+// absorbs the difference.
+struct LatLonDeg {
+  double lat;
+  double lon;
+};
+
+LatLonDeg SphericalLatLonDeg(const geo::Vec3& ecef) {
+  const double r = ecef.Norm();
+  if (r == 0.0) {
+    return {0.0, 0.0};
+  }
+  return {geo::RadToDeg(std::asin(ecef.z / r)),
+          geo::RadToDeg(std::atan2(ecef.y, ecef.x))};
+}
+
+// The elevation test in threshold form: el >= min_el on [-90, 90] iff
+// sin(el) >= sin(min_el), and sin(el) = dot(ground, sat - ground) /
+// (|ground| |sat - ground|), so the comparison needs one sqrt and no
+// inverse trig per candidate. `threshold` is sin(min_el) * |ground|,
+// hoisted per query — every caller (IsVisible, brute force, the index)
+// evaluates the identical expression so their visible sets agree exactly.
+double SinThreshold(const geo::Vec3& ground_ecef, double min_elevation_deg) {
+  return std::sin(geo::DegToRad(min_elevation_deg)) * ground_ecef.Norm();
+}
+
+bool AboveSinThreshold(const geo::Vec3& ground_ecef, const geo::Vec3& sat_ecef,
+                       double threshold) {
+  const geo::Vec3 to_sat = sat_ecef - ground_ecef;
+  // A coincident satellite (to_sat == 0) compares 0 >= 0: visible, the
+  // overhead case.
+  return ground_ecef.Dot(to_sat) >= threshold * to_sat.Norm();
+}
+
+}  // namespace
+
 bool IsVisible(const geo::Vec3& ground_ecef, const geo::Vec3& sat_ecef,
                double min_elevation_deg) {
-  return geo::ElevationAngleDeg(ground_ecef, sat_ecef) >= min_elevation_deg;
+  return AboveSinThreshold(ground_ecef, sat_ecef,
+                           SinThreshold(ground_ecef, min_elevation_deg));
 }
 
 std::vector<int> VisibleSatellitesBruteForce(const geo::Vec3& ground_ecef,
                                              const std::vector<geo::Vec3>& sat_ecef,
                                              double min_elevation_deg) {
   std::vector<int> visible;
+  const double threshold = SinThreshold(ground_ecef, min_elevation_deg);
   for (size_t i = 0; i < sat_ecef.size(); ++i) {
-    if (IsVisible(ground_ecef, sat_ecef[i], min_elevation_deg)) {
+    if (AboveSinThreshold(ground_ecef, sat_ecef[i], threshold)) {
       visible.push_back(static_cast<int>(i));
     }
   }
@@ -26,76 +70,122 @@ std::vector<int> VisibleSatellitesBruteForce(const geo::Vec3& ground_ecef,
 }
 
 SatelliteIndex::SatelliteIndex(const std::vector<geo::Vec3>& sat_ecef,
-                               double coverage_radius_km)
-    : sat_ecef_(sat_ecef),
-      radius_deg_(geo::RadToDeg(coverage_radius_km / geo::kEarthRadiusKm)) {
-  // Cell size ~ coverage radius keeps the candidate scan to a 3x3-ish
-  // neighbourhood at low latitudes.
-  cell_deg_ = std::clamp(radius_deg_, 2.0, 30.0);
-  lat_cells_ = static_cast<int>(std::ceil(180.0 / cell_deg_));
-  lon_cells_ = static_cast<int>(std::ceil(360.0 / cell_deg_));
-  cells_.resize(static_cast<size_t>(lat_cells_) * lon_cells_);
-  for (size_t i = 0; i < sat_ecef_.size(); ++i) {
-    const geo::GeodeticCoord sub = geo::EcefToGeodetic(sat_ecef_[i]);
-    const int li = std::clamp(
-        static_cast<int>((sub.latitude_deg + 90.0) / cell_deg_), 0, lat_cells_ - 1);
-    const int wi = std::clamp(
-        static_cast<int>((sub.longitude_deg + 180.0) / cell_deg_), 0, lon_cells_ - 1);
-    cells_[static_cast<size_t>(li) * lon_cells_ + wi].push_back(static_cast<int>(i));
-  }
+                               double coverage_radius_km) {
+  Rebuild(sat_ecef, coverage_radius_km);
 }
 
-std::vector<int> SatelliteIndex::CandidateCells(double lat_deg, double lon_deg) const {
-  std::vector<int> cell_ids;
-  const int lat_span = static_cast<int>(std::ceil(radius_deg_ / cell_deg_)) + 1;
-  const int centre_li = std::clamp(static_cast<int>((lat_deg + 90.0) / cell_deg_), 0,
-                                   lat_cells_ - 1);
-  for (int dli = -lat_span; dli <= lat_span; ++dli) {
-    const int li = centre_li + dli;
-    if (li < 0 || li >= lat_cells_) {
-      continue;
-    }
-    // Longitude span widens with the row's latitude; near poles take all.
-    const double row_lat =
-        std::min(std::fabs(-90.0 + (li + 0.5) * cell_deg_) + cell_deg_, 89.9);
-    const double cos_lat = std::cos(geo::DegToRad(row_lat));
-    int lon_span;
-    if (cos_lat < 0.05) {
-      lon_span = lon_cells_;  // take the whole ring
-    } else {
-      lon_span = static_cast<int>(std::ceil(radius_deg_ / (cell_deg_ * cos_lat))) + 1;
-    }
-    const int centre_wi = static_cast<int>((lon_deg + 180.0) / cell_deg_);
-    const int lo = centre_wi - lon_span;
-    const int hi = centre_wi + lon_span;
-    if (hi - lo + 1 >= lon_cells_) {
-      for (int wi = 0; wi < lon_cells_; ++wi) {
-        cell_ids.push_back(li * lon_cells_ + wi);
-      }
-    } else {
-      for (int raw = lo; raw <= hi; ++raw) {
-        const int wi = ((raw % lon_cells_) + lon_cells_) % lon_cells_;
-        cell_ids.push_back(li * lon_cells_ + wi);
-      }
-    }
+void SatelliteIndex::Rebuild(const std::vector<geo::Vec3>& sat_ecef,
+                             double coverage_radius_km) {
+  sat_ecef_.assign(sat_ecef.begin(), sat_ecef.end());
+  radius_deg_ = geo::RadToDeg(coverage_radius_km / geo::kEarthRadiusKm);
+  sin_radius_ = std::sin(geo::DegToRad(radius_deg_));
+  // Half-radius cells: the scanned cell block is the coverage cap's
+  // bounding box rounded out to cell edges, so smaller cells hug the
+  // circle tighter (fewer false candidates) at the cost of more cell
+  // visits. radius/2 is the measured sweet spot for LEO shell densities.
+  cell_deg_ = std::clamp(radius_deg_ / 2.0, 1.0, 30.0);
+  // A satellite within radius_deg_ of the terminal is at most
+  // ceil(radius/cell) rows away from the terminal's row (floor binning).
+  lat_span_ = static_cast<int>(std::ceil(radius_deg_ / cell_deg_));
+  lat_cells_ = static_cast<int>(std::ceil(180.0 / cell_deg_));
+  lon_cells_ = static_cast<int>(std::ceil(360.0 / cell_deg_));
+  const size_t num_cells = static_cast<size_t>(lat_cells_) * lon_cells_;
+
+  // Two-pass CSR bucket build: assign each satellite a cell, count per
+  // cell, prefix-sum, fill. Filling in satellite order keeps each bucket
+  // ascending by id.
+  cell_of_sat_.resize(sat_ecef_.size());
+  cell_offsets_.assign(num_cells + 1, 0);
+  for (size_t i = 0; i < sat_ecef_.size(); ++i) {
+    const LatLonDeg sub = SphericalLatLonDeg(sat_ecef_[i]);
+    const int li =
+        std::clamp(static_cast<int>((sub.lat + 90.0) / cell_deg_), 0, lat_cells_ - 1);
+    const int wi =
+        std::clamp(static_cast<int>((sub.lon + 180.0) / cell_deg_), 0, lon_cells_ - 1);
+    const int32_t cell = static_cast<int32_t>(li) * lon_cells_ + wi;
+    cell_of_sat_[i] = cell;
+    ++cell_offsets_[static_cast<size_t>(cell) + 1];
   }
-  return cell_ids;
+  for (size_t c = 1; c < cell_offsets_.size(); ++c) {
+    cell_offsets_[c] += cell_offsets_[c - 1];
+  }
+  cell_sats_.resize(sat_ecef_.size());
+  // cell_offsets_[c] doubles as the fill cursor for cell c, then is
+  // restored by the shift-back pass.
+  for (size_t i = 0; i < sat_ecef_.size(); ++i) {
+    cell_sats_[static_cast<size_t>(cell_offsets_[static_cast<size_t>(
+        cell_of_sat_[i])]++)] = static_cast<int32_t>(i);
+  }
+  for (size_t c = cell_offsets_.size() - 1; c > 0; --c) {
+    cell_offsets_[c] = cell_offsets_[c - 1];
+  }
+  cell_offsets_[0] = 0;
 }
 
 std::vector<int> SatelliteIndex::Visible(const geo::Vec3& ground_ecef,
                                          double min_elevation_deg) const {
-  const geo::GeodeticCoord g = geo::EcefToGeodetic(ground_ecef);
   std::vector<int> visible;
-  for (const int cell : CandidateCells(g.latitude_deg, g.longitude_deg)) {
-    for (const int sat : cells_[static_cast<size_t>(cell)]) {
-      if (IsVisible(ground_ecef, sat_ecef_[static_cast<size_t>(sat)],
-                    min_elevation_deg)) {
-        visible.push_back(sat);
+  VisibleInto(ground_ecef, min_elevation_deg, &visible);
+  return visible;
+}
+
+void SatelliteIndex::VisibleInto(const geo::Vec3& ground_ecef,
+                                 double min_elevation_deg,
+                                 std::vector<int>* out) const {
+  out->clear();
+  if (sat_ecef_.empty()) {
+    return;
+  }
+  const LatLonDeg g = SphericalLatLonDeg(ground_ecef);
+  const double threshold = SinThreshold(ground_ecef, min_elevation_deg);
+  const int centre_li =
+      std::clamp(static_cast<int>((g.lat + 90.0) / cell_deg_), 0, lat_cells_ - 1);
+  // Longitude half-width of the coverage cap's bounding box: a spherical
+  // cap of angular radius r centred at latitude lat spans at most
+  // asin(sin r / cos lat) of longitude (its widest point sits poleward
+  // of the centre, so one query-level bound covers every row). When the
+  // cap reaches a pole (sin r >= cos lat) take the whole ring.
+  const double cos_lat = std::cos(geo::DegToRad(g.lat));
+  int lon_span;
+  if (sin_radius_ >= cos_lat) {
+    lon_span = lon_cells_;
+  } else {
+    const double lon_radius_deg = geo::RadToDeg(std::asin(sin_radius_ / cos_lat));
+    lon_span = static_cast<int>(std::ceil(lon_radius_deg / cell_deg_));
+  }
+  const int centre_wi = static_cast<int>((g.lon + 180.0) / cell_deg_);
+  const int lo = centre_wi - lon_span;
+  const int hi = centre_wi + lon_span;
+  for (int dli = -lat_span_; dli <= lat_span_; ++dli) {
+    const int li = centre_li + dli;
+    if (li < 0 || li >= lat_cells_) {
+      continue;
+    }
+    const int row_base = li * lon_cells_;
+    const auto scan_cell = [&](int cell) {
+      const size_t begin = static_cast<size_t>(cell_offsets_[static_cast<size_t>(cell)]);
+      const size_t end =
+          static_cast<size_t>(cell_offsets_[static_cast<size_t>(cell) + 1]);
+      for (size_t k = begin; k < end; ++k) {
+        const int sat = cell_sats_[k];
+        if (AboveSinThreshold(ground_ecef, sat_ecef_[static_cast<size_t>(sat)],
+                              threshold)) {
+          out->push_back(sat);
+        }
+      }
+    };
+    if (hi - lo + 1 >= lon_cells_) {
+      for (int wi = 0; wi < lon_cells_; ++wi) {
+        scan_cell(row_base + wi);
+      }
+    } else {
+      for (int raw = lo; raw <= hi; ++raw) {
+        const int wi = ((raw % lon_cells_) + lon_cells_) % lon_cells_;
+        scan_cell(row_base + wi);
       }
     }
   }
-  std::sort(visible.begin(), visible.end());
-  return visible;
+  std::sort(out->begin(), out->end());
 }
 
 }  // namespace leosim::link

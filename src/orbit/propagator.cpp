@@ -7,23 +7,6 @@
 
 namespace leosim::orbit {
 
-namespace {
-
-// Rotates the in-plane position (cos u, sin u, 0) scaled by r into the
-// inertial frame given RAAN and inclination.
-geo::Vec3 PerifocalToEci(double r, double u, double raan, double inclination) {
-  const double cos_u = std::cos(u);
-  const double sin_u = std::sin(u);
-  const double cos_raan = std::cos(raan);
-  const double sin_raan = std::sin(raan);
-  const double cos_i = std::cos(inclination);
-  const double sin_i = std::sin(inclination);
-  return {r * (cos_raan * cos_u - sin_raan * sin_u * cos_i),
-          r * (sin_raan * cos_u + cos_raan * sin_u * cos_i), r * sin_u * sin_i};
-}
-
-}  // namespace
-
 double J2RaanDriftRadPerSec(double altitude_km, double inclination_deg) {
   const double r = OrbitRadiusKm(altitude_km);
   const double n = MeanMotionRadPerSec(altitude_km);
@@ -40,26 +23,50 @@ CircularOrbit::CircularOrbit(const CircularOrbitElements& elements,
       raan_drift_rad_s_(apply_j2_regression
                             ? J2RaanDriftRadPerSec(elements.altitude_km,
                                                    elements.inclination_deg)
-                            : 0.0) {}
+                            : 0.0),
+      u0_rad_(geo::DegToRad(elements.arg_latitude_epoch_deg)),
+      raan0_rad_(geo::DegToRad(elements.raan_deg)),
+      cos_raan0_(std::cos(raan0_rad_)),
+      sin_raan0_(std::sin(raan0_rad_)),
+      cos_inc_(std::cos(geo::DegToRad(elements.inclination_deg))),
+      sin_inc_(std::sin(geo::DegToRad(elements.inclination_deg))) {}
 
 geo::Vec3 CircularOrbit::PositionEci(double seconds_since_epoch) const {
-  const double u = geo::DegToRad(elements_.arg_latitude_epoch_deg) +
-                   mean_motion_rad_s_ * seconds_since_epoch;
-  const double raan =
-      geo::DegToRad(elements_.raan_deg) + raan_drift_rad_s_ * seconds_since_epoch;
-  return PerifocalToEci(radius_km_, u, raan, geo::DegToRad(elements_.inclination_deg));
+  const double u = u0_rad_ + mean_motion_rad_s_ * seconds_since_epoch;
+  double cos_raan = cos_raan0_;
+  double sin_raan = sin_raan0_;
+  if (raan_drift_rad_s_ != 0.0) {
+    const double raan = raan0_rad_ + raan_drift_rad_s_ * seconds_since_epoch;
+    cos_raan = std::cos(raan);
+    sin_raan = std::sin(raan);
+  }
+  const double cos_u = std::cos(u);
+  const double sin_u = std::sin(u);
+  // In-plane position (cos u, sin u, 0) scaled by r, rotated into the
+  // inertial frame by RAAN and inclination.
+  return {radius_km_ * (cos_raan * cos_u - sin_raan * sin_u * cos_inc_),
+          radius_km_ * (sin_raan * cos_u + cos_raan * sin_u * cos_inc_),
+          radius_km_ * sin_u * sin_inc_};
 }
 
 geo::Vec3 CircularOrbit::VelocityEci(double seconds_since_epoch) const {
-  const double u = geo::DegToRad(elements_.arg_latitude_epoch_deg) +
-                   mean_motion_rad_s_ * seconds_since_epoch;
-  const double raan =
-      geo::DegToRad(elements_.raan_deg) + raan_drift_rad_s_ * seconds_since_epoch;
+  const double u = u0_rad_ + mean_motion_rad_s_ * seconds_since_epoch +
+                   geo::kPi / 2.0;
+  double cos_raan = cos_raan0_;
+  double sin_raan = sin_raan0_;
+  if (raan_drift_rad_s_ != 0.0) {
+    const double raan = raan0_rad_ + raan_drift_rad_s_ * seconds_since_epoch;
+    cos_raan = std::cos(raan);
+    sin_raan = std::sin(raan);
+  }
   // d/dt of the perifocal position: u advances at the mean motion, so the
   // velocity is the in-plane tangent scaled by v = n * r.
   const double v = mean_motion_rad_s_ * radius_km_;
-  return PerifocalToEci(v, u + geo::kPi / 2.0, raan,
-                        geo::DegToRad(elements_.inclination_deg));
+  const double cos_u = std::cos(u);
+  const double sin_u = std::sin(u);
+  return {v * (cos_raan * cos_u - sin_raan * sin_u * cos_inc_),
+          v * (sin_raan * cos_u + cos_raan * sin_u * cos_inc_),
+          v * sin_u * sin_inc_};
 }
 
 geo::Vec3 CircularOrbit::PositionEcef(double seconds_since_epoch) const {

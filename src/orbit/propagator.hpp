@@ -39,6 +39,16 @@ class CircularOrbit {
   double radius_km_;
   double mean_motion_rad_s_;
   double raan_drift_rad_s_;
+  // Constant angles (radians) and their trig, precomputed at construction
+  // so per-timestep propagation is two sincos calls plus an affine map.
+  // With J2 regression the RAAN rotation is time-dependent and its trig is
+  // recomputed per call; the values below then serve as the epoch basis.
+  double u0_rad_;
+  double raan0_rad_;
+  double cos_raan0_;
+  double sin_raan0_;
+  double cos_inc_;
+  double sin_inc_;
 };
 
 }  // namespace leosim::orbit

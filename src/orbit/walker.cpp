@@ -1,7 +1,10 @@
 #include "orbit/walker.hpp"
 
 #include <cassert>
+#include <cmath>
 #include <stdexcept>
+
+#include "geo/coordinates.hpp"
 
 namespace leosim::orbit {
 
@@ -77,11 +80,23 @@ int Constellation::IndexOf(const SatelliteId& id) const {
 
 std::vector<geo::Vec3> Constellation::PositionsEcef(double seconds_since_epoch) const {
   std::vector<geo::Vec3> positions;
-  positions.reserve(orbits_.size());
-  for (const CircularOrbit& orbit : orbits_) {
-    positions.push_back(orbit.PositionEcef(seconds_since_epoch));
-  }
+  PositionsEcefInto(seconds_since_epoch, &positions);
   return positions;
+}
+
+void Constellation::PositionsEcefInto(double seconds_since_epoch,
+                                      std::vector<geo::Vec3>* out) const {
+  out->clear();
+  out->reserve(orbits_.size());
+  // One ECI->ECEF rotation serves the whole snapshot (same expression as
+  // geo::EciToEcef, with the trig hoisted out of the satellite loop).
+  const double theta = geo::kEarthRotationRadPerSec * seconds_since_epoch;
+  const double c = std::cos(theta);
+  const double s = std::sin(theta);
+  for (const CircularOrbit& orbit : orbits_) {
+    const geo::Vec3 eci = orbit.PositionEci(seconds_since_epoch);
+    out->push_back({c * eci.x + s * eci.y, -s * eci.x + c * eci.y, eci.z});
+  }
 }
 
 OrbitalShell StarlinkShell1() {

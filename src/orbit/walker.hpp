@@ -77,6 +77,12 @@ class Constellation {
   // Positions of all satellites at one instant (ECEF, km).
   std::vector<geo::Vec3> PositionsEcef(double seconds_since_epoch) const;
 
+  // As PositionsEcef into a caller-owned vector (capacity reused across
+  // timesteps). The Earth-rotation trig is computed once per call instead
+  // of once per satellite; results are identical to PositionsEcef.
+  void PositionsEcefInto(double seconds_since_epoch,
+                         std::vector<geo::Vec3>* out) const;
+
  private:
   std::vector<OrbitalShell> shells_;
   std::vector<int> shell_start_index_;

@@ -127,5 +127,40 @@ TEST(ParallelForTest, ZeroCountIsNoOpForAnyThreadCount) {
   }
 }
 
+TEST(ParallelForWorkersTest, VisitsEveryIndexWithDenseWorkerIds) {
+  const int n = 200;
+  const int threads = 4;
+  std::vector<std::atomic<int>> visits(n);
+  std::mutex mutex;
+  std::set<int> workers_seen;
+  ParallelForWorkers(
+      n,
+      [&](int worker, int i) {
+        visits[static_cast<size_t>(i)].fetch_add(1);
+        const std::lock_guard<std::mutex> lock(mutex);
+        workers_seen.insert(worker);
+      },
+      threads);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(visits[static_cast<size_t>(i)].load(), 1) << i;
+  }
+  // Worker ids are dense in [0, threads) — the contract per-worker
+  // scratch arrays rely on.
+  EXPECT_GE(workers_seen.size(), 1u);
+  for (const int w : workers_seen) {
+    EXPECT_GE(w, 0);
+    EXPECT_LT(w, threads);
+  }
+}
+
+TEST(ParallelForWorkersTest, SingleWorkerScratchIsSafe) {
+  // With one thread the same worker id serves every index, so non-atomic
+  // per-worker state is safe — the pattern the studies use.
+  std::vector<int> scratch(1, 0);
+  ParallelForWorkers(
+      100, [&](int worker, int) { ++scratch[static_cast<size_t>(worker)]; }, 1);
+  EXPECT_EQ(scratch[0], 100);
+}
+
 }  // namespace
 }  // namespace leosim::core
