@@ -9,6 +9,9 @@
 //   --step=SEC        snapshot spacing                   (default 900 = 15 min)
 //   --full            paper-scale run: 1000 cities, 5000 pairs, 0.5-deg
 //                     grid, 96 snapshots (hours of compute)
+//   --log-level=L     obs logging (off|error|warn|info|debug; default off)
+//   --metrics-out=F   write the metrics registry as JSON on exit
+//   --trace-out=F     enable span tracing, write Chrome trace JSON on exit
 //
 // Scaled-down defaults preserve the paper's qualitative shape; see
 // EXPERIMENTS.md for the mapping.
@@ -28,6 +31,9 @@
 #include "core/network_builder.hpp"
 #include "core/traffic_matrix.hpp"
 #include "data/city_catalog.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace leosim::bench {
 
@@ -39,6 +45,9 @@ struct BenchConfig {
   int num_snapshots{12};
   double step_sec{900.0};
   uint64_t seed{20201104};
+  std::string log_level;    // empty = leave LEOSIM_LOG in charge
+  std::string metrics_out;  // empty = no metrics export
+  std::string trace_out;    // empty = tracing stays off
 };
 
 inline BenchConfig ParseFlags(int argc, char** argv) {
@@ -61,6 +70,12 @@ inline BenchConfig ParseFlags(int argc, char** argv) {
       config.num_snapshots = std::atoi(v);
     } else if (const char* v = value_of("--step=")) {
       config.step_sec = std::atof(v);
+    } else if (const char* v = value_of("--log-level=")) {
+      config.log_level = v;
+    } else if (const char* v = value_of("--metrics-out=")) {
+      config.metrics_out = v;
+    } else if (const char* v = value_of("--trace-out=")) {
+      config.trace_out = v;
     } else if (arg == "--full") {
       config.num_cities = 1000;
       config.num_pairs = 5000;
@@ -70,11 +85,41 @@ inline BenchConfig ParseFlags(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "flags: --pairs=N --cities=N --spacing=DEG --aircraft=SCALE "
-          "--snapshots=N --step=SEC --full\n");
+          "--snapshots=N --step=SEC --full --log-level=L --metrics-out=F "
+          "--trace-out=F\n");
       std::exit(0);
     }
   }
   return config;
+}
+
+// Applies the observability flags: call once after ParseFlags, before any
+// timed work (tracing must be on before the spans of interest run).
+inline void ApplyObsConfig(const BenchConfig& config) {
+  if (!config.log_level.empty()) {
+    obs::SetLogLevel(obs::ParseLogLevel(config.log_level));
+  }
+  if (!config.trace_out.empty()) {
+    obs::EnableTracing(true);
+  }
+}
+
+// Writes the requested metrics/trace files; call once on exit.
+inline void WriteObsOutputs(const BenchConfig& config) {
+  if (!config.metrics_out.empty()) {
+    if (obs::MetricsRegistry::Global().WriteJson(config.metrics_out)) {
+      std::printf("# wrote %s\n", config.metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "bench: cannot write %s\n", config.metrics_out.c_str());
+    }
+  }
+  if (!config.trace_out.empty()) {
+    if (obs::WriteTraceJson(config.trace_out)) {
+      std::printf("# wrote %s\n", config.trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "bench: cannot write %s\n", config.trace_out.c_str());
+    }
+  }
 }
 
 inline std::vector<data::City> MakeCities(const BenchConfig& config) {
@@ -135,16 +180,21 @@ inline std::vector<core::CityPair> MakePairs(const BenchConfig& config,
 //     "config": { "<key>": "<value>", ... },
 //     "results": [
 //       { "name": "<bench>", "reps": N, "iters_per_rep": M,
-//         "median_ns_per_op": X, "min_ns_per_op": Y, "ops_per_sec": Z },
+//         "median_ns_per_op": X, "min_ns_per_op": Y, "max_ns_per_op": W,
+//         "ops_per_sec": Z },
 //       ...
 //     ]
 //   }
+//
+// max_ns_per_op is schema-additive: older records without it stay valid,
+// and tooling keyed on median/min keeps working unchanged.
 struct BenchResult {
   std::string name;
   int reps{0};
   int64_t iters_per_rep{0};
   double median_ns_per_op{0.0};
   double min_ns_per_op{0.0};
+  double max_ns_per_op{0.0};
   double ops_per_sec{0.0};
 };
 
@@ -176,6 +226,7 @@ class BenchSuite {
     result.reps = reps;
     result.iters_per_rep = iters_per_rep;
     result.min_ns_per_op = ns_per_op.front();
+    result.max_ns_per_op = ns_per_op.back();
     const size_t mid = ns_per_op.size() / 2;
     result.median_ns_per_op =
         ns_per_op.size() % 2 == 1
@@ -183,9 +234,11 @@ class BenchSuite {
             : 0.5 * (ns_per_op[mid - 1] + ns_per_op[mid]);
     result.ops_per_sec =
         result.median_ns_per_op > 0.0 ? 1e9 / result.median_ns_per_op : 0.0;
-    std::printf("%-32s median %14.1f ns/op   min %14.1f ns/op   %12.1f ops/s\n",
-                bench_name.c_str(), result.median_ns_per_op, result.min_ns_per_op,
-                result.ops_per_sec);
+    std::printf(
+        "%-32s median %14.1f ns/op   min %14.1f ns/op   max %14.1f ns/op   "
+        "%12.1f ops/s\n",
+        bench_name.c_str(), result.median_ns_per_op, result.min_ns_per_op,
+        result.max_ns_per_op, result.ops_per_sec);
     std::fflush(stdout);
     results_.push_back(std::move(result));
   }
@@ -208,10 +261,11 @@ class BenchSuite {
       std::fprintf(f,
                    "%s\n    { \"name\": \"%s\", \"reps\": %d, "
                    "\"iters_per_rep\": %lld, \"median_ns_per_op\": %.1f, "
-                   "\"min_ns_per_op\": %.1f, \"ops_per_sec\": %.1f }",
+                   "\"min_ns_per_op\": %.1f, \"max_ns_per_op\": %.1f, "
+                   "\"ops_per_sec\": %.1f }",
                    i == 0 ? "" : ",", r.name.c_str(), r.reps,
                    static_cast<long long>(r.iters_per_rep), r.median_ns_per_op,
-                   r.min_ns_per_op, r.ops_per_sec);
+                   r.min_ns_per_op, r.max_ns_per_op, r.ops_per_sec);
     }
     std::fprintf(f, "\n  ]\n}\n");
     std::fclose(f);

@@ -28,6 +28,7 @@ using namespace leosim;
 
 int main(int argc, char** argv) {
   const bench::BenchConfig config = bench::ParseFlags(argc, argv);
+  bench::ApplyObsConfig(config);
   bench::PrintConfig(config, "snapshot-pipeline benchmark");
 
   const std::vector<data::City> cities = bench::MakeCities(config);
@@ -117,5 +118,6 @@ int main(int argc, char** argv) {
   }
 
   suite.WriteJson("BENCH_pipeline.json");
+  bench::WriteObsOutputs(config);
   return 0;
 }

@@ -6,18 +6,31 @@
 //   leosim_cli attenuation <city> [freq_ghz]       ITU-R budget at the site
 //   leosim_cli pairs <count>                       sample a traffic matrix
 //   leosim_cli cities [substring]                  list known cities
+//   leosim_cli study latency [flags]               small latency study run
+//
+// Global observability flags (any command, any position):
+//   --log-level=L    structured logging to stderr (error|warn|info|debug)
+//   --metrics-out=F  write the metrics registry as JSON on exit
+//   --trace-out=F    record spans, write Chrome trace JSON on exit
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "core/attenuation_study.hpp"
+#include "core/latency_study.hpp"
 #include "core/network_builder.hpp"
+#include "core/report.hpp"
 #include "core/traffic_matrix.hpp"
 #include "data/cities.hpp"
 #include "geo/geodesic.hpp"
 #include "graph/dijkstra.hpp"
 #include "itur/slant_path.hpp"
 #include "link/visibility.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 using namespace leosim;
 
@@ -30,7 +43,11 @@ int Usage() {
       "  visible <city>                 satellites visible right now\n"
       "  attenuation <city> [freq_ghz]  ITU-R attenuation budget\n"
       "  pairs <count>                  sample a >2000 km traffic matrix\n"
-      "  cities [substring]             list known cities\n");
+      "  cities [substring]             list known cities\n"
+      "  study latency [--pairs=N] [--snapshots=N] [--step=SEC]\n"
+      "                [--spacing=DEG] [--manifest-out=F]\n"
+      "                                 run a small BP-vs-hybrid latency study\n"
+      "global flags: --log-level=L --metrics-out=F --trace-out=F\n");
   return 2;
 }
 
@@ -140,6 +157,102 @@ int CmdPairs(int count) {
   return 0;
 }
 
+// Scaled-down latency study (paper Fig. 2 inner loop): BP vs hybrid
+// min-RTT over a short schedule. Small defaults keep it interactive;
+// with --metrics-out/--trace-out it doubles as the observability demo.
+int CmdStudyLatency(const std::vector<std::string>& args) {
+  int num_pairs = 10;
+  int num_snapshots = 2;
+  double step_sec = 60.0;
+  double spacing_deg = 3.0;
+  std::string manifest_out;
+  for (const std::string& arg : args) {
+    const auto value_of = [&arg](const char* prefix) -> const char* {
+      const size_t len = std::strlen(prefix);
+      return arg.compare(0, len, prefix) == 0 ? arg.c_str() + len : nullptr;
+    };
+    if (const char* v = value_of("--pairs=")) {
+      num_pairs = std::atoi(v);
+    } else if (const char* v = value_of("--snapshots=")) {
+      num_snapshots = std::atoi(v);
+    } else if (const char* v = value_of("--step=")) {
+      step_sec = std::atof(v);
+    } else if (const char* v = value_of("--spacing=")) {
+      spacing_deg = std::atof(v);
+    } else if (const char* v = value_of("--manifest-out=")) {
+      manifest_out = v;
+    } else {
+      std::printf("study latency: unknown flag %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  core::RunReport report("latency_study");
+  report.AddParam("pairs", num_pairs);
+  report.AddParam("snapshots", num_snapshots);
+  report.AddParam("step_sec", step_sec);
+  report.AddParam("relay_spacing_deg", spacing_deg);
+
+  const core::StudyTimer timer;
+  const core::Scenario scenario = core::Scenario::Starlink();
+  const std::vector<data::City>& cities = data::AnchorCities();
+  core::NetworkOptions options;
+  options.relay_spacing_deg = spacing_deg;
+  options.mode = core::ConnectivityMode::kBentPipe;
+  const core::NetworkModel bent_pipe(scenario, options, cities);
+  options.mode = core::ConnectivityMode::kHybrid;
+  const core::NetworkModel hybrid(scenario, options, cities);
+
+  core::TrafficMatrixOptions traffic;
+  traffic.num_pairs = num_pairs;
+  const std::vector<core::CityPair> pairs = core::SampleCityPairs(cities, traffic);
+
+  core::SnapshotSchedule schedule;
+  schedule.step_sec = step_sec;
+  schedule.duration_sec = step_sec * num_snapshots;
+  const core::LatencyStudyResult result =
+      core::RunLatencyStudy(bent_pipe, hybrid, pairs, schedule);
+
+  core::StudySummary summary;
+  summary.study = "latency";
+  summary.snapshots_built = 2 * static_cast<uint64_t>(result.snapshot_times.size());
+  for (const std::vector<core::PairRttSeries>* series :
+       {&result.bp, &result.hybrid}) {
+    for (const core::PairRttSeries& s : *series) {
+      const uint64_t unreachable = static_cast<uint64_t>(s.UnreachableCount());
+      summary.pairs_unreachable += unreachable;
+      summary.pairs_routed += s.rtt_ms.size() - unreachable;
+    }
+  }
+  summary.wall_seconds = timer.Seconds();
+  report.AddSummary(summary);
+
+  const auto mean_min_rtt = [&result](const std::vector<core::PairRttSeries>& s) {
+    const std::vector<double> values = result.MinRtts(s);
+    double sum = 0.0;
+    for (const double v : values) {
+      sum += v;
+    }
+    return values.empty() ? 0.0 : sum / static_cast<double>(values.size());
+  };
+  std::printf("latency study: %zu pairs x %zu snapshots\n", pairs.size(),
+              result.snapshot_times.size());
+  std::printf("  bent-pipe mean min-RTT: %7.1f ms\n", mean_min_rtt(result.bp));
+  std::printf("  hybrid    mean min-RTT: %7.1f ms\n", mean_min_rtt(result.hybrid));
+  std::printf("  routed %llu pair-snapshots, %llu unreachable, %.2f s\n",
+              static_cast<unsigned long long>(summary.pairs_routed),
+              static_cast<unsigned long long>(summary.pairs_unreachable),
+              summary.wall_seconds);
+  if (!manifest_out.empty()) {
+    if (!report.WriteManifest(manifest_out)) {
+      std::printf("cannot write %s\n", manifest_out.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", manifest_out.c_str());
+  }
+  return 0;
+}
+
 int CmdCities(const std::string& filter) {
   int shown = 0;
   for (const data::City& c : data::AnchorCities()) {
@@ -157,25 +270,65 @@ int CmdCities(const std::string& filter) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    return Usage();
+  // Peel off the global observability flags; everything else dispatches
+  // positionally as before.
+  std::string metrics_out;
+  std::string trace_out;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value_of = [&arg](const char* prefix) -> const char* {
+      const size_t len = std::strlen(prefix);
+      return arg.compare(0, len, prefix) == 0 ? arg.c_str() + len : nullptr;
+    };
+    if (const char* v = value_of("--log-level=")) {
+      obs::SetLogLevel(obs::ParseLogLevel(v));
+    } else if (const char* v = value_of("--metrics-out=")) {
+      metrics_out = v;
+    } else if (const char* v = value_of("--trace-out=")) {
+      trace_out = v;
+      obs::EnableTracing(true);
+    } else {
+      args.push_back(arg);
+    }
   }
-  const std::string command = argv[1];
-  if (command == "route" && argc >= 4) {
-    const bool bp = argc >= 5 && std::strcmp(argv[4], "--bp") == 0;
-    return CmdRoute(argv[2], argv[3], bp);
+
+  int rc = 2;
+  const std::string command = args.empty() ? "" : args[0];
+  if (command.empty()) {
+    rc = Usage();
+  } else if (command == "route" && args.size() >= 3) {
+    const bool bp = args.size() >= 4 && args[3] == "--bp";
+    rc = CmdRoute(args[1], args[2], bp);
+  } else if (command == "visible" && args.size() >= 2) {
+    rc = CmdVisible(args[1]);
+  } else if (command == "attenuation" && args.size() >= 2) {
+    rc = CmdAttenuation(args[1], args.size() >= 3 ? std::atof(args[2].c_str()) : 14.25);
+  } else if (command == "pairs" && args.size() >= 2) {
+    rc = CmdPairs(std::atoi(args[1].c_str()));
+  } else if (command == "cities") {
+    rc = CmdCities(args.size() >= 2 ? args[1] : "");
+  } else if (command == "study" && args.size() >= 2 && args[1] == "latency") {
+    rc = CmdStudyLatency({args.begin() + 2, args.end()});
+  } else {
+    rc = Usage();
   }
-  if (command == "visible" && argc >= 3) {
-    return CmdVisible(argv[2]);
+
+  if (!metrics_out.empty()) {
+    if (obs::MetricsRegistry::Global().WriteJson(metrics_out)) {
+      std::printf("wrote %s\n", metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
+      rc = rc == 0 ? 1 : rc;
+    }
   }
-  if (command == "attenuation" && argc >= 3) {
-    return CmdAttenuation(argv[2], argc >= 4 ? std::atof(argv[3]) : 14.25);
+  if (!trace_out.empty()) {
+    if (obs::WriteTraceJson(trace_out)) {
+      std::printf("wrote %s\n", trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+      rc = rc == 0 ? 1 : rc;
+    }
   }
-  if (command == "pairs" && argc >= 3) {
-    return CmdPairs(std::atoi(argv[2]));
-  }
-  if (command == "cities") {
-    return CmdCities(argc >= 3 ? argv[2] : "");
-  }
-  return Usage();
+  return rc;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/report.hpp"
 #include "geo/geodesic.hpp"
 #include "itur/slant_path.hpp"
 
@@ -56,6 +57,7 @@ AttenuationDistributions RunAttenuationStudy(const NetworkModel& bp_model,
                                              const std::vector<CityPair>& pairs,
                                              double time_sec,
                                              const AttenuationOptions& options) {
+  const StudyTimer timer;
   const NetworkModel::Snapshot bp_snap = bp_model.BuildSnapshot(time_sec);
   const NetworkModel::Snapshot isl_snap = isl_model.BuildSnapshot(time_sec);
 
@@ -81,6 +83,14 @@ AttenuationDistributions RunAttenuationStudy(const NetworkModel& bp_model,
       ++result.isl_unreachable;
     }
   }
+  StudySummary summary;
+  summary.study = "attenuation";
+  summary.snapshots_built = 2;
+  summary.pairs_routed = result.bp_db.size() + result.isl_db.size();
+  summary.pairs_unreachable = static_cast<uint64_t>(result.bp_unreachable) +
+                              static_cast<uint64_t>(result.isl_unreachable);
+  summary.wall_seconds = timer.Seconds();
+  EmitStudySummary(summary);
   return result;
 }
 

@@ -5,6 +5,7 @@
 #include <set>
 #include <stdexcept>
 
+#include "core/report.hpp"
 #include "graph/dijkstra.hpp"
 
 namespace leosim::core {
@@ -35,7 +36,8 @@ double Jaccard(const std::set<graph::NodeId>& a, const std::set<graph::NodeId>& 
 }
 
 ChurnStats ChurnForPair(const NetworkModel& model, int idx_a, int idx_b,
-                        const SnapshotSchedule& schedule) {
+                        const SnapshotSchedule& schedule,
+                        StudySummary* summary) {
   ChurnStats stats;
   std::set<graph::NodeId> prev_nodes;
   double prev_rtt = -1.0;
@@ -51,12 +53,15 @@ ChurnStats ChurnForPair(const NetworkModel& model, int idx_a, int idx_b,
     const auto path = graph::ShortestPath(snap.graph, snap.CityNode(idx_a),
                                           snap.CityNode(idx_b), dijkstra_ws);
     ++stats.snapshots;
+    ++summary->snapshots_built;
     if (!path.has_value()) {
+      ++summary->pairs_unreachable;
       prev_nodes.clear();
       have_prev = false;
       prev_rtt = -1.0;
       continue;
     }
+    ++summary->pairs_routed;
     const std::set<graph::NodeId> nodes(path->nodes.begin(), path->nodes.end());
     const double rtt = 2.0 * path->distance;
     if (have_prev) {
@@ -82,8 +87,15 @@ ChurnStats ChurnForPair(const NetworkModel& model, int idx_a, int idx_b,
 ChurnStats RunChurnStudy(const NetworkModel& model, const std::string& city_a,
                          const std::string& city_b,
                          const SnapshotSchedule& schedule) {
-  return ChurnForPair(model, CityIndexByName(model.cities(), city_a),
-                      CityIndexByName(model.cities(), city_b), schedule);
+  const StudyTimer timer;
+  StudySummary summary;
+  summary.study = "churn";
+  const ChurnStats stats =
+      ChurnForPair(model, CityIndexByName(model.cities(), city_a),
+                   CityIndexByName(model.cities(), city_b), schedule, &summary);
+  summary.wall_seconds = timer.Seconds();
+  EmitStudySummary(summary);
+  return stats;
 }
 
 AggregateChurn RunAggregateChurnStudy(const NetworkModel& model,
@@ -102,20 +114,26 @@ AggregateChurn RunAggregateChurnStudy(const NetworkModel& model,
   };
   std::vector<PairState> state(pairs.size());
 
+  const StudyTimer timer;
+  StudySummary summary;
+  summary.study = "churn_aggregate";
   const std::vector<double> times = schedule.Times();
   NetworkModel::SnapshotWorkspace snapshot_ws;
   graph::DijkstraWorkspace dijkstra_ws;
   for (const double t : times) {
     const auto& snap = model.BuildSnapshot(t, &snapshot_ws);
+    ++summary.snapshots_built;
     for (size_t i = 0; i < pairs.size(); ++i) {
       PairState& ps = state[i];
       const auto path =
           graph::ShortestPath(snap.graph, snap.CityNode(pairs[i].a),
                               snap.CityNode(pairs[i].b), dijkstra_ws);
       if (!path.has_value()) {
+        ++summary.pairs_unreachable;
         ps.have_prev = false;
         continue;
       }
+      ++summary.pairs_routed;
       const std::set<graph::NodeId> nodes(path->nodes.begin(), path->nodes.end());
       const double rtt = 2.0 * path->distance;
       if (ps.have_prev) {
@@ -147,6 +165,8 @@ AggregateChurn RunAggregateChurnStudy(const NetworkModel& model,
     agg.mean_jaccard /= agg.pairs_evaluated;
     agg.mean_rtt_jitter_ms /= agg.pairs_evaluated;
   }
+  summary.wall_seconds = timer.Seconds();
+  EmitStudySummary(summary);
   return agg;
 }
 

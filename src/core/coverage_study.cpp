@@ -1,5 +1,6 @@
 #include "core/coverage_study.hpp"
 
+#include "core/report.hpp"
 #include "geo/geodesic.hpp"
 #include "link/visibility.hpp"
 #include "orbit/walker.hpp"
@@ -8,6 +9,7 @@ namespace leosim::core {
 
 std::vector<CoverageRow> RunCoverageStudy(const Scenario& scenario,
                                           const CoverageStudyOptions& options) {
+  const StudyTimer timer;
   orbit::Constellation constellation;
   constellation.AddShell(scenario.shell);
   const double coverage = geo::CoverageRadiusKm(scenario.shell.altitude_km,
@@ -47,6 +49,11 @@ std::vector<CoverageRow> RunCoverageStudy(const Scenario& scenario,
     row.mean_visible /= samples;
     row.availability /= samples;
   }
+  StudySummary summary;
+  summary.study = "coverage";
+  summary.snapshots_built = static_cast<uint64_t>(samples);
+  summary.wall_seconds = timer.Seconds();
+  EmitStudySummary(summary);
   return rows;
 }
 

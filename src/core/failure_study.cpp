@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "core/report.hpp"
 #include "data/rng.hpp"
 #include "graph/dijkstra.hpp"
 
@@ -11,7 +12,11 @@ namespace leosim::core {
 std::vector<FailureRow> RunFailureStudy(const NetworkModel& model,
                                         const std::vector<CityPair>& pairs,
                                         const FailureStudyOptions& options) {
+  const StudyTimer timer;
+  StudySummary summary;
+  summary.study = "failure";
   NetworkModel::Snapshot snap = model.BuildSnapshot(options.time_sec);
+  summary.snapshots_built = 1;
   data::SplitMix64 rng(options.seed);
 
   std::vector<FailureRow> rows;
@@ -48,8 +53,11 @@ std::vector<FailureRow> RunFailureStudy(const NetworkModel& model,
                                               snap.CityNode(pair.b), dijkstra_ws);
         if (path.has_value()) {
           ++reachable;
+          ++summary.pairs_routed;
           rtt_sum += 2.0 * path->distance;
           ++rtt_count;
+        } else {
+          ++summary.pairs_unreachable;
         }
       }
       reachable_sum += static_cast<double>(reachable) / pairs.size();
@@ -64,6 +72,8 @@ std::vector<FailureRow> RunFailureStudy(const NetworkModel& model,
     row.mean_rtt_ms = rtt_count > 0 ? rtt_sum / rtt_count : 0.0;
     rows.push_back(row);
   }
+  summary.wall_seconds = timer.Seconds();
+  EmitStudySummary(summary);
   return rows;
 }
 

@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "core/report.hpp"
 #include "geo/geodesic.hpp"
 #include "link/visibility.hpp"
 
@@ -11,6 +12,7 @@ FiberStudyResult RunFiberStudy(const Scenario& scenario,
                                const std::vector<data::City>& cities,
                                const FiberStudyOptions& options,
                                const SnapshotSchedule& schedule) {
+  const StudyTimer timer;
   const ground::FiberGroup group = ground::BuildFiberGroup(
       cities, options.metro, options.fiber_radius_km, options.max_members);
 
@@ -78,6 +80,11 @@ FiberStudyResult RunFiberStudy(const Scenario& scenario,
   result.link_gain = result.metro_mean_links > 0.0
                          ? result.group_mean_links / result.metro_mean_links
                          : 0.0;
+  StudySummary summary;
+  summary.study = "fiber";
+  summary.snapshots_built = times.size();
+  summary.wall_seconds = timer.Seconds();
+  EmitStudySummary(summary);
   return result;
 }
 

@@ -1,5 +1,6 @@
 #include "core/gso_network_study.hpp"
 
+#include "core/report.hpp"
 #include "graph/dijkstra.hpp"
 
 namespace leosim::core {
@@ -9,7 +10,8 @@ namespace {
 GsoModeImpact CompareMode(const Scenario& scenario,
                           const std::vector<data::City>& cities,
                           const std::vector<CityPair>& pairs,
-                          NetworkOptions options, const GsoNetworkOptions& gso) {
+                          NetworkOptions options, const GsoNetworkOptions& gso,
+                          StudySummary* summary) {
   options.apply_gso_exclusion = false;
   const NetworkModel plain(scenario, options, cities);
   options.apply_gso_exclusion = true;
@@ -18,6 +20,7 @@ GsoModeImpact CompareMode(const Scenario& scenario,
 
   const auto plain_snap = plain.BuildSnapshot(gso.time_sec);
   const auto excl_snap = excluded.BuildSnapshot(gso.time_sec);
+  summary->snapshots_built += 2;
 
   GsoModeImpact impact;
   impact.pairs = static_cast<int>(pairs.size());
@@ -34,9 +37,15 @@ GsoModeImpact CompareMode(const Scenario& scenario,
                             excl_snap.CityNode(pair.b), dijkstra_ws);
     if (p0.has_value()) {
       ++impact.reachable_without_exclusion;
+      ++summary->pairs_routed;
+    } else {
+      ++summary->pairs_unreachable;
     }
     if (p1.has_value()) {
       ++impact.reachable_with_exclusion;
+      ++summary->pairs_routed;
+    } else {
+      ++summary->pairs_unreachable;
     }
     if (p0.has_value() && p1.has_value()) {
       rtt_without_sum += 2.0 * p0->distance;
@@ -71,13 +80,18 @@ GsoNetworkResult RunGsoNetworkStudy(const Scenario& scenario,
                                     const std::vector<CityPair>& pairs,
                                     const NetworkOptions& base_options,
                                     const GsoNetworkOptions& gso) {
+  const StudyTimer timer;
+  StudySummary summary;
+  summary.study = "gso_network";
   GsoNetworkResult result;
   NetworkOptions bp = base_options;
   bp.mode = ConnectivityMode::kBentPipe;
-  result.bent_pipe = CompareMode(scenario, cities, pairs, bp, gso);
+  result.bent_pipe = CompareMode(scenario, cities, pairs, bp, gso, &summary);
   NetworkOptions hybrid = base_options;
   hybrid.mode = ConnectivityMode::kHybrid;
-  result.hybrid = CompareMode(scenario, cities, pairs, hybrid, gso);
+  result.hybrid = CompareMode(scenario, cities, pairs, hybrid, gso, &summary);
+  summary.wall_seconds = timer.Seconds();
+  EmitStudySummary(summary);
   return result;
 }
 

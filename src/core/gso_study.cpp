@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/report.hpp"
 #include "geo/angles.hpp"
 #include "geo/coordinates.hpp"
 #include "link/gso.hpp"
@@ -32,6 +33,7 @@ geo::Vec3 DirectionTarget(const geo::Vec3& gt, double gt_lat_deg, double gt_lon_
 
 std::vector<GsoStudyRow> RunGsoArcStudy(const std::vector<double>& latitudes_deg,
                                         const GsoStudyOptions& options) {
+  const StudyTimer timer;
   std::vector<GsoStudyRow> rows;
   rows.reserve(latitudes_deg.size());
   for (const double lat : latitudes_deg) {
@@ -56,6 +58,10 @@ std::vector<GsoStudyRow> RunGsoArcStudy(const std::vector<double>& latitudes_deg
         usable_weight > 0.0 ? excluded_weight / usable_weight : 0.0;
     rows.push_back(row);
   }
+  StudySummary summary;
+  summary.study = "gso_arc";
+  summary.wall_seconds = timer.Seconds();
+  EmitStudySummary(summary);
   return rows;
 }
 

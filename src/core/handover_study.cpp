@@ -5,6 +5,7 @@
 #include <map>
 #include <vector>
 
+#include "core/report.hpp"
 #include "geo/geodesic.hpp"
 #include "link/visibility.hpp"
 #include "orbit/walker.hpp"
@@ -14,6 +15,7 @@ namespace leosim::core {
 HandoverStats RunHandoverStudy(const Scenario& scenario,
                                const geo::GeodeticCoord& terminal,
                                const HandoverStudyOptions& options) {
+  const StudyTimer timer;
   const orbit::Constellation constellation =
       orbit::Constellation::WalkerDelta(scenario.shell);
   const geo::Vec3 gt = geo::GeodeticToEcef(terminal);
@@ -81,6 +83,11 @@ HandoverStats RunHandoverStudy(const Scenario& scenario,
   stats.mean_visible_sats = static_cast<double>(visible_sum) / samples;
   stats.pass_endings_per_hour = endings / (options.duration_sec / 3600.0);
   stats.outage_fraction = static_cast<double>(outage_samples) / samples;
+  StudySummary summary;
+  summary.study = "handover";
+  summary.snapshots_built = static_cast<uint64_t>(samples);
+  summary.wall_seconds = timer.Seconds();
+  EmitStudySummary(summary);
   return stats;
 }
 

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/parallel.hpp"
+#include "core/report.hpp"
 #include "geo/coordinates.hpp"
 #include "graph/dijkstra.hpp"
 #include "link/radio.hpp"
@@ -139,6 +140,7 @@ LatencyStudyResult RunLatencyStudy(const NetworkModel& bp_model,
                                    const NetworkModel& hybrid_model,
                                    const std::vector<CityPair>& pairs,
                                    const SnapshotSchedule& schedule) {
+  const StudyTimer timer;
   LatencyStudyResult result;
   result.snapshot_times = schedule.Times();
   result.bp = InitSeries(pairs, result.snapshot_times.size());
@@ -155,6 +157,18 @@ LatencyStudyResult RunLatencyStudy(const NetworkModel& bp_model,
     FillSnapshotRtts(hybrid_model, t, static_cast<size_t>(slot), pairs,
                      &result.hybrid, &ws);
   });
+  StudySummary summary;
+  summary.study = "latency";
+  summary.snapshots_built = 2 * static_cast<uint64_t>(slots);  // bp + hybrid
+  for (const std::vector<PairRttSeries>* series : {&result.bp, &result.hybrid}) {
+    for (const PairRttSeries& s : *series) {
+      const uint64_t unreachable = static_cast<uint64_t>(s.UnreachableCount());
+      summary.pairs_unreachable += unreachable;
+      summary.pairs_routed += s.rtt_ms.size() - unreachable;
+    }
+  }
+  summary.wall_seconds = timer.Seconds();
+  EmitStudySummary(summary);
   return result;
 }
 
@@ -173,15 +187,21 @@ std::vector<PathObservation> TracePairPath(const NetworkModel& model,
     throw std::invalid_argument("city not present in the model's city list");
   }
 
+  const StudyTimer timer;
+  StudySummary summary;
+  summary.study = "latency_trace";
   std::vector<PathObservation> trace;
   NetworkModel::SnapshotWorkspace snapshot_ws;
   graph::DijkstraWorkspace dijkstra_ws;
   for (const double t : schedule.Times()) {
     const NetworkModel::Snapshot& snap = model.BuildSnapshot(t, &snapshot_ws);
+    ++summary.snapshots_built;
     PathObservation obs;
     obs.time_sec = t;
     const auto path = graph::ShortestPath(snap.graph, snap.CityNode(idx_a),
                                           snap.CityNode(idx_b), dijkstra_ws);
+    summary.pairs_routed += path.has_value() ? 1 : 0;
+    summary.pairs_unreachable += path.has_value() ? 0 : 1;
     if (path.has_value()) {
       obs.reachable = true;
       obs.rtt_ms = 2.0 * path->distance;
@@ -207,6 +227,8 @@ std::vector<PathObservation> TracePairPath(const NetworkModel& model,
     }
     trace.push_back(obs);
   }
+  summary.wall_seconds = timer.Seconds();
+  EmitStudySummary(summary);
   return trace;
 }
 

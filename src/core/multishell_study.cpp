@@ -3,6 +3,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "core/report.hpp"
 #include "graph/dijkstra.hpp"
 
 namespace leosim::core {
@@ -37,6 +38,9 @@ MultishellResult RunMultishellStudy(const Scenario& scenario,
   const int idx_a = CityIndexByName(single.cities(), city_a);
   const int idx_b = CityIndexByName(single.cities(), city_b);
 
+  const StudyTimer timer;
+  StudySummary summary;
+  summary.study = "multishell";
   MultishellResult result;
   result.times_sec = schedule.Times();
   double improvement_sum = 0.0;
@@ -53,6 +57,9 @@ MultishellResult RunMultishellStudy(const Scenario& scenario,
     const auto dual_path =
         graph::ShortestPath(dual_snap.graph, dual_snap.CityNode(idx_a),
                             dual_snap.CityNode(idx_b), dijkstra_ws);
+    summary.snapshots_built += 2;
+    summary.pairs_routed += (single_path ? 1 : 0) + (dual_path ? 1 : 0);
+    summary.pairs_unreachable += (single_path ? 0 : 1) + (dual_path ? 0 : 1);
     const double single_rtt = single_path ? 2.0 * single_path->distance : kInf;
     const double dual_rtt = dual_path ? 2.0 * dual_path->distance : kInf;
     result.single_shell_rtt_ms.push_back(single_rtt);
@@ -68,6 +75,8 @@ MultishellResult RunMultishellStudy(const Scenario& scenario,
   if (improvement_count > 0) {
     result.mean_improvement_ms = improvement_sum / improvement_count;
   }
+  summary.wall_seconds = timer.Seconds();
+  EmitStudySummary(summary);
   return result;
 }
 

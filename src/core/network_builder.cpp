@@ -9,8 +9,40 @@
 #include "link/gso.hpp"
 #include "link/radio.hpp"
 #include "link/visibility.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace leosim::core {
+
+namespace {
+
+// Phase timings in microseconds, log-scale 1µs .. ~0.5s.
+obs::Histogram& PhaseHistogram(const char* name) {
+  return obs::MetricsRegistry::Global().GetHistogram(
+      name, obs::Histogram::ExponentialBounds(1.0, 2.0, 20));
+}
+
+struct SnapshotMetrics {
+  obs::Counter& builds =
+      obs::MetricsRegistry::Global().GetCounter("snapshot.builds");
+  obs::Counter& radio_edges =
+      obs::MetricsRegistry::Global().GetCounter("snapshot.radio_edges");
+  obs::Counter& isl_edges =
+      obs::MetricsRegistry::Global().GetCounter("snapshot.isl_edges");
+  obs::Histogram& build_us = PhaseHistogram("snapshot.build_us");
+  obs::Histogram& propagate_us = PhaseHistogram("snapshot.propagate_us");
+  obs::Histogram& index_us = PhaseHistogram("snapshot.index_us");
+  obs::Histogram& visibility_us = PhaseHistogram("snapshot.visibility_us");
+  obs::Histogram& graph_us = PhaseHistogram("snapshot.graph_us");
+
+  static SnapshotMetrics& Get() {
+    static SnapshotMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
 
 std::string_view ToString(ConnectivityMode mode) {
   switch (mode) {
@@ -88,6 +120,10 @@ NetworkModel::Snapshot NetworkModel::BuildSnapshot(double time_sec) const {
 
 const NetworkModel::Snapshot& NetworkModel::BuildSnapshot(
     double time_sec, SnapshotWorkspace* workspace) const {
+  SnapshotMetrics& metrics = SnapshotMetrics::Get();
+  const obs::Span build_span("snapshot.build", &metrics.build_us);
+  metrics.builds.Increment();
+
   Snapshot& snap = workspace->snapshot;
   snap.node_ecef.clear();
   snap.radio_edges.clear();
@@ -96,37 +132,44 @@ const NetworkModel::Snapshot& NetworkModel::BuildSnapshot(
   snap.num_cities = static_cast<int>(cities_.size());
   snap.num_relays = static_cast<int>(relays_.size());
 
-  constellation_.PositionsEcefInto(time_sec, &workspace->sat_ecef);
   const std::vector<geo::Vec3>& sat_ecef = workspace->sat_ecef;
+  int total_nodes = 0;
+  {
+    const obs::Span span("snapshot.propagate", &metrics.propagate_us);
+    constellation_.PositionsEcefInto(time_sec, &workspace->sat_ecef);
 
-  snap.aircraft_coords.clear();
-  if (air_.has_value()) {
-    snap.aircraft_coords = air_->OverWaterPositions(time_sec);
-  }
-  snap.num_aircraft = static_cast<int>(snap.aircraft_coords.size());
+    snap.aircraft_coords.clear();
+    if (air_.has_value()) {
+      snap.aircraft_coords = air_->OverWaterPositions(time_sec);
+    }
+    snap.num_aircraft = static_cast<int>(snap.aircraft_coords.size());
 
-  const int total_nodes =
-      snap.num_sats + snap.num_cities + snap.num_relays + snap.num_aircraft;
-  snap.graph.Reset(total_nodes);
+    total_nodes =
+        snap.num_sats + snap.num_cities + snap.num_relays + snap.num_aircraft;
+    snap.graph.Reset(total_nodes);
 
-  snap.node_ecef.reserve(static_cast<size_t>(total_nodes));
-  snap.node_ecef.insert(snap.node_ecef.end(), sat_ecef.begin(), sat_ecef.end());
-  snap.node_ecef.insert(snap.node_ecef.end(), city_ecef_.begin(), city_ecef_.end());
-  snap.node_ecef.insert(snap.node_ecef.end(), relay_ecef_.begin(), relay_ecef_.end());
-  for (const geo::GeodeticCoord& a : snap.aircraft_coords) {
-    snap.node_ecef.push_back(geo::GeodeticToEcef(a));
+    snap.node_ecef.reserve(static_cast<size_t>(total_nodes));
+    snap.node_ecef.insert(snap.node_ecef.end(), sat_ecef.begin(), sat_ecef.end());
+    snap.node_ecef.insert(snap.node_ecef.end(), city_ecef_.begin(), city_ecef_.end());
+    snap.node_ecef.insert(snap.node_ecef.end(), relay_ecef_.begin(), relay_ecef_.end());
+    for (const geo::GeodeticCoord& a : snap.aircraft_coords) {
+      snap.node_ecef.push_back(geo::GeodeticToEcef(a));
+    }
   }
 
   // Radio links: every ground node (city, relay, aircraft) to every
   // visible satellite, via the spatial index (rebuilt in place each
   // timestep — satellite positions move, the buckets' storage does not).
-  double max_altitude = 0.0;
-  for (int s = 0; s < constellation_.NumShells(); ++s) {
-    max_altitude = std::max(max_altitude, constellation_.shell(s).altitude_km);
+  {
+    const obs::Span span("snapshot.index", &metrics.index_us);
+    double max_altitude = 0.0;
+    for (int s = 0; s < constellation_.NumShells(); ++s) {
+      max_altitude = std::max(max_altitude, constellation_.shell(s).altitude_km);
+    }
+    const double coverage =
+        geo::CoverageRadiusKm(max_altitude, scenario_.radio.min_elevation_deg);
+    workspace->sat_index.Rebuild(sat_ecef, coverage + 100.0);
   }
-  const double coverage =
-      geo::CoverageRadiusKm(max_altitude, scenario_.radio.min_elevation_deg);
-  workspace->sat_index.Rebuild(sat_ecef, coverage + 100.0);
 
   const double gt_capacity = GtCapacityGbps();
   const link::GsoConfig gso_config{options_.gso_separation_deg, 180};
@@ -140,21 +183,26 @@ const NetworkModel::Snapshot& NetworkModel::BuildSnapshot(
   using RadioCandidate = SnapshotWorkspace::RadioCandidate;
   std::vector<RadioCandidate>& candidates = workspace->candidates;
   candidates.clear();
-  for (int g = first_ground; g < total_nodes; ++g) {
-    const geo::Vec3& ground = snap.node_ecef[static_cast<size_t>(g)];
-    workspace->sat_index.VisibleInto(ground, scenario_.radio.min_elevation_deg,
-                                     &workspace->visible);
-    for (const int sat : workspace->visible) {
-      if (options_.apply_gso_exclusion &&
-          link::ViolatesGsoExclusion(ground, sat_ecef[static_cast<size_t>(sat)],
-                                     gso_config)) {
-        continue;
+  {
+    const obs::Span span("snapshot.visibility", &metrics.visibility_us);
+    for (int g = first_ground; g < total_nodes; ++g) {
+      const geo::Vec3& ground = snap.node_ecef[static_cast<size_t>(g)];
+      workspace->sat_index.VisibleInto(ground, scenario_.radio.min_elevation_deg,
+                                       &workspace->visible);
+      for (const int sat : workspace->visible) {
+        if (options_.apply_gso_exclusion &&
+            link::ViolatesGsoExclusion(ground, sat_ecef[static_cast<size_t>(sat)],
+                                       gso_config)) {
+          continue;
+        }
+        const double latency_ms = link::PropagationLatencyMs(
+            ground, sat_ecef[static_cast<size_t>(sat)]);
+        candidates.push_back({sat, g, latency_ms});
       }
-      const double latency_ms = link::PropagationLatencyMs(
-          ground, sat_ecef[static_cast<size_t>(sat)]);
-      candidates.push_back({sat, g, latency_ms});
     }
   }
+
+  const obs::Span graph_span("snapshot.graph", &metrics.graph_us);
   std::vector<int32_t>& offsets = workspace->candidate_offsets;
   offsets.assign(static_cast<size_t>(snap.num_sats) + 1, 0);
   for (const RadioCandidate& c : candidates) {
@@ -205,6 +253,14 @@ const NetworkModel::Snapshot& NetworkModel::BuildSnapshot(
   // Build the CSR adjacency now: the snapshot is about to be queried (and
   // possibly shared read-only across threads).
   snap.graph.FinalizeAdjacency();
+
+  metrics.radio_edges.Add(snap.radio_edges.size());
+  metrics.isl_edges.Add(snap.isl_edges.size());
+  obs::LogDebug("snapshot.build")
+      .Field("t_sec", time_sec)
+      .Field("nodes", total_nodes)
+      .Field("radio_edges", static_cast<uint64_t>(snap.radio_edges.size()))
+      .Field("isl_edges", static_cast<uint64_t>(snap.isl_edges.size()));
   return snap;
 }
 

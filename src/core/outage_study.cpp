@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/report.hpp"
 #include "geo/geodesic.hpp"
 #include "graph/dijkstra.hpp"
 #include "itur/slant_path.hpp"
@@ -11,7 +12,11 @@ namespace leosim::core {
 std::vector<OutageRow> RunOutageStudy(const NetworkModel& model,
                                       const std::vector<CityPair>& pairs,
                                       const OutageStudyOptions& options) {
+  const StudyTimer timer;
+  StudySummary summary;
+  summary.study = "outage";
   NetworkModel::Snapshot snap = model.BuildSnapshot(options.time_sec);
+  summary.snapshots_built = 1;
   const link::RadioConfig& radio = model.scenario().radio;
 
   // Worst-direction attenuation per radio link (up-link frequency is the
@@ -62,7 +67,10 @@ std::vector<OutageRow> RunOutageStudy(const NetworkModel& model,
                                             snap.CityNode(pair.b), dijkstra_ws);
       if (path.has_value()) {
         ++reachable;
+        ++summary.pairs_routed;
         rtt_sum += 2.0 * path->distance;
+      } else {
+        ++summary.pairs_unreachable;
       }
     }
     row.reachable_fraction = static_cast<double>(reachable) / pairs.size();
@@ -71,6 +79,8 @@ std::vector<OutageRow> RunOutageStudy(const NetworkModel& model,
   }
   // Restore the snapshot for good hygiene (it is ours, but cheap).
   snap.graph.EnableAllEdges();
+  summary.wall_seconds = timer.Seconds();
+  EmitStudySummary(summary);
   return rows;
 }
 

@@ -2,15 +2,43 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <exception>
+#include <limits>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace leosim::core {
 
 namespace {
+
+obs::Counter& RunsCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("parallel.runs");
+  return counter;
+}
+
+obs::Counter& ItemsCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("parallel.items");
+  return counter;
+}
+
+// Fraction of the run's wall time each worker thread was alive (claiming
+// or executing items). A starving worker exits early and shows up as a
+// low-utilization observation.
+obs::Histogram& UtilizationHistogram() {
+  static obs::Histogram& histogram =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "parallel.worker_utilization",
+          {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0});
+  return histogram;
+}
 
 int HardwareWorkers() {
   const int hw = static_cast<int>(std::thread::hardware_concurrency());
@@ -55,14 +83,22 @@ void ParallelForWorkers(int count,
     return;
   }
   const int workers = ResolveWorkers(count, num_threads);
+  RunsCounter().Increment();
+  ItemsCounter().Add(static_cast<uint64_t>(count));
 
   if (workers == 1) {
+    const obs::Span span("parallel.run");
+    const obs::ScopedShard pin(0);
     for (int i = 0; i < count; ++i) {
       body(0, i);
     }
+    UtilizationHistogram().Observe(1.0);
     return;
   }
 
+  const obs::Span span("parallel.run");
+  const auto run_start = std::chrono::steady_clock::now();
+  std::vector<double> worker_seconds(static_cast<size_t>(workers), 0.0);
   std::atomic<int> next{0};
   std::atomic<bool> stop{false};
   std::exception_ptr first_error;
@@ -71,10 +107,15 @@ void ParallelForWorkers(int count,
   threads.reserve(static_cast<size_t>(workers));
   for (int w = 0; w < workers; ++w) {
     threads.emplace_back([&, w] {
+      // Pin this worker's metric shard to its dense worker id so
+      // hot-loop counter increments from distinct workers never share a
+      // cache line.
+      const obs::ScopedShard pin(w);
+      const auto worker_start = std::chrono::steady_clock::now();
       while (!stop.load(std::memory_order_relaxed)) {
         const int i = next.fetch_add(1);
         if (i >= count) {
-          return;
+          break;
         }
         try {
           body(w, i);
@@ -86,10 +127,23 @@ void ParallelForWorkers(int count,
           stop.store(true, std::memory_order_relaxed);
         }
       }
+      worker_seconds[static_cast<size_t>(w)] =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        worker_start)
+              .count();
     });
   }
   for (std::thread& t : threads) {
     t.join();
+  }
+  const double run_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    run_start)
+          .count();
+  if (run_seconds > 0.0) {
+    for (const double seconds : worker_seconds) {
+      UtilizationHistogram().Observe(std::min(1.0, seconds / run_seconds));
+    }
   }
   if (first_error) {
     std::rethrow_exception(first_error);
@@ -99,6 +153,10 @@ void ParallelForWorkers(int count,
 void ParallelFor(int count, const std::function<void(int)>& body, int num_threads) {
   ParallelForWorkers(
       count, [&body](int /*worker*/, int index) { body(index); }, num_threads);
+}
+
+int DefaultWorkerCount() {
+  return ResolveWorkers(std::numeric_limits<int>::max(), 0);
 }
 
 }  // namespace leosim::core

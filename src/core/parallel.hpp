@@ -30,6 +30,11 @@ namespace leosim::core {
 void ParallelFor(int count, const std::function<void(int)>& body,
                  int num_threads = 0);
 
+// The worker count ParallelFor would resolve for unbounded work with
+// num_threads == 0 (i.e. LEOSIM_THREADS or hardware concurrency).
+// Exposed so run manifests can record the effective parallelism.
+int DefaultWorkerCount();
+
 // As ParallelFor, additionally passing the worker's index (0..workers-1)
 // so the body can keep per-worker scratch state (e.g. snapshot/Dijkstra
 // workspaces) alive across the iterations that worker claims. Worker

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/report.hpp"
 #include "flow/maxmin.hpp"
 #include "graph/components.hpp"
 #include "graph/disjoint_paths.hpp"
@@ -11,6 +12,7 @@ namespace leosim::core {
 ThroughputResult RunThroughputStudy(const NetworkModel& model,
                                     const std::vector<CityPair>& pairs, int k,
                                     double time_sec, CapacityModel capacity_model) {
+  const StudyTimer timer;
   NetworkModel::Snapshot snap = model.BuildSnapshot(time_sec);
 
   // Shared model: one flow-network link per graph edge, same ids.
@@ -55,11 +57,22 @@ ThroughputResult RunThroughputStudy(const NetworkModel& model,
 
   const flow::Allocation alloc = flow::MaxMinFairAllocate(net);
   result.total_gbps = alloc.total_gbps;
+  StudySummary summary;
+  summary.study = "throughput";
+  summary.snapshots_built = 1;
+  summary.pairs_routed = static_cast<uint64_t>(result.pairs_routed);
+  summary.pairs_unreachable =
+      pairs.size() - static_cast<uint64_t>(result.pairs_routed);
+  summary.wall_seconds = timer.Seconds();
+  EmitStudySummary(summary);
   return result;
 }
 
 DisconnectionStats RunDisconnectionStudy(const NetworkModel& model,
                                          const SnapshotSchedule& schedule) {
+  const StudyTimer timer;
+  StudySummary summary;
+  summary.study = "disconnection";
   DisconnectionStats stats;
   stats.min_fraction = 1.0;
   stats.max_fraction = 0.0;
@@ -80,7 +93,10 @@ DisconnectionStats RunDisconnectionStudy(const NetworkModel& model,
     stats.per_snapshot.push_back(fraction);
     stats.min_fraction = std::min(stats.min_fraction, fraction);
     stats.max_fraction = std::max(stats.max_fraction, fraction);
+    ++summary.snapshots_built;
   }
+  summary.wall_seconds = timer.Seconds();
+  EmitStudySummary(summary);
   return stats;
 }
 

@@ -2,9 +2,35 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace leosim::graph {
 
 namespace {
+
+obs::Counter& QueriesCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("dijkstra.queries");
+  return counter;
+}
+
+obs::Counter& PopsCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("dijkstra.nodes_popped");
+  return counter;
+}
+
+obs::Counter& EdgesCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("dijkstra.edges_relaxed");
+  return counter;
+}
+
+obs::Counter& PushesCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("dijkstra.heap_pushes");
+  return counter;
+}
 
 // Min-heap ordering over the workspace's recycled vector (std::push_heap /
 // std::pop_heap are the same algorithms std::priority_queue runs, so the
@@ -19,7 +45,25 @@ struct HeapGreater {
 
 }  // namespace
 
+DijkstraWorkspace::~DijkstraWorkspace() { FlushWorkCounters(); }
+
+void DijkstraWorkspace::FlushWorkCounters() {
+  if (pending_queries_ == 0) {
+    return;
+  }
+  QueriesCounter().Add(pending_queries_);
+  PopsCounter().Add(pending_pops_);
+  EdgesCounter().Add(pending_edges_);
+  PushesCounter().Add(pending_pushes_);
+  pending_queries_ = 0;
+  pending_pops_ = 0;
+  pending_edges_ = 0;
+  pending_pushes_ = 0;
+}
+
 void DijkstraWorkspace::Begin(int num_nodes) {
+  FlushWorkCounters();
+  ++pending_queries_;
   const size_t n = static_cast<size_t>(num_nodes);
   if (state_.size() < n) {
     state_.resize(n, NodeState{0.0, -1, 0});
@@ -70,10 +114,16 @@ std::optional<Path> ShortestPath(const Graph& g, NodeId src, NodeId dst,
   workspace.Relax(src, 0.0, -1);
   heap.push_back({0.0, src});
 
+  // Tally work in locals (registers) and post to the workspace once;
+  // see the matching note in ShortestPathAStar.
+  uint64_t pops = 0;
+  uint64_t edges = 0;
+  uint64_t pushes = 0;
   while (!heap.empty()) {
     std::pop_heap(heap.begin(), heap.end(), HeapGreater{});
     const auto [d, u] = heap.back();
     heap.pop_back();
+    ++pops;
     if (d > workspace.DistanceOf(u)) {
       continue;  // stale entry
     }
@@ -81,15 +131,20 @@ std::optional<Path> ShortestPath(const Graph& g, NodeId src, NodeId dst,
       break;
     }
     for (const HalfEdge& half : g.Neighbours(u)) {
+      ++edges;
       // Disabled edges carry weight = +inf, so they never relax.
       const double nd = d + half.weight;
       if (nd < workspace.DistanceOf(half.to)) {
         workspace.Relax(half.to, nd, half.edge);
+        ++pushes;
         heap.push_back({nd, half.to});
         std::push_heap(heap.begin(), heap.end(), HeapGreater{});
       }
     }
   }
+  workspace.pending_pops_ += pops;
+  workspace.pending_edges_ += edges;
+  workspace.pending_pushes_ += pushes;
 
   if (workspace.DistanceOf(dst) == kInfDistance) {
     return std::nullopt;
@@ -114,22 +169,31 @@ void ShortestDistancesInto(const Graph& g, NodeId src, DijkstraWorkspace& worksp
   auto& heap = workspace.heap_;
   workspace.Relax(src, 0.0, -1);
   heap.push_back({0.0, src});
+  uint64_t pops = 0;
+  uint64_t edges = 0;
+  uint64_t pushes = 0;
   while (!heap.empty()) {
     std::pop_heap(heap.begin(), heap.end(), HeapGreater{});
     const auto [d, u] = heap.back();
     heap.pop_back();
+    ++pops;
     if (d > workspace.DistanceOf(u)) {
       continue;
     }
     for (const HalfEdge& half : g.Neighbours(u)) {
+      ++edges;
       const double nd = d + half.weight;
       if (nd < workspace.DistanceOf(half.to)) {
         workspace.Relax(half.to, nd, half.edge);
+        ++pushes;
         heap.push_back({nd, half.to});
         std::push_heap(heap.begin(), heap.end(), HeapGreater{});
       }
     }
   }
+  workspace.pending_pops_ += pops;
+  workspace.pending_edges_ += edges;
+  workspace.pending_pushes_ += pushes;
   out->resize(static_cast<size_t>(n));
   for (NodeId v = 0; v < n; ++v) {
     (*out)[static_cast<size_t>(v)] = workspace.DistanceOf(v);

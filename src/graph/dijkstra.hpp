@@ -52,6 +52,10 @@ std::optional<Path> ShortestPathAStar(const Graph& g, NodeId src, NodeId dst,
 class DijkstraWorkspace {
  public:
   DijkstraWorkspace() = default;
+  // Flushes any unreported work counters to the global metrics registry.
+  ~DijkstraWorkspace();
+  DijkstraWorkspace(const DijkstraWorkspace&) = delete;
+  DijkstraWorkspace& operator=(const DijkstraWorkspace&) = delete;
 
   // Heap entry types (public so the .cpp's comparators can name them).
   struct QueueEntry {
@@ -85,8 +89,14 @@ class DijkstraWorkspace {
   };
 
   // Grows the arrays to `num_nodes` and opens a fresh epoch. Epoch wrap
-  // (once per ~4e9 queries) forces a full stamp clear.
+  // (once per ~4e9 queries) forces a full stamp clear. Also flushes the
+  // previous query's work counters to the global metrics registry.
   void Begin(int num_nodes);
+
+  // Work counters are plain (non-atomic) per-workspace tallies so the
+  // search loops pay one register increment, not an atomic op; Begin()
+  // and the destructor flush them to sharded global counters.
+  void FlushWorkCounters();
 
   double DistanceOf(NodeId n) const {
     const NodeState& s = state_[static_cast<size_t>(n)];
@@ -101,6 +111,10 @@ class DijkstraWorkspace {
   std::vector<QueueEntry> heap_;
   std::vector<AStarEntry> astar_heap_;
   uint32_t epoch_{0};
+  uint64_t pending_queries_{0};
+  uint64_t pending_pops_{0};
+  uint64_t pending_edges_{0};
+  uint64_t pending_pushes_{0};
 };
 
 // Single-pair shortest path; nullopt if dst is unreachable over enabled
@@ -135,10 +149,17 @@ std::optional<Path> ShortestPathAStar(const Graph& g, NodeId src, NodeId dst,
   workspace.Relax(src, 0.0, -1);
   heap.push_back({potential(src), 0.0, src});
 
+  // Work tallies live in locals for the duration of the loop (the
+  // compiler keeps them in registers; member updates every iteration
+  // measurably slow the relax loop) and post to the workspace once.
+  uint64_t pops = 0;
+  uint64_t edges = 0;
+  uint64_t pushes = 0;
   while (!heap.empty()) {
     std::pop_heap(heap.begin(), heap.end(), greater);
     const DijkstraWorkspace::AStarEntry top = heap.back();
     heap.pop_back();
+    ++pops;
     if (top.distance > workspace.DistanceOf(top.node)) {
       continue;  // stale entry
     }
@@ -146,15 +167,20 @@ std::optional<Path> ShortestPathAStar(const Graph& g, NodeId src, NodeId dst,
       break;  // consistent potential => dst's g-value is final here
     }
     for (const HalfEdge& half : g.Neighbours(top.node)) {
+      ++edges;
       // Disabled edges carry weight = +inf, so they never relax.
       const double nd = top.distance + half.weight;
       if (nd < workspace.DistanceOf(half.to)) {
         workspace.Relax(half.to, nd, half.edge);
+        ++pushes;
         heap.push_back({nd + potential(half.to), nd, half.to});
         std::push_heap(heap.begin(), heap.end(), greater);
       }
     }
   }
+  workspace.pending_pops_ += pops;
+  workspace.pending_edges_ += edges;
+  workspace.pending_pushes_ += pushes;
 
   if (workspace.DistanceOf(dst) == kInfDistance) {
     return std::nullopt;

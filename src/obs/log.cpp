@@ -1,0 +1,204 @@
+#include "obs/log.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <utility>
+
+namespace leosim::obs {
+
+namespace detail {
+
+std::atomic<int> g_log_level{-1};
+
+namespace {
+
+std::mutex& SinkMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+LogSink& SinkSlot() {
+  static LogSink sink;  // empty = default stderr sink
+  return sink;
+}
+
+}  // namespace
+
+int InitLogLevelFromEnv() {
+  const char* raw = std::getenv("LEOSIM_LOG");
+  const int resolved = static_cast<int>(
+      raw == nullptr ? LogLevel::kOff : ParseLogLevel(raw));
+  // First initialiser wins; a concurrent SetLogLevel would have replaced
+  // the -1 sentinel already and must not be overwritten.
+  int expected = -1;
+  g_log_level.compare_exchange_strong(expected, resolved,
+                                      std::memory_order_relaxed);
+  return g_log_level.load(std::memory_order_relaxed);
+}
+
+void EmitLogLine(const std::string& line) {
+  const std::lock_guard<std::mutex> lock(SinkMutex());
+  LogSink& sink = SinkSlot();
+  if (sink) {
+    sink(line);
+  } else {
+    std::fwrite(line.data(), 1, line.size(), stderr);
+  }
+}
+
+}  // namespace detail
+
+LogLevel ParseLogLevel(std::string_view text) {
+  if (text == "error") return LogLevel::kError;
+  if (text == "warn") return LogLevel::kWarn;
+  if (text == "info") return LogLevel::kInfo;
+  if (text == "debug") return LogLevel::kDebug;
+  return LogLevel::kOff;
+}
+
+std::string_view ToString(LogLevel level) {
+  switch (level) {
+    case LogLevel::kOff:
+      return "off";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kDebug:
+      return "debug";
+  }
+  return "off";
+}
+
+LogLevel GetLogLevel() {
+  int current = detail::g_log_level.load(std::memory_order_relaxed);
+  if (current < 0) {
+    current = detail::InitLogLevelFromEnv();
+  }
+  return static_cast<LogLevel>(current);
+}
+
+void SetLogLevel(LogLevel level) {
+  detail::g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void SetLogSink(LogSink sink) {
+  const std::lock_guard<std::mutex> lock(detail::SinkMutex());
+  detail::SinkSlot() = std::move(sink);
+}
+
+namespace {
+
+// Strings with whitespace, quotes, or '=' are quoted so a line always
+// splits unambiguously on spaces then on the first '='.
+bool NeedsQuoting(std::string_view value) {
+  if (value.empty()) {
+    return true;
+  }
+  for (const char c : value) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '"' || c == '=') {
+      return true;
+    }
+  }
+  return false;
+}
+
+void AppendValue(std::string* buf, std::string_view value) {
+  if (!NeedsQuoting(value)) {
+    buf->append(value);
+    return;
+  }
+  buf->push_back('"');
+  for (const char c : value) {
+    if (c == '"' || c == '\\') {
+      buf->push_back('\\');
+    }
+    if (c == '\n') {
+      buf->append("\\n");
+      continue;
+    }
+    buf->push_back(c);
+  }
+  buf->push_back('"');
+}
+
+}  // namespace
+
+LogLine::LogLine(LogLevel level, std::string_view event)
+    : active_(LogEnabled(level)) {
+  if (!active_) {
+    return;
+  }
+  buf_.reserve(96);
+  buf_.push_back('[');
+  buf_.append(ToString(level));
+  buf_.append("] ");
+  buf_.append(event);
+}
+
+LogLine::~LogLine() {
+  if (!active_) {
+    return;
+  }
+  buf_.push_back('\n');
+  detail::EmitLogLine(buf_);
+}
+
+LogLine& LogLine::Field(std::string_view key, std::string_view value) {
+  if (active_) {
+    buf_.push_back(' ');
+    buf_.append(key);
+    buf_.push_back('=');
+    AppendValue(&buf_, value);
+  }
+  return *this;
+}
+
+LogLine& LogLine::Field(std::string_view key, const char* value) {
+  return Field(key, std::string_view(value));
+}
+
+LogLine& LogLine::Field(std::string_view key, const std::string& value) {
+  return Field(key, std::string_view(value));
+}
+
+LogLine& LogLine::Field(std::string_view key, double value) {
+  if (active_) {
+    char tmp[32];
+    std::snprintf(tmp, sizeof(tmp), "%.6g", value);
+    Field(key, std::string_view(tmp));
+  }
+  return *this;
+}
+
+LogLine& LogLine::Field(std::string_view key, int64_t value) {
+  if (active_) {
+    char tmp[24];
+    std::snprintf(tmp, sizeof(tmp), "%" PRId64, value);
+    Field(key, std::string_view(tmp));
+  }
+  return *this;
+}
+
+LogLine& LogLine::Field(std::string_view key, uint64_t value) {
+  if (active_) {
+    char tmp[24];
+    std::snprintf(tmp, sizeof(tmp), "%" PRIu64, value);
+    Field(key, std::string_view(tmp));
+  }
+  return *this;
+}
+
+LogLine& LogLine::Field(std::string_view key, int value) {
+  return Field(key, static_cast<int64_t>(value));
+}
+
+LogLine& LogLine::Field(std::string_view key, bool value) {
+  return Field(key, value ? std::string_view("true") : std::string_view("false"));
+}
+
+}  // namespace leosim::obs

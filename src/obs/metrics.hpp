@@ -1,0 +1,165 @@
+// Process-wide metrics for the snapshot pipeline: counters, gauges, and
+// fixed-bucket histograms, exportable as JSON.
+//
+// Hot-loop increments must be contention-free: every metric is sharded
+// into kMetricShards cache-line-padded slots, and a thread picks its
+// slot via a thread-local shard id (dense when running under
+// ParallelForWorkers, which pins each worker to its worker id via
+// ScopedShard; round-robin otherwise). Increments are relaxed atomic
+// adds on the thread's own slot; readers merge all slots on demand, so
+// a merge is associative — any interleaving of writers sums to the same
+// totals.
+//
+// Metric handles returned by MetricsRegistry are stable for the
+// registry's lifetime (registration appends, never moves), so hot paths
+// resolve a metric once and keep the reference.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace leosim::obs {
+
+inline constexpr int kMetricShards = 16;
+
+// Thread-local shard id in [0, kMetricShards). Assigned round-robin on
+// first use; ParallelForWorkers overrides it with the dense worker id
+// for the worker's lifetime (see ScopedShard).
+int CurrentShard();
+
+// Pins the calling thread's shard id for the scope's lifetime; restores
+// the previous id on destruction. Ids are taken modulo kMetricShards.
+class ScopedShard {
+ public:
+  explicit ScopedShard(int shard);
+  ~ScopedShard();
+  ScopedShard(const ScopedShard&) = delete;
+  ScopedShard& operator=(const ScopedShard&) = delete;
+
+ private:
+  int previous_;
+};
+
+class Counter {
+ public:
+  void Add(uint64_t n) {
+    slots_[static_cast<size_t>(CurrentShard())].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+  // Merged total across shards.
+  uint64_t Value() const;
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> value{0};
+  };
+  std::string name_;
+  std::array<Slot, kMetricShards> slots_;
+};
+
+// Last-write-wins scalar (e.g. configured thread count, option values).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  std::string name_;
+  std::atomic<double> value_{0.0};
+};
+
+class Histogram {
+ public:
+  // Bucket b counts observations v with v <= upper_bounds[b]; one
+  // implicit overflow bucket catches the rest, so counts has
+  // upper_bounds.size() + 1 entries.
+  void Observe(double value);
+
+  struct Merged {
+    std::vector<double> upper_bounds;
+    std::vector<uint64_t> counts;
+    uint64_t count{0};
+    double sum{0.0};
+    double min{std::numeric_limits<double>::infinity()};
+    double max{-std::numeric_limits<double>::infinity()};
+  };
+  Merged Merge() const;
+
+  // {first, first*factor, ...} with `count` entries — the standard
+  // log-scale bounds for latency-style histograms.
+  static std::vector<double> ExponentialBounds(double first, double factor,
+                                               int count);
+
+  const std::string& name() const { return name_; }
+  const std::vector<double>& upper_bounds() const { return upper_bounds_; }
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(std::string name, std::vector<double> upper_bounds);
+
+  struct Shard {
+    explicit Shard(size_t num_buckets) : counts(num_buckets) {}
+    std::vector<std::atomic<uint64_t>> counts;
+    std::atomic<uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+    std::atomic<double> min{std::numeric_limits<double>::infinity()};
+    std::atomic<double> max{-std::numeric_limits<double>::infinity()};
+  };
+
+  std::string name_;
+  std::vector<double> upper_bounds_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+// Registry of named metrics. Get* registers on first use (mutex-guarded;
+// hot paths should cache the returned reference) and returns the
+// existing metric on every later call with the same name.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // The process-wide registry the pipeline instruments into.
+  static MetricsRegistry& Global();
+
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  // `upper_bounds` is consulted only when `name` is first registered
+  // (must be sorted ascending); later calls return the existing
+  // histogram regardless of the bounds passed.
+  Histogram& GetHistogram(std::string_view name,
+                          std::vector<double> upper_bounds);
+
+  // JSON object {"counters": {...}, "gauges": {...}, "histograms": {...}},
+  // metrics sorted by name for diff-stable output.
+  std::string ToJson() const;
+  bool WriteJson(const std::string& path) const;
+
+  // Zeroes every metric (handles stay valid). Intended for tests and for
+  // delimiting phases in long-running tools.
+  void Reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Counter>> counters_;
+  std::vector<std::unique_ptr<Gauge>> gauges_;
+  std::vector<std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace leosim::obs

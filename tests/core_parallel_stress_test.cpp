@@ -22,6 +22,8 @@
 #include "core/parallel.hpp"
 #include "core/traffic_matrix.hpp"
 #include "data/cities.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace leosim::core {
 namespace {
@@ -112,6 +114,42 @@ TEST(ParallelStressTest, ExceptionStopUnderContention) {
                  std::runtime_error);
     EXPECT_GE(executed.load(), 1);
   }
+}
+
+TEST(ParallelStressTest, ObsCounterAndSpanFromAllWorkers) {
+  // Every worker hammers the same counter and the same span histogram
+  // (and, with tracing on, its own trace buffer) for the whole run —
+  // the exact write pattern the sharded metrics claim is race free.
+  obs::EnableTracing(true);
+  obs::ResetTrace();
+  obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("stress.obs_counter");
+  obs::Histogram& span_us = obs::MetricsRegistry::Global().GetHistogram(
+      "stress.obs_span_us", obs::Histogram::ExponentialBounds(1.0, 4.0, 8));
+  const std::uint64_t counter_before = counter.Value();
+  const std::uint64_t spans_before = span_us.Merge().count;
+
+  const int n = 48'000;
+  ParallelFor(
+      n,
+      [&](int i) {
+        const obs::Span span("stress.span", &span_us);
+        counter.Add(static_cast<std::uint64_t>(i % 3 + 1));
+      },
+      8);
+  obs::EnableTracing(false);
+
+  // i%3+1 over n iterations: n/3 of each of 1,2,3 when 3 divides n.
+  static_assert(48'000 % 3 == 0);
+  EXPECT_EQ(counter.Value() - counter_before,
+            static_cast<std::uint64_t>(n) / 3 * 6);
+  EXPECT_EQ(span_us.Merge().count - spans_before, static_cast<std::uint64_t>(n));
+  // 48k spans over 8 workers stays under the per-thread buffer cap, and
+  // the export machinery must tolerate joined-thread buffers.
+  EXPECT_EQ(obs::TraceDroppedEvents(), 0u);
+  const std::string trace = obs::TraceToJson();
+  EXPECT_NE(trace.find("stress.span"), std::string::npos);
+  obs::ResetTrace();
 }
 
 TEST(ParallelStressTest, LatencyStudySnapshotParallelism) {

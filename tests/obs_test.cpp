@@ -1,0 +1,451 @@
+// Unit tests for the obs subsystem: log level gating, sharded metric
+// merges, span nesting, and the JSON exports (validated with a strict
+// little scanner so a stray comma or unescaped quote fails here rather
+// than in chrome://tracing).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <cstddef>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace leosim::obs {
+namespace {
+
+// --- Minimal strict JSON validator ------------------------------------
+//
+// Accepts exactly one JSON value (RFC 8259 grammar, no extensions). Good
+// enough to catch the classic emitter bugs: trailing commas, bare NaN or
+// Infinity, unescaped control characters, unbalanced brackets.
+class JsonScanner {
+ public:
+  explicit JsonScanner(const std::string& text) : text_(text) {}
+
+  bool Valid() {
+    pos_ = 0;
+    if (!Value()) {
+      return false;
+    }
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  bool Literal(const char* word) {
+    const size_t len = std::string(word).size();
+    if (text_.compare(pos_, len, word) != 0) {
+      return false;
+    }
+    pos_ += len;
+    return true;
+  }
+  bool String() {
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return false;
+    }
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      const char c = text_[pos_];
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // raw control character
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) {
+          return false;
+        }
+        const char e = text_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() || !std::isxdigit(
+                    static_cast<unsigned char>(text_[pos_]))) {
+              return false;
+            }
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+                   e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) {
+      return false;
+    }
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool Number() {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      ++pos_;
+    }
+    size_t digits = 0;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+      ++digits;
+    }
+    if (digits == 0) {
+      pos_ = start;
+      return false;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    return true;
+  }
+  bool Value() {
+    SkipWs();
+    if (pos_ >= text_.size()) {
+      return false;
+    }
+    const char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      SkipWs();
+      if (pos_ < text_.size() && text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        SkipWs();
+        if (!String()) {
+          return false;
+        }
+        SkipWs();
+        if (pos_ >= text_.size() || text_[pos_] != ':') {
+          return false;
+        }
+        ++pos_;
+        if (!Value()) {
+          return false;
+        }
+        SkipWs();
+        if (pos_ < text_.size() && text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        break;
+      }
+      if (pos_ >= text_.size() || text_[pos_] != '}') {
+        return false;
+      }
+      ++pos_;
+      return true;
+    }
+    if (c == '[') {
+      ++pos_;
+      SkipWs();
+      if (pos_ < text_.size() && text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        if (!Value()) {
+          return false;
+        }
+        SkipWs();
+        if (pos_ < text_.size() && text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        break;
+      }
+      if (pos_ >= text_.size() || text_[pos_] != ']') {
+        return false;
+      }
+      ++pos_;
+      return true;
+    }
+    if (c == '"') {
+      return String();
+    }
+    if (c == 't') {
+      return Literal("true");
+    }
+    if (c == 'f') {
+      return Literal("false");
+    }
+    if (c == 'n') {
+      return Literal("null");
+    }
+    return Number();
+  }
+
+  const std::string& text_;
+  size_t pos_{0};
+};
+
+// Captures log lines through a scoped sink/level override and restores
+// the previous configuration on destruction, so tests do not leak
+// logging state into each other.
+class LogCapture {
+ public:
+  explicit LogCapture(LogLevel level) : previous_level_(GetLogLevel()) {
+    SetLogLevel(level);
+    SetLogSink([this](std::string_view line) {
+      lines_.emplace_back(line);
+    });
+  }
+  ~LogCapture() {
+    SetLogSink(nullptr);
+    SetLogLevel(previous_level_);
+  }
+  const std::vector<std::string>& lines() const { return lines_; }
+
+ private:
+  LogLevel previous_level_;
+  std::vector<std::string> lines_;
+};
+
+TEST(ObsLogTest, ParseLogLevelRoundTrip) {
+  EXPECT_EQ(ParseLogLevel("off"), LogLevel::kOff);
+  EXPECT_EQ(ParseLogLevel("error"), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("warn"), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel("info"), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("debug"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("bogus"), LogLevel::kOff);
+  for (const LogLevel level : {LogLevel::kOff, LogLevel::kError, LogLevel::kWarn,
+                               LogLevel::kInfo, LogLevel::kDebug}) {
+    EXPECT_EQ(ParseLogLevel(ToString(level)), level);
+  }
+}
+
+TEST(ObsLogTest, LevelGateSuppressesBelowThreshold) {
+  LogCapture capture(LogLevel::kWarn);
+  LogDebug("gate.debug").Field("k", 1);
+  LogInfo("gate.info").Field("k", 2);
+  ASSERT_TRUE(capture.lines().empty());
+  LogWarn("gate.warn").Field("k", 3);
+  LogError("gate.error").Field("k", 4);
+  ASSERT_EQ(capture.lines().size(), 2u);
+  EXPECT_NE(capture.lines()[0].find("gate.warn"), std::string::npos);
+  EXPECT_NE(capture.lines()[0].find("k=3"), std::string::npos);
+  EXPECT_NE(capture.lines()[1].find("gate.error"), std::string::npos);
+}
+
+TEST(ObsLogTest, OffDisablesEverything) {
+  LogCapture capture(LogLevel::kOff);
+  LogError("gate.none").Field("k", 1);
+  EXPECT_TRUE(capture.lines().empty());
+}
+
+TEST(ObsLogTest, FieldsQuoteAwkwardValues) {
+  LogCapture capture(LogLevel::kInfo);
+  LogInfo("quoting")
+      .Field("plain", "simple")
+      .Field("spaced", "two words")
+      .Field("empty", "")
+      .Field("flag", true)
+      .Field("ratio", 0.5);
+  ASSERT_EQ(capture.lines().size(), 1u);
+  const std::string& line = capture.lines()[0];
+  EXPECT_NE(line.find("plain=simple"), std::string::npos);
+  EXPECT_NE(line.find("spaced=\"two words\""), std::string::npos);
+  EXPECT_NE(line.find("empty=\"\""), std::string::npos);
+  EXPECT_NE(line.find("flag=true"), std::string::npos);
+  EXPECT_NE(line.find("ratio=0.5"), std::string::npos);
+  EXPECT_EQ(line.back(), '\n');
+}
+
+TEST(ObsMetricsTest, CounterMergesAcrossThreads) {
+  Counter& counter = MetricsRegistry::Global().GetCounter("test.counter_merge");
+  const uint64_t before = counter.Value();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter, t] {
+      // Pin distinct shards so the test covers the merge, not one slot.
+      const ScopedShard pin(t);
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.Increment();
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(counter.Value() - before,
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(ObsMetricsTest, HistogramMergeIsShardOrderIndependent) {
+  // The same observations distributed across different shards must merge
+  // to identical totals: merge is a sum over shards, so any assignment
+  // of writers to shards is equivalent.
+  Histogram& sequential = MetricsRegistry::Global().GetHistogram(
+      "test.hist_sequential", {1.0, 10.0, 100.0});
+  Histogram& sharded = MetricsRegistry::Global().GetHistogram(
+      "test.hist_sharded", {1.0, 10.0, 100.0});
+
+  const std::vector<double> values = {0.5, 0.5, 5.0, 5.0, 50.0, 500.0, 5000.0};
+  for (const double v : values) {
+    sequential.Observe(v);
+  }
+  std::vector<std::thread> threads;
+  for (size_t i = 0; i < values.size(); ++i) {
+    threads.emplace_back([&sharded, &values, i] {
+      const ScopedShard pin(static_cast<int>(i));
+      sharded.Observe(values[i]);
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+
+  const Histogram::Merged a = sequential.Merge();
+  const Histogram::Merged b = sharded.Merge();
+  EXPECT_EQ(a.counts, b.counts);
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_DOUBLE_EQ(a.sum, b.sum);
+  EXPECT_DOUBLE_EQ(a.min, b.min);
+  EXPECT_DOUBLE_EQ(a.max, b.max);
+  // Spot-check the bucketing itself: v <= bound goes in bucket, else
+  // overflow. counts = {2 (<=1), 2 (<=10), 1 (<=100), 2 (overflow)}.
+  ASSERT_EQ(a.counts.size(), 4u);
+  EXPECT_EQ(a.counts[0], 2u);
+  EXPECT_EQ(a.counts[1], 2u);
+  EXPECT_EQ(a.counts[2], 1u);
+  EXPECT_EQ(a.counts[3], 2u);
+  EXPECT_EQ(a.count, values.size());
+  EXPECT_DOUBLE_EQ(a.min, 0.5);
+  EXPECT_DOUBLE_EQ(a.max, 5000.0);
+}
+
+TEST(ObsMetricsTest, ExponentialBoundsShape) {
+  const std::vector<double> bounds = Histogram::ExponentialBounds(1.0, 2.0, 4);
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(bounds[0], 1.0);
+  EXPECT_DOUBLE_EQ(bounds[1], 2.0);
+  EXPECT_DOUBLE_EQ(bounds[2], 4.0);
+  EXPECT_DOUBLE_EQ(bounds[3], 8.0);
+}
+
+TEST(ObsMetricsTest, RegistryJsonIsValidAndContainsMetrics) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("test.json_counter").Add(7);
+  registry.GetGauge("test.json_gauge").Set(2.5);
+  registry.GetHistogram("test.json_hist", {1.0, 2.0}).Observe(1.5);
+  const std::string json = registry.ToJson();
+  EXPECT_TRUE(JsonScanner(json).Valid()) << json;
+  EXPECT_NE(json.find("\"test.json_counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.json_gauge\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.json_hist\""), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+TEST(ObsTraceTest, DisabledSpansRecordNothing) {
+  EnableTracing(false);
+  ResetTrace();
+  {
+    const Span span("trace.disabled");
+  }
+  const std::string json = TraceToJson();
+  EXPECT_TRUE(JsonScanner(json).Valid()) << json;
+  EXPECT_EQ(json.find("trace.disabled"), std::string::npos);
+}
+
+TEST(ObsTraceTest, NestedSpansExportParentFirst) {
+  EnableTracing(true);
+  ResetTrace();
+  {
+    const Span outer("trace.outer");
+    {
+      const Span inner("trace.inner");
+      // Ensure a measurable inner duration so outer strictly contains it.
+      volatile double sink = 0.0;
+      for (int i = 0; i < 1000; ++i) {
+        sink = sink + i;
+      }
+    }
+  }
+  EnableTracing(false);
+  const std::string json = TraceToJson();
+  EXPECT_TRUE(JsonScanner(json).Valid()) << json;
+  const size_t outer_pos = json.find("trace.outer");
+  const size_t inner_pos = json.find("trace.inner");
+  ASSERT_NE(outer_pos, std::string::npos);
+  ASSERT_NE(inner_pos, std::string::npos);
+  // Same thread, outer starts no later and lasts no shorter: the sort
+  // order (tid, ts asc, dur desc) must list the parent first.
+  EXPECT_LT(outer_pos, inner_pos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+  ResetTrace();
+}
+
+TEST(ObsTraceTest, SpanObservesHistogramWithoutTracing) {
+  EnableTracing(false);
+  Histogram& hist = MetricsRegistry::Global().GetHistogram(
+      "test.span_hist_us", Histogram::ExponentialBounds(1.0, 4.0, 8));
+  const uint64_t before = hist.Merge().count;
+  {
+    const Span span("trace.hist_only", &hist);
+  }
+  EXPECT_EQ(hist.Merge().count, before + 1);
+}
+
+TEST(ObsTraceTest, ManyThreadsProduceValidTrace) {
+  EnableTracing(true);
+  ResetTrace();
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 64;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        const Span span("trace.worker_span");
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EnableTracing(false);
+  const std::string json = TraceToJson();
+  EXPECT_TRUE(JsonScanner(json).Valid());
+  // All events survive the workers' exit (buffers outlive the threads).
+  size_t events = 0;
+  for (size_t pos = json.find("trace.worker_span"); pos != std::string::npos;
+       pos = json.find("trace.worker_span", pos + 1)) {
+    ++events;
+  }
+  EXPECT_EQ(events, static_cast<size_t>(kThreads) * kSpansPerThread);
+  EXPECT_EQ(TraceDroppedEvents(), 0u);
+  ResetTrace();
+}
+
+}  // namespace
+}  // namespace leosim::obs

@@ -13,6 +13,16 @@ Rules (each maps to a repo invariant documented in DESIGN.md):
   using-namespace No `using namespace` at namespace scope in headers.
   self-contained  Every header compiles standalone (g++ -fsyntax-only),
                    i.e. includes everything it uses.
+  iostream-in-library
+                   No <iostream>/std::cout/std::cerr in src/. Library
+                   diagnostics go through obs::Log (gated, structured,
+                   redirectable); the one allowed writer is the default
+                   sink in src/obs/log.cpp. bench/ and examples/ print
+                   tables by design and are exempt.
+
+File discovery walks `git ls-files` plus untracked-but-not-ignored files,
+so freshly added sources (e.g. a new src/obs/ or bench/ file) are linted
+before their first commit.
 
 Exit status 0 when the tree is clean, 1 otherwise. Run via tools/lint.sh
 or directly: python3 tools/leosim_lint.py [--no-compile].
@@ -36,14 +46,28 @@ NONDETERMINISM_RE = re.compile(
 FLOAT_RE = re.compile(r"\bfloat\b")
 USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\b")
 PRAGMA_ONCE_RE = re.compile(r"^\s*#\s*pragma\s+once\s*$")
+IOSTREAM_RE = re.compile(
+    r"#\s*include\s*<iostream>|\bstd::(?:cout|cerr|clog)\b"
+)
+# The default log sink writes to stderr via cstdio and is the one place
+# allowed to own a process-wide output stream.
+IOSTREAM_ALLOWLIST = {"src/obs/log.cpp"}
 
 
 def tracked_files(patterns: list[str]) -> list[Path]:
+    """Tracked plus untracked-but-not-ignored files matching the patterns.
+
+    --others catches sources that exist on disk but have not been
+    `git add`ed yet; without it a new directory (src/obs/ once upon a
+    time) silently escapes every rule until its first commit.
+    """
     out = subprocess.run(
-        ["git", "ls-files", "--", *patterns],
+        ["git", "ls-files", "--cached", "--others", "--exclude-standard",
+         "--", *patterns],
         cwd=REPO_ROOT, capture_output=True, text=True, check=True,
     ).stdout
-    return [REPO_ROOT / line for line in out.splitlines() if line]
+    paths = [REPO_ROOT / line for line in out.splitlines() if line]
+    return [p for p in paths if p.is_file()]
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -97,6 +121,15 @@ def grep_lint(findings: list[str]) -> None:
                 findings.append(
                     f"{rel}:{lineno}: [geo-float] `float` forbidden in src/geo "
                     "(geodesy is double-only)"
+                )
+            if (
+                str(rel).startswith("src/")
+                and str(rel) not in IOSTREAM_ALLOWLIST
+                and IOSTREAM_RE.search(line)
+            ):
+                findings.append(
+                    f"{rel}:{lineno}: [iostream-in-library] use obs::Log "
+                    "(or a custom obs::SetLogSink) instead of iostream in src/"
                 )
 
     for path in headers:
