@@ -17,6 +17,7 @@ using namespace leosim::core;
 
 int main(int argc, char** argv) {
   bench::BenchConfig config = bench::ParseFlags(argc, argv);
+  bench::ApplyObsConfig(config);
   if (config.num_pairs > 300) {
     config.num_pairs = 300;
   }
@@ -51,5 +52,6 @@ int main(int argc, char** argv) {
   std::printf("\ntighter beam budgets prune the relay grid's connectivity "
               "first — BP's transit hops die before hybrid's endpoint "
               "links do.\n");
+  bench::WriteObsOutputs(config);
   return 0;
 }

@@ -16,6 +16,7 @@ using namespace leosim::core;
 
 int main(int argc, char** argv) {
   bench::BenchConfig config = bench::ParseFlags(argc, argv);
+  bench::ApplyObsConfig(config);
   if (config.num_pairs > 250) {
     config.num_pairs = 250;
   }
@@ -58,5 +59,6 @@ int main(int argc, char** argv) {
   table.Print(std::cout);
   std::printf("\npaper §6: the Ku-band median gap is >1 dB; Ka-band widens it "
               "because rain attenuation grows super-linearly with frequency.\n");
+  bench::WriteObsOutputs(config);
   return 0;
 }

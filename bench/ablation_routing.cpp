@@ -16,6 +16,7 @@ using namespace leosim::core;
 
 int main(int argc, char** argv) {
   bench::BenchConfig config = bench::ParseFlags(argc, argv);
+  bench::ApplyObsConfig(config);
   // Yen-based policies are costlier per pair; trim the default matrix.
   if (config.num_pairs > 200) {
     config.num_pairs = 200;
@@ -47,5 +48,6 @@ int main(int argc, char** argv) {
               "contention and pay for it with longer paths; the greedy\n"
               "disjoint scheme the paper uses stays near the optimal pair on "
               "LEO snapshot graphs, justifying its simplicity.\n");
+  bench::WriteObsOutputs(config);
   return 0;
 }

@@ -16,6 +16,7 @@ using namespace leosim::core;
 
 int main(int argc, char** argv) {
   bench::BenchConfig config = bench::ParseFlags(argc, argv);
+  bench::ApplyObsConfig(config);
   if (config.num_pairs > 400) {
     config.num_pairs = 400;
   }
@@ -46,5 +47,6 @@ int main(int argc, char** argv) {
   table.Print(std::cout);
   std::printf("\nper-direction capacities lift both modes (opposing flows stop "
               "contending) without changing the hybrid advantage.\n");
+  bench::WriteObsOutputs(config);
   return 0;
 }

@@ -12,6 +12,11 @@
 //   --log-level=L     obs logging (off|error|warn|info|debug; default off)
 //   --metrics-out=F   write the metrics registry as JSON on exit
 //   --trace-out=F     enable span tracing, write Chrome trace JSON on exit
+//   --timeseries-out=F
+//                     enable per-snapshot timeseries recording, write the
+//                     sorted JSON export on exit
+//   --progress[=SEC]  heartbeat progress lines every SEC seconds
+//                     (default 2; also via LEOSIM_PROGRESS)
 //
 // Scaled-down defaults preserve the paper's qualitative shape; see
 // EXPERIMENTS.md for the mapping.
@@ -33,6 +38,8 @@
 #include "data/city_catalog.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 
 namespace leosim::bench {
@@ -48,6 +55,8 @@ struct BenchConfig {
   std::string log_level;    // empty = leave LEOSIM_LOG in charge
   std::string metrics_out;  // empty = no metrics export
   std::string trace_out;    // empty = tracing stays off
+  std::string timeseries_out;  // empty = timeseries recording stays off
+  double progress_interval_sec{0.0};  // <= 0 = leave LEOSIM_PROGRESS in charge
 };
 
 inline BenchConfig ParseFlags(int argc, char** argv) {
@@ -76,6 +85,12 @@ inline BenchConfig ParseFlags(int argc, char** argv) {
       config.metrics_out = v;
     } else if (const char* v = value_of("--trace-out=")) {
       config.trace_out = v;
+    } else if (const char* v = value_of("--timeseries-out=")) {
+      config.timeseries_out = v;
+    } else if (const char* v = value_of("--progress=")) {
+      config.progress_interval_sec = std::atof(v);
+    } else if (arg == "--progress") {
+      config.progress_interval_sec = obs::kDefaultProgressIntervalSec;
     } else if (arg == "--full") {
       config.num_cities = 1000;
       config.num_pairs = 5000;
@@ -86,7 +101,7 @@ inline BenchConfig ParseFlags(int argc, char** argv) {
       std::printf(
           "flags: --pairs=N --cities=N --spacing=DEG --aircraft=SCALE "
           "--snapshots=N --step=SEC --full --log-level=L --metrics-out=F "
-          "--trace-out=F\n");
+          "--trace-out=F --timeseries-out=F --progress[=SEC]\n");
       std::exit(0);
     }
   }
@@ -101,6 +116,12 @@ inline void ApplyObsConfig(const BenchConfig& config) {
   }
   if (!config.trace_out.empty()) {
     obs::EnableTracing(true);
+  }
+  if (!config.timeseries_out.empty()) {
+    obs::TimeseriesRecorder::Global().Enable(true);
+  }
+  if (config.progress_interval_sec > 0.0) {
+    obs::SetProgressInterval(config.progress_interval_sec);
   }
 }
 
@@ -118,6 +139,14 @@ inline void WriteObsOutputs(const BenchConfig& config) {
       std::printf("# wrote %s\n", config.trace_out.c_str());
     } else {
       std::fprintf(stderr, "bench: cannot write %s\n", config.trace_out.c_str());
+    }
+  }
+  if (!config.timeseries_out.empty()) {
+    if (obs::TimeseriesRecorder::Global().WriteJson(config.timeseries_out)) {
+      std::printf("# wrote %s\n", config.timeseries_out.c_str());
+    } else {
+      std::fprintf(stderr, "bench: cannot write %s\n",
+                   config.timeseries_out.c_str());
     }
   }
 }

@@ -51,7 +51,8 @@ void MultiShellRows(const std::vector<orbit::OrbitalShell>& shells,
 }  // namespace
 
 int main(int argc, char** argv) {
-  (void)bench::ParseFlags(argc, argv);
+  const bench::BenchConfig config = bench::ParseFlags(argc, argv);
+  bench::ApplyObsConfig(config);
   std::printf("# Extension: coverage and availability by latitude\n");
 
   PrintBanner(std::cout, "paper shells: mean visible satellites / availability");
@@ -92,5 +93,6 @@ int main(int argc, char** argv) {
   gen1.Print(std::cout);
   std::printf("the paper's single-shell restriction is fair for mid-latitudes "
               "but misses the polar shells' high-latitude coverage.\n");
+  bench::WriteObsOutputs(config);
   return 0;
 }

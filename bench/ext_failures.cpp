@@ -13,6 +13,7 @@ using namespace leosim::core;
 
 int main(int argc, char** argv) {
   bench::BenchConfig config = bench::ParseFlags(argc, argv);
+  bench::ApplyObsConfig(config);
   if (config.num_pairs > 200) {
     config.num_pairs = 200;
   }
@@ -46,5 +47,6 @@ int main(int argc, char** argv) {
   std::printf("\nboth modes re-route around failures thanks to the dense shell, "
               "but BP pays more added RTT per failed satellite — ISL path "
               "diversity absorbs the loss more cheaply.\n");
+  bench::WriteObsOutputs(config);
   return 0;
 }

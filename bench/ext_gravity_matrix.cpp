@@ -15,6 +15,7 @@ using namespace leosim::core;
 
 int main(int argc, char** argv) {
   bench::BenchConfig config = bench::ParseFlags(argc, argv);
+  bench::ApplyObsConfig(config);
   if (config.num_pairs > 400) {
     config.num_pairs = 400;
   }
@@ -49,5 +50,6 @@ int main(int argc, char** argv) {
   std::printf("\ndemand concentration hits the access links around mega-metros; "
               "the ISL advantage persists (and typically widens) under the "
               "realistic matrix.\n");
+  bench::WriteObsOutputs(config);
   return 0;
 }

@@ -14,6 +14,7 @@ using namespace leosim::core;
 
 int main(int argc, char** argv) {
   bench::BenchConfig config = bench::ParseFlags(argc, argv);
+  bench::ApplyObsConfig(config);
   if (config.num_pairs > 300) {
     config.num_pairs = 300;  // 4 model builds with per-link GSO checks
   }
@@ -51,5 +52,6 @@ int main(int argc, char** argv) {
   std::printf("\npaper §7: BP cross-hemisphere paths depend on equatorial GTs "
               "whose sky the exclusion shreds; hybrid paths only lose "
               "source/destination links near the Equator.\n");
+  bench::WriteObsOutputs(config);
   return 0;
 }

@@ -13,7 +13,8 @@ using namespace leosim;
 using namespace leosim::core;
 
 int main(int argc, char** argv) {
-  (void)bench::ParseFlags(argc, argv);
+  const bench::BenchConfig config = bench::ParseFlags(argc, argv);
+  bench::ApplyObsConfig(config);
   std::printf("# Extension: GT-satellite pass durations and handover rates\n");
 
   HandoverStudyOptions options;
@@ -40,5 +41,6 @@ int main(int argc, char** argv) {
   std::printf("\npaper §2: passes last a few minutes, so every GT re-homes "
               "constantly — with BP, every re-homing can reshape the end-end "
               "path (the churn of Fig. 2b).\n");
+  bench::WriteObsOutputs(config);
   return 0;
 }

@@ -14,6 +14,7 @@ using namespace leosim::core;
 
 int main(int argc, char** argv) {
   bench::BenchConfig config = bench::ParseFlags(argc, argv);
+  bench::ApplyObsConfig(config);
   if (config.num_pairs > 150) {
     config.num_pairs = 150;
   }
@@ -55,5 +56,6 @@ int main(int argc, char** argv) {
               "modes (satellites move ~4 orbital arcs between samples), but "
               "BP re-routes through different GROUND infrastructure — hence "
               "the much larger RTT jitter.\n");
+  bench::WriteObsOutputs(config);
   return 0;
 }

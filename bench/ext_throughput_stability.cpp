@@ -15,6 +15,7 @@ using namespace leosim::core;
 
 int main(int argc, char** argv) {
   bench::BenchConfig config = bench::ParseFlags(argc, argv);
+  bench::ApplyObsConfig(config);
   if (config.num_pairs > 300) {
     config.num_pairs = 300;
   }
@@ -62,5 +63,6 @@ int main(int argc, char** argv) {
               spread(bp_series), spread(hy_series));
   std::printf("the hybrid advantage holds at every snapshot; BP capacity "
               "tracks the wandering relay/aircraft geometry.\n");
+  bench::WriteObsOutputs(config);
   return 0;
 }

@@ -19,6 +19,7 @@ using namespace leosim::core;
 
 int main(int argc, char** argv) {
   bench::BenchConfig config = bench::ParseFlags(argc, argv);
+  bench::ApplyObsConfig(config);
   if (config.num_pairs > 400) {
     config.num_pairs = 400;
   }
@@ -90,5 +91,6 @@ int main(int argc, char** argv) {
   }
   std::printf("weighted fairness shifts capacity toward high-demand metro "
               "pairs at roughly constant aggregate.\n");
+  bench::WriteObsOutputs(config);
   return 0;
 }

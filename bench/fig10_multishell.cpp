@@ -13,6 +13,7 @@ using namespace leosim::core;
 
 int main(int argc, char** argv) {
   const bench::BenchConfig config = bench::ParseFlags(argc, argv);
+  bench::ApplyObsConfig(config);
   bench::PrintConfig(config, "Fig. 10: Brisbane<->Tokyo cross-shell BP transition");
 
   const std::vector<data::City> cities = bench::MakeCities(config);
@@ -40,5 +41,6 @@ int main(int argc, char** argv) {
               result.mean_improvement_ms);
   std::printf("paper: cross-shell BP transitions achieve lower latency where the "
               "53-deg shell detours\n");
+  bench::WriteObsOutputs(config);
   return 0;
 }

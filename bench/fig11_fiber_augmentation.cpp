@@ -13,6 +13,7 @@ using namespace leosim::core;
 
 int main(int argc, char** argv) {
   const bench::BenchConfig config = bench::ParseFlags(argc, argv);
+  bench::ApplyObsConfig(config);
   bench::PrintConfig(config, "Fig. 11: Paris fiber-augmented satellite connectivity");
 
   const std::vector<data::City> cities = bench::MakeCities(config);
@@ -44,5 +45,6 @@ int main(int argc, char** argv) {
   std::printf("\npaper: each nearby city contributes its own cone of satellite "
               "visibility, multiplying the contended ground-satellite spectrum "
               "available to the metro\n");
+  bench::WriteObsOutputs(config);
   return 0;
 }

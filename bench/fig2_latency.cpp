@@ -17,6 +17,7 @@ using namespace leosim::core;
 
 int main(int argc, char** argv) {
   const bench::BenchConfig config = bench::ParseFlags(argc, argv);
+  bench::ApplyObsConfig(config);
   bench::PrintConfig(config, "Fig. 2: min RTT and RTT variation CDFs (Starlink)");
   // Optional plot export: --csv=PREFIX writes PREFIX_{min,range}_{bp,hybrid}.csv
   std::string csv_prefix;
@@ -87,5 +88,6 @@ int main(int argc, char** argv) {
   std::printf("max hybrid range: %.1f ms (paper: <20 ms); max BP range: %.1f ms "
               "(paper: up to 100 ms)\n",
               Percentile(hy_range, 100.0), Percentile(bp_range, 100.0));
+  bench::WriteObsOutputs(config);
   return 0;
 }

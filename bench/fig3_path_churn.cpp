@@ -13,6 +13,7 @@ using namespace leosim::core;
 
 int main(int argc, char** argv) {
   const bench::BenchConfig config = bench::ParseFlags(argc, argv);
+  bench::ApplyObsConfig(config);
   bench::PrintConfig(config, "Fig. 3: Maceio<->Durban BP path churn (Starlink)");
 
   const std::vector<data::City> cities = bench::MakeCities(config);
@@ -61,5 +62,6 @@ int main(int argc, char** argv) {
     std::printf("\nBP path never reachable at this scale; rerun with "
                 "--aircraft=2 or --spacing=1.5\n");
   }
+  bench::WriteObsOutputs(config);
   return 0;
 }

@@ -14,6 +14,7 @@ using namespace leosim::core;
 
 int main(int argc, char** argv) {
   const bench::BenchConfig config = bench::ParseFlags(argc, argv);
+  bench::ApplyObsConfig(config);
   bench::PrintConfig(config, "Fig. 4: aggregate throughput (Starlink & Kuiper)");
 
   const std::vector<data::City> cities = bench::MakeCities(config);
@@ -69,5 +70,6 @@ int main(int argc, char** argv) {
   std::printf("disconnected satellite fraction: %.1f%% - %.1f%% "
               "(paper: 25.1%% - 31.5%% with a 0.5-deg grid)\n",
               stats.min_fraction * 100.0, stats.max_fraction * 100.0);
+  bench::WriteObsOutputs(config);
   return 0;
 }

@@ -14,6 +14,7 @@ using namespace leosim::core;
 
 int main(int argc, char** argv) {
   const bench::BenchConfig config = bench::ParseFlags(argc, argv);
+  bench::ApplyObsConfig(config);
   bench::PrintConfig(config, "Fig. 5: Starlink throughput vs ISL capacity (k=4)");
 
   const std::vector<data::City> cities = bench::MakeCities(config);
@@ -41,5 +42,6 @@ int main(int argc, char** argv) {
   std::printf("\nBP baseline (k=4): %.1f Gbps\n", bp_gbps);
   std::printf("paper: 0.5x ISL capacity already gives 2.2x BP; gains flatten "
               "beyond ~3x (routing artefact)\n");
+  bench::WriteObsOutputs(config);
   return 0;
 }

@@ -16,6 +16,7 @@ using namespace leosim::core;
 
 int main(int argc, char** argv) {
   const bench::BenchConfig config = bench::ParseFlags(argc, argv);
+  bench::ApplyObsConfig(config);
   bench::PrintConfig(config, "Fig. 6: 99.5th-pct attenuation across pairs (Starlink)");
 
   const std::vector<data::City> cities = bench::MakeCities(config);
@@ -50,5 +51,6 @@ int main(int argc, char** argv) {
               itur::ReceivedPowerFraction(Median(result.isl_db)) * 100.0);
   std::printf("unreachable pairs: BP %d, ISL %d (of %zu)\n", result.bp_unreachable,
               result.isl_unreachable, pairs.size());
+  bench::WriteObsOutputs(config);
   return 0;
 }

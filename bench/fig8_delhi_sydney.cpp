@@ -17,6 +17,7 @@ using namespace leosim::core;
 
 int main(int argc, char** argv) {
   const bench::BenchConfig config = bench::ParseFlags(argc, argv);
+  bench::ApplyObsConfig(config);
   bench::PrintConfig(config, "Fig. 7-8: Delhi<->Sydney path attenuation (Starlink)");
 
   const std::vector<data::City> cities = bench::MakeCities(config);
@@ -101,5 +102,6 @@ int main(int argc, char** argv) {
     std::printf("ISL received-power advantage: %.0f%% (paper: 39%%: 56%% BP vs 78%% ISL)\n",
                 (isl_power / bp_power - 1.0) * 100.0);
   }
+  bench::WriteObsOutputs(config);
   return 0;
 }

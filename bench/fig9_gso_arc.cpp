@@ -12,7 +12,8 @@ using namespace leosim;
 using namespace leosim::core;
 
 int main(int argc, char** argv) {
-  (void)bench::ParseFlags(argc, argv);
+  const bench::BenchConfig config = bench::ParseFlags(argc, argv);
+  bench::ApplyObsConfig(config);
   std::printf("# Fig. 9: GSO arc-avoidance field-of-view reduction\n");
 
   GsoStudyOptions options;  // e = 40 deg, separation = 22 deg
@@ -44,5 +45,6 @@ int main(int argc, char** argv) {
     sweep.AddRow({FormatDouble(sep, 0), FormatDouble(r[0].excluded_sky_fraction, 3)});
   }
   sweep.Print(std::cout);
+  bench::WriteObsOutputs(config);
   return 0;
 }

@@ -53,13 +53,20 @@ int main(int argc, char** argv) {
       reps = std::atoi(argv[i] + 7);
     } else if (std::strcmp(argv[i], "--help") == 0 ||
                std::strcmp(argv[i], "-h") == 0) {
-      std::printf("flags: --reps=N   (repetitions per benchmark; default 5)\n");
+      std::printf(
+          "flags: --reps=N   (repetitions per benchmark; default 5)\n"
+          "       --log-level=L --metrics-out=F --trace-out=F "
+          "--timeseries-out=F --progress[=SEC]\n");
       return 0;
     }
   }
   if (reps < 1) {
     reps = 1;
   }
+  // Reuse the shared parser for the observability flags only; --reps is
+  // handled above and ignored by ParseFlags.
+  const bench::BenchConfig obs_config = bench::ParseFlags(argc, argv);
+  bench::ApplyObsConfig(obs_config);
 
   bench::BenchSuite suite("micro_core");
   suite.AddConfig("reps", std::to_string(reps));
@@ -248,5 +255,6 @@ int main(int argc, char** argv) {
 
   std::printf("# checksum: %.3f\n", g_sink);
   suite.WriteJson("BENCH_micro.json");
+  bench::WriteObsOutputs(obs_config);
   return 0;
 }

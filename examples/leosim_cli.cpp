@@ -9,9 +9,11 @@
 //   leosim_cli study latency [flags]               small latency study run
 //
 // Global observability flags (any command, any position):
-//   --log-level=L    structured logging to stderr (error|warn|info|debug)
-//   --metrics-out=F  write the metrics registry as JSON on exit
-//   --trace-out=F    record spans, write Chrome trace JSON on exit
+//   --log-level=L       structured logging to stderr (error|warn|info|debug)
+//   --metrics-out=F     write the metrics registry as JSON on exit
+//   --trace-out=F       record spans, write Chrome trace JSON on exit
+//   --timeseries-out=F  record per-snapshot timeseries, write JSON on exit
+//   --progress[=SEC]    heartbeat progress lines (default every 2 s)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,6 +32,8 @@
 #include "link/visibility.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 
 using namespace leosim;
@@ -47,7 +51,8 @@ int Usage() {
       "  study latency [--pairs=N] [--snapshots=N] [--step=SEC]\n"
       "                [--spacing=DEG] [--manifest-out=F]\n"
       "                                 run a small BP-vs-hybrid latency study\n"
-      "global flags: --log-level=L --metrics-out=F --trace-out=F\n");
+      "global flags: --log-level=L --metrics-out=F --trace-out=F\n"
+      "              --timeseries-out=F --progress[=SEC]\n");
   return 2;
 }
 
@@ -274,6 +279,7 @@ int main(int argc, char** argv) {
   // positionally as before.
   std::string metrics_out;
   std::string trace_out;
+  std::string timeseries_out;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -288,6 +294,13 @@ int main(int argc, char** argv) {
     } else if (const char* v = value_of("--trace-out=")) {
       trace_out = v;
       obs::EnableTracing(true);
+    } else if (const char* v = value_of("--timeseries-out=")) {
+      timeseries_out = v;
+      obs::TimeseriesRecorder::Global().Enable(true);
+    } else if (const char* v = value_of("--progress=")) {
+      obs::SetProgressInterval(std::atof(v));
+    } else if (arg == "--progress") {
+      obs::SetProgressInterval(obs::kDefaultProgressIntervalSec);
     } else {
       args.push_back(arg);
     }
@@ -327,6 +340,14 @@ int main(int argc, char** argv) {
       std::printf("wrote %s\n", trace_out.c_str());
     } else {
       std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+      rc = rc == 0 ? 1 : rc;
+    }
+  }
+  if (!timeseries_out.empty()) {
+    if (obs::TimeseriesRecorder::Global().WriteJson(timeseries_out)) {
+      std::printf("wrote %s\n", timeseries_out.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", timeseries_out.c_str());
       rc = rc == 0 ? 1 : rc;
     }
   }

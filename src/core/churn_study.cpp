@@ -7,6 +7,8 @@
 
 #include "core/report.hpp"
 #include "graph/dijkstra.hpp"
+#include "obs/progress.hpp"
+#include "obs/timeseries.hpp"
 
 namespace leosim::core {
 
@@ -48,12 +50,16 @@ ChurnStats ChurnForPair(const NetworkModel& model, int idx_a, int idx_b,
   double jitter_sum = 0.0;
   NetworkModel::SnapshotWorkspace snapshot_ws;
   graph::DijkstraWorkspace dijkstra_ws;
-  for (const double t : schedule.Times()) {
+  obs::TimeseriesRecorder& recorder = obs::TimeseriesRecorder::Global();
+  const std::vector<double> times = schedule.Times();
+  obs::ProgressReporter progress("churn", static_cast<uint64_t>(times.size()));
+  for (const double t : times) {
     const auto& snap = model.BuildSnapshot(t, &snapshot_ws);
     const auto path = graph::ShortestPath(snap.graph, snap.CityNode(idx_a),
                                           snap.CityNode(idx_b), dijkstra_ws);
     ++stats.snapshots;
     ++summary->snapshots_built;
+    progress.Step();
     if (!path.has_value()) {
       ++summary->pairs_unreachable;
       prev_nodes.clear();
@@ -64,10 +70,12 @@ ChurnStats ChurnForPair(const NetworkModel& model, int idx_a, int idx_b,
     ++summary->pairs_routed;
     const std::set<graph::NodeId> nodes(path->nodes.begin(), path->nodes.end());
     const double rtt = 2.0 * path->distance;
+    recorder.Record(t, "churn.pair.rtt_ms", rtt);
     if (have_prev) {
       if (nodes != prev_nodes) {
         ++stats.path_changes;
       }
+      recorder.Record(t, "churn.pair.changed", nodes != prev_nodes ? 1.0 : 0.0);
       jaccard_sum += Jaccard(prev_nodes, nodes);
       ++jaccard_steps;
       jitter_sum += std::fabs(rtt - prev_rtt);
@@ -120,9 +128,15 @@ AggregateChurn RunAggregateChurnStudy(const NetworkModel& model,
   const std::vector<double> times = schedule.Times();
   NetworkModel::SnapshotWorkspace snapshot_ws;
   graph::DijkstraWorkspace dijkstra_ws;
+  obs::TimeseriesRecorder& recorder = obs::TimeseriesRecorder::Global();
+  obs::ProgressReporter progress("churn_aggregate",
+                                 static_cast<uint64_t>(times.size()));
   for (const double t : times) {
     const auto& snap = model.BuildSnapshot(t, &snapshot_ws);
     ++summary.snapshots_built;
+    int step_changes = 0;
+    int step_routed = 0;
+    int step_unreachable = 0;
     for (size_t i = 0; i < pairs.size(); ++i) {
       PairState& ps = state[i];
       const auto path =
@@ -130,15 +144,18 @@ AggregateChurn RunAggregateChurnStudy(const NetworkModel& model,
                               snap.CityNode(pairs[i].b), dijkstra_ws);
       if (!path.has_value()) {
         ++summary.pairs_unreachable;
+        ++step_unreachable;
         ps.have_prev = false;
         continue;
       }
       ++summary.pairs_routed;
+      ++step_routed;
       const std::set<graph::NodeId> nodes(path->nodes.begin(), path->nodes.end());
       const double rtt = 2.0 * path->distance;
       if (ps.have_prev) {
         if (nodes != ps.prev_nodes) {
           ++ps.changes;
+          ++step_changes;
         }
         ps.jaccard_sum += Jaccard(ps.prev_nodes, nodes);
         ps.jitter_sum += std::fabs(rtt - ps.prev_rtt);
@@ -148,6 +165,11 @@ AggregateChurn RunAggregateChurnStudy(const NetworkModel& model,
       ps.prev_rtt = rtt;
       ps.have_prev = true;
     }
+    recorder.Record(t, "churn.route_changes", static_cast<double>(step_changes));
+    recorder.Record(t, "churn.routed", static_cast<double>(step_routed));
+    recorder.Record(t, "churn.unreachable",
+                    static_cast<double>(step_unreachable));
+    progress.Step();
   }
 
   AggregateChurn agg;

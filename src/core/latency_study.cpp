@@ -3,12 +3,16 @@
 #include <algorithm>
 #include <limits>
 #include <stdexcept>
+#include <string>
 
 #include "core/parallel.hpp"
 #include "core/report.hpp"
+#include "core/stats.hpp"
 #include "geo/coordinates.hpp"
 #include "graph/dijkstra.hpp"
 #include "link/radio.hpp"
+#include "obs/progress.hpp"
+#include "obs/timeseries.hpp"
 
 namespace leosim::core {
 
@@ -68,6 +72,39 @@ void FillSnapshotRtts(const NetworkModel& model, double time_sec, size_t slot,
         graph::ShortestPathAStar(snap.graph, src, dst, scratch->dijkstra, potential);
     // RTT = out-and-back over the same path: 2x the one-way latency.
     (*series)[i].rtt_ms[slot] = path.has_value() ? 2.0 * path->distance : kInf;
+  }
+}
+
+// One sample per snapshot per series: the cross-pair RTT distribution
+// (p50/p95 over reachable pairs) and the unreachable-pair count. Derived
+// from the completed series after the parallel fill, so recording order —
+// and therefore the export — is independent of worker scheduling.
+void RecordLatencyTimeseries(const std::string& prefix,
+                             const std::vector<double>& times,
+                             const std::vector<PairRttSeries>& series) {
+  obs::TimeseriesRecorder& recorder = obs::TimeseriesRecorder::Global();
+  if (!recorder.Enabled()) {
+    return;
+  }
+  std::vector<double> reachable;
+  for (size_t slot = 0; slot < times.size(); ++slot) {
+    reachable.clear();
+    int unreachable = 0;
+    for (const PairRttSeries& s : series) {
+      const double rtt = s.rtt_ms[slot];
+      if (rtt == kInf) {
+        ++unreachable;
+      } else {
+        reachable.push_back(rtt);
+      }
+    }
+    const double t = times[slot];
+    recorder.Record(t, prefix + ".unreachable",
+                    static_cast<double>(unreachable));
+    if (!reachable.empty()) {
+      recorder.Record(t, prefix + ".rtt_p50_ms", Percentile(reachable, 50.0));
+      recorder.Record(t, prefix + ".rtt_p95_ms", Percentile(reachable, 95.0));
+    }
   }
 }
 
@@ -150,13 +187,18 @@ LatencyStudyResult RunLatencyStudy(const NetworkModel& bp_model,
   // count never exceeds the slot count, so sizing by slots is safe.)
   const int slots = static_cast<int>(result.snapshot_times.size());
   std::vector<StudyScratch> scratch(static_cast<size_t>(slots));
+  obs::ProgressReporter progress("latency", static_cast<uint64_t>(slots));
   ParallelForWorkers(slots, [&](int worker, int slot) {
     StudyScratch& ws = scratch[static_cast<size_t>(worker)];
     const double t = result.snapshot_times[static_cast<size_t>(slot)];
     FillSnapshotRtts(bp_model, t, static_cast<size_t>(slot), pairs, &result.bp, &ws);
     FillSnapshotRtts(hybrid_model, t, static_cast<size_t>(slot), pairs,
                      &result.hybrid, &ws);
+    progress.Step();
   });
+  RecordLatencyTimeseries("latency.bp", result.snapshot_times, result.bp);
+  RecordLatencyTimeseries("latency.hybrid", result.snapshot_times,
+                          result.hybrid);
   StudySummary summary;
   summary.study = "latency";
   summary.snapshots_built = 2 * static_cast<uint64_t>(slots);  // bp + hybrid

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "geo/geodesic.hpp"
@@ -11,6 +12,7 @@
 #include "link/visibility.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 
 namespace leosim::core {
@@ -121,6 +123,14 @@ NetworkModel::Snapshot NetworkModel::BuildSnapshot(double time_sec) const {
 const NetworkModel::Snapshot& NetworkModel::BuildSnapshot(
     double time_sec, SnapshotWorkspace* workspace) const {
   SnapshotMetrics& metrics = SnapshotMetrics::Get();
+  // Per-phase durations, captured from the spans so the timeseries export
+  // sees the same numbers the histograms do.
+  double propagate_us = 0.0;
+  double index_us = 0.0;
+  double visibility_us = 0.0;
+  double graph_us = 0.0;
+  obs::TimeseriesRecorder& timeseries = obs::TimeseriesRecorder::Global();
+  const int64_t build_start_ns = obs::NowNanos();
   const obs::Span build_span("snapshot.build", &metrics.build_us);
   metrics.builds.Increment();
 
@@ -135,7 +145,8 @@ const NetworkModel::Snapshot& NetworkModel::BuildSnapshot(
   const std::vector<geo::Vec3>& sat_ecef = workspace->sat_ecef;
   int total_nodes = 0;
   {
-    const obs::Span span("snapshot.propagate", &metrics.propagate_us);
+    const obs::Span span("snapshot.propagate", &metrics.propagate_us,
+                         &propagate_us);
     constellation_.PositionsEcefInto(time_sec, &workspace->sat_ecef);
 
     snap.aircraft_coords.clear();
@@ -161,7 +172,7 @@ const NetworkModel::Snapshot& NetworkModel::BuildSnapshot(
   // visible satellite, via the spatial index (rebuilt in place each
   // timestep — satellite positions move, the buckets' storage does not).
   {
-    const obs::Span span("snapshot.index", &metrics.index_us);
+    const obs::Span span("snapshot.index", &metrics.index_us, &index_us);
     double max_altitude = 0.0;
     for (int s = 0; s < constellation_.NumShells(); ++s) {
       max_altitude = std::max(max_altitude, constellation_.shell(s).altitude_km);
@@ -184,7 +195,8 @@ const NetworkModel::Snapshot& NetworkModel::BuildSnapshot(
   std::vector<RadioCandidate>& candidates = workspace->candidates;
   candidates.clear();
   {
-    const obs::Span span("snapshot.visibility", &metrics.visibility_us);
+    const obs::Span span("snapshot.visibility", &metrics.visibility_us,
+                         &visibility_us);
     for (int g = first_ground; g < total_nodes; ++g) {
       const geo::Vec3& ground = snap.node_ecef[static_cast<size_t>(g)];
       workspace->sat_index.VisibleInto(ground, scenario_.radio.min_elevation_deg,
@@ -202,60 +214,84 @@ const NetworkModel::Snapshot& NetworkModel::BuildSnapshot(
     }
   }
 
-  const obs::Span graph_span("snapshot.graph", &metrics.graph_us);
-  std::vector<int32_t>& offsets = workspace->candidate_offsets;
-  offsets.assign(static_cast<size_t>(snap.num_sats) + 1, 0);
-  for (const RadioCandidate& c : candidates) {
-    ++offsets[static_cast<size_t>(c.sat) + 1];
-  }
-  for (size_t s = 1; s < offsets.size(); ++s) {
-    offsets[s] += offsets[s - 1];
-  }
-  std::vector<RadioCandidate>& by_satellite = workspace->by_satellite;
-  by_satellite.resize(candidates.size());
-  // offsets[s] doubles as the fill cursor, then is restored by shifting.
-  for (const RadioCandidate& c : candidates) {
-    by_satellite[static_cast<size_t>(offsets[static_cast<size_t>(c.sat)]++)] = c;
-  }
-  for (size_t s = offsets.size() - 1; s > 0; --s) {
-    offsets[s] = offsets[s - 1];
-  }
-  offsets[0] = 0;
+  {
+    const obs::Span graph_span("snapshot.graph", &metrics.graph_us, &graph_us);
+    std::vector<int32_t>& offsets = workspace->candidate_offsets;
+    offsets.assign(static_cast<size_t>(snap.num_sats) + 1, 0);
+    for (const RadioCandidate& c : candidates) {
+      ++offsets[static_cast<size_t>(c.sat) + 1];
+    }
+    for (size_t s = 1; s < offsets.size(); ++s) {
+      offsets[s] += offsets[s - 1];
+    }
+    std::vector<RadioCandidate>& by_satellite = workspace->by_satellite;
+    by_satellite.resize(candidates.size());
+    // offsets[s] doubles as the fill cursor, then is restored by shifting.
+    for (const RadioCandidate& c : candidates) {
+      by_satellite[static_cast<size_t>(offsets[static_cast<size_t>(c.sat)]++)] =
+          c;
+    }
+    for (size_t s = offsets.size() - 1; s > 0; --s) {
+      offsets[s] = offsets[s - 1];
+    }
+    offsets[0] = 0;
 
-  for (int sat = 0; sat < snap.num_sats; ++sat) {
-    const auto begin = by_satellite.begin() + offsets[static_cast<size_t>(sat)];
-    auto end = by_satellite.begin() + offsets[static_cast<size_t>(sat) + 1];
-    if (options_.max_gt_links_per_satellite > 0 &&
-        end - begin > options_.max_gt_links_per_satellite) {
-      std::nth_element(begin, begin + options_.max_gt_links_per_satellite, end,
-                       [](const RadioCandidate& a, const RadioCandidate& b) {
-                         return a.latency_ms < b.latency_ms;
-                       });
-      end = begin + options_.max_gt_links_per_satellite;
+    for (int sat = 0; sat < snap.num_sats; ++sat) {
+      const auto begin =
+          by_satellite.begin() + offsets[static_cast<size_t>(sat)];
+      auto end = by_satellite.begin() + offsets[static_cast<size_t>(sat) + 1];
+      if (options_.max_gt_links_per_satellite > 0 &&
+          end - begin > options_.max_gt_links_per_satellite) {
+        std::nth_element(begin, begin + options_.max_gt_links_per_satellite,
+                         end,
+                         [](const RadioCandidate& a, const RadioCandidate& b) {
+                           return a.latency_ms < b.latency_ms;
+                         });
+        end = begin + options_.max_gt_links_per_satellite;
+      }
+      for (auto it = begin; it != end; ++it) {
+        snap.radio_edges.push_back(
+            snap.graph.AddEdge(sat, it->ground, it->latency_ms, gt_capacity));
+      }
     }
-    for (auto it = begin; it != end; ++it) {
-      snap.radio_edges.push_back(
-          snap.graph.AddEdge(sat, it->ground, it->latency_ms, gt_capacity));
-    }
-  }
 
-  // Laser ISLs (+Grid, per shell).
-  if (options_.mode != ConnectivityMode::kBentPipe) {
-    const double isl_capacity = IslCapacityGbps();
-    for (const orbit::IslEdge& e : isl_pairs_) {
-      const double latency_ms =
-          link::PropagationLatencyMs(sat_ecef[static_cast<size_t>(e.first)],
-                                     sat_ecef[static_cast<size_t>(e.second)]);
-      snap.isl_edges.push_back(
-          snap.graph.AddEdge(e.first, e.second, latency_ms, isl_capacity));
+    // Laser ISLs (+Grid, per shell).
+    if (options_.mode != ConnectivityMode::kBentPipe) {
+      const double isl_capacity = IslCapacityGbps();
+      for (const orbit::IslEdge& e : isl_pairs_) {
+        const double latency_ms =
+            link::PropagationLatencyMs(sat_ecef[static_cast<size_t>(e.first)],
+                                       sat_ecef[static_cast<size_t>(e.second)]);
+        snap.isl_edges.push_back(
+            snap.graph.AddEdge(e.first, e.second, latency_ms, isl_capacity));
+      }
     }
+    // Build the CSR adjacency now: the snapshot is about to be queried (and
+    // possibly shared read-only across threads).
+    snap.graph.FinalizeAdjacency();
   }
-  // Build the CSR adjacency now: the snapshot is about to be queried (and
-  // possibly shared read-only across threads).
-  snap.graph.FinalizeAdjacency();
 
   metrics.radio_edges.Add(snap.radio_edges.size());
   metrics.isl_edges.Add(snap.isl_edges.size());
+  if (timeseries.Enabled()) {
+    // Keys carry the connectivity mode: studies that build both bent-pipe
+    // and hybrid snapshots at the same t would otherwise interleave two
+    // models' samples into one series.
+    const std::string prefix = "snapshot." + std::string(ToString(options_.mode)) + ".";
+    timeseries.Record(time_sec, prefix + "nodes",
+                      static_cast<double>(total_nodes));
+    timeseries.Record(time_sec, prefix + "radio_edges",
+                      static_cast<double>(snap.radio_edges.size()));
+    timeseries.Record(time_sec, prefix + "isl_edges",
+                      static_cast<double>(snap.isl_edges.size()));
+    timeseries.Record(time_sec, prefix + "propagate_us", propagate_us);
+    timeseries.Record(time_sec, prefix + "index_us", index_us);
+    timeseries.Record(time_sec, prefix + "visibility_us", visibility_us);
+    timeseries.Record(time_sec, prefix + "graph_us", graph_us);
+    timeseries.Record(
+        time_sec, prefix + "build_us",
+        static_cast<double>(obs::NowNanos() - build_start_ns) * 1e-3);
+  }
   obs::LogDebug("snapshot.build")
       .Field("t_sec", time_sec)
       .Field("nodes", total_nodes)

@@ -6,6 +6,8 @@
 #include "geo/geodesic.hpp"
 #include "graph/dijkstra.hpp"
 #include "itur/slant_path.hpp"
+#include "obs/progress.hpp"
+#include "obs/timeseries.hpp"
 
 namespace leosim::core {
 
@@ -45,6 +47,9 @@ std::vector<OutageRow> RunOutageStudy(const NetworkModel& model,
 
   std::vector<OutageRow> rows;
   graph::DijkstraWorkspace dijkstra_ws;
+  obs::TimeseriesRecorder& recorder = obs::TimeseriesRecorder::Global();
+  obs::ProgressReporter progress(
+      "outage", static_cast<uint64_t>(options.margins_db.size()));
   for (const double margin : options.margins_db) {
     // Disable links that would be in outage at this margin.
     int disabled = 0;
@@ -75,7 +80,14 @@ std::vector<OutageRow> RunOutageStudy(const NetworkModel& model,
     }
     row.reachable_fraction = static_cast<double>(reachable) / pairs.size();
     row.mean_rtt_ms = reachable > 0 ? rtt_sum / reachable : 0.0;
+    // The study sweeps margin, not time: samples use margin_db as the x
+    // coordinate (see the timeseries header comment).
+    recorder.Record(margin, "outage.reachable_fraction", row.reachable_fraction);
+    recorder.Record(margin, "outage.links_disabled_fraction",
+                    row.links_disabled_fraction);
+    recorder.Record(margin, "outage.mean_rtt_ms", row.mean_rtt_ms);
     rows.push_back(row);
+    progress.Step();
   }
   // Restore the snapshot for good hygiene (it is ours, but cheap).
   snap.graph.EnableAllEdges();

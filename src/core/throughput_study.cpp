@@ -6,6 +6,8 @@
 #include "flow/maxmin.hpp"
 #include "graph/components.hpp"
 #include "graph/disjoint_paths.hpp"
+#include "obs/progress.hpp"
+#include "obs/timeseries.hpp"
 
 namespace leosim::core {
 
@@ -57,6 +59,12 @@ ThroughputResult RunThroughputStudy(const NetworkModel& model,
 
   const flow::Allocation alloc = flow::MaxMinFairAllocate(net);
   result.total_gbps = alloc.total_gbps;
+  obs::TimeseriesRecorder& recorder = obs::TimeseriesRecorder::Global();
+  recorder.Record(time_sec, "throughput.total_gbps", result.total_gbps);
+  recorder.Record(time_sec, "throughput.pairs_routed",
+                  static_cast<double>(result.pairs_routed));
+  recorder.Record(time_sec, "throughput.subflows",
+                  static_cast<double>(result.subflows));
   StudySummary summary;
   summary.study = "throughput";
   summary.snapshots_built = 1;
@@ -77,7 +85,11 @@ DisconnectionStats RunDisconnectionStudy(const NetworkModel& model,
   stats.min_fraction = 1.0;
   stats.max_fraction = 0.0;
   NetworkModel::SnapshotWorkspace snapshot_ws;
-  for (const double t : schedule.Times()) {
+  obs::TimeseriesRecorder& recorder = obs::TimeseriesRecorder::Global();
+  const std::vector<double> times = schedule.Times();
+  obs::ProgressReporter progress("disconnection",
+                                 static_cast<uint64_t>(times.size()));
+  for (const double t : times) {
     const NetworkModel::Snapshot& snap = model.BuildSnapshot(t, &snapshot_ws);
     std::vector<graph::NodeId> sats(static_cast<size_t>(snap.num_sats));
     for (int i = 0; i < snap.num_sats; ++i) {
@@ -93,7 +105,9 @@ DisconnectionStats RunDisconnectionStudy(const NetworkModel& model,
     stats.per_snapshot.push_back(fraction);
     stats.min_fraction = std::min(stats.min_fraction, fraction);
     stats.max_fraction = std::max(stats.max_fraction, fraction);
+    recorder.Record(t, "disconnection.fraction", fraction);
     ++summary.snapshots_built;
+    progress.Step();
   }
   summary.wall_seconds = timer.Seconds();
   EmitStudySummary(summary);

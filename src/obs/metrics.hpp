@@ -155,6 +155,22 @@ class MetricsRegistry {
   // delimiting phases in long-running tools.
   void Reset();
 
+  // Resets the registry on entry and again on exit, so a test observes
+  // only its own increments and leaves nothing behind for the next one.
+  class ScopedReset {
+   public:
+    explicit ScopedReset(MetricsRegistry& registry = Global())
+        : registry_(registry) {
+      registry_.Reset();
+    }
+    ~ScopedReset() { registry_.Reset(); }
+    ScopedReset(const ScopedReset&) = delete;
+    ScopedReset& operator=(const ScopedReset&) = delete;
+
+   private:
+    MetricsRegistry& registry_;
+  };
+
  private:
   mutable std::mutex mutex_;
   std::vector<std::unique_ptr<Counter>> counters_;

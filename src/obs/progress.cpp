@@ -1,0 +1,134 @@
+#include "obs/progress.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/log.hpp"
+#include "obs/trace.hpp"
+
+namespace leosim::obs {
+
+namespace {
+
+// Interval in nanoseconds: -1 = uninitialised (resolve from
+// LEOSIM_PROGRESS on first check), 0 = off.
+std::atomic<int64_t> g_progress_interval_ns{-1};
+
+int64_t ToIntervalNs(double seconds) {
+  if (!(seconds > 0.0)) {
+    return 0;
+  }
+  return static_cast<int64_t>(seconds * 1e9);
+}
+
+int64_t InitProgressFromEnv() {
+  const char* raw = std::getenv("LEOSIM_PROGRESS");
+  int64_t resolved = 0;
+  if (raw != nullptr) {
+    char* end = nullptr;
+    const double seconds = std::strtod(raw, &end);
+    if (end != raw) {
+      resolved = ToIntervalNs(seconds);
+    } else if (std::string_view(raw) == "on") {
+      resolved = ToIntervalNs(kDefaultProgressIntervalSec);
+    }
+  }
+  // First initialiser wins; a concurrent SetProgressInterval has already
+  // replaced the -1 sentinel and must not be overwritten.
+  int64_t expected = -1;
+  g_progress_interval_ns.compare_exchange_strong(expected, resolved,
+                                                 std::memory_order_relaxed);
+  return g_progress_interval_ns.load(std::memory_order_relaxed);
+}
+
+int64_t ProgressIntervalNs() {
+  int64_t current = g_progress_interval_ns.load(std::memory_order_relaxed);
+  if (current < 0) {
+    current = InitProgressFromEnv();
+  }
+  return current;
+}
+
+}  // namespace
+
+double ProgressIntervalSeconds() {
+  return static_cast<double>(ProgressIntervalNs()) * 1e-9;
+}
+
+bool ProgressEnabled() { return ProgressIntervalNs() > 0; }
+
+void SetProgressInterval(double seconds) {
+  g_progress_interval_ns.store(ToIntervalNs(seconds),
+                               std::memory_order_relaxed);
+}
+
+ProgressReporter::ProgressReporter(std::string_view label, uint64_t total_steps)
+    : label_(label), total_(total_steps), enabled_(ProgressEnabled()) {
+  if (enabled_) {
+    interval_ns_ = ProgressIntervalNs();
+    start_ns_ = detail::TraceNowNanos();
+    next_emit_ns_.store(start_ns_ + interval_ns_, std::memory_order_relaxed);
+  }
+}
+
+ProgressReporter::~ProgressReporter() {
+  if (enabled_) {
+    Emit(completed(), /*final_line=*/true);
+  }
+}
+
+void ProgressReporter::Step(uint64_t n) {
+  const uint64_t done = completed_.fetch_add(n, std::memory_order_relaxed) + n;
+  if (!enabled_) {
+    return;
+  }
+  const int64_t now = detail::TraceNowNanos();
+  int64_t deadline = next_emit_ns_.load(std::memory_order_relaxed);
+  if (now < deadline) {
+    return;
+  }
+  // One thread wins the deadline and emits; losers saw the CAS fail and
+  // carry on — the heartbeat never serialises the workers.
+  if (next_emit_ns_.compare_exchange_strong(deadline, now + interval_ns_,
+                                            std::memory_order_relaxed)) {
+    Emit(done, /*final_line=*/false);
+  }
+}
+
+void ProgressReporter::Emit(uint64_t done, bool final_line) const {
+  const double elapsed_sec =
+      static_cast<double>(detail::TraceNowNanos() - start_ns_) * 1e-9;
+  const double rate =
+      elapsed_sec > 0.0 ? static_cast<double>(done) / elapsed_sec : 0.0;
+  char buf[256];
+  int len;
+  if (final_line) {
+    len = std::snprintf(buf, sizeof(buf),
+                        "[progress] %s.done done=%" PRIu64 " total=%" PRIu64
+                        " wall_s=%.2f rate_per_s=%.2f\n",
+                        label_.c_str(), done, total_, elapsed_sec, rate);
+  } else if (total_ > 0 && rate > 0.0) {
+    const uint64_t remaining = total_ > done ? total_ - done : 0;
+    len = std::snprintf(buf, sizeof(buf),
+                        "[progress] %s done=%" PRIu64 " total=%" PRIu64
+                        " pct=%.1f rate_per_s=%.2f eta_s=%.1f\n",
+                        label_.c_str(), done, total_,
+                        100.0 * static_cast<double>(done) /
+                            static_cast<double>(total_),
+                        rate, static_cast<double>(remaining) / rate);
+  } else {
+    len = std::snprintf(buf, sizeof(buf),
+                        "[progress] %s done=%" PRIu64 " rate_per_s=%.2f\n",
+                        label_.c_str(), done, rate);
+  }
+  if (len > 0) {
+    detail::EmitLogLine(
+        std::string(buf, static_cast<size_t>(
+                             len < static_cast<int>(sizeof(buf))
+                                 ? len
+                                 : static_cast<int>(sizeof(buf)) - 1)));
+  }
+}
+
+}  // namespace leosim::obs

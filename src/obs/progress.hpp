@@ -1,0 +1,70 @@
+// Progress heartbeats for long study runs: completed-step counts with
+// rate and ETA, emitted as structured log lines at a configurable
+// interval.
+//
+// Off by default. The interval comes from the LEOSIM_PROGRESS
+// environment variable (heartbeat period in seconds, e.g. "2" or "0.5";
+// "on" means the default period; read once at first use) or from
+// SetProgressInterval (e.g. a --progress flag). Heartbeats bypass the
+// log-level gate — asking for progress is the gate — but go through the
+// normal log sink, so SetLogSink redirection and the sink mutex apply.
+//
+// Cost model: Step() on a disabled reporter is one relaxed fetch_add.
+// Enabled, it adds a steady-clock read and a relaxed deadline check;
+// only the thread that wins the deadline CAS formats and emits, so
+// ParallelFor workers can all call Step() without serialising on the
+// sink (the counter is shared; emission is claimed by compare-exchange,
+// not by a lock).
+//
+// Usage:
+//   obs::ProgressReporter progress("latency", num_snapshots);
+//   for each snapshot: ... progress.Step();
+//   // destructor emits a final progress.done line when enabled
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace leosim::obs {
+
+inline constexpr double kDefaultProgressIntervalSec = 2.0;
+
+// Heartbeat period in seconds; <= 0 means progress reporting is off.
+double ProgressIntervalSeconds();
+bool ProgressEnabled();
+// Overrides the interval (and wins over LEOSIM_PROGRESS); pass <= 0 to
+// switch progress off.
+void SetProgressInterval(double seconds);
+
+// Tracks completed steps of one run phase. Enablement is latched at
+// construction, so a reporter is either fully on or costs one relaxed
+// add per Step for its whole lifetime.
+class ProgressReporter {
+ public:
+  // `label` names the phase in the emitted lines (e.g. the study name);
+  // `total_steps` sizes the ETA (0 = unknown: rate only, no ETA).
+  ProgressReporter(std::string_view label, uint64_t total_steps);
+  ~ProgressReporter();
+  ProgressReporter(const ProgressReporter&) = delete;
+  ProgressReporter& operator=(const ProgressReporter&) = delete;
+
+  void Step(uint64_t n = 1);
+  uint64_t completed() const {
+    return completed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Emit(uint64_t done, bool final_line) const;
+
+  std::string label_;
+  uint64_t total_;
+  bool enabled_;
+  int64_t interval_ns_{0};
+  int64_t start_ns_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<int64_t> next_emit_ns_{0};
+};
+
+}  // namespace leosim::obs

@@ -1,0 +1,192 @@
+#include "obs/timeseries.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <tuple>
+#include <vector>
+
+namespace leosim::obs {
+
+namespace {
+
+struct Sample {
+  std::string key;
+  double t;
+  double value;
+};
+
+struct SampleBuffer {
+  std::mutex mutex;
+  std::vector<Sample> samples;
+  uint64_t dropped = 0;
+};
+
+struct BufferRegistry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<SampleBuffer>> buffers;
+};
+
+BufferRegistry& Registry() {
+  static BufferRegistry* registry = new BufferRegistry();  // never destroyed:
+  // worker threads may record past static destruction order.
+  return *registry;
+}
+
+// The calling thread's buffer; the registry's shared_ptr keeps samples
+// alive after the thread joins, so exports after ParallelFor see every
+// worker's samples.
+SampleBuffer& ThreadBuffer() {
+  thread_local std::shared_ptr<SampleBuffer> buffer = [] {
+    auto created = std::make_shared<SampleBuffer>();
+    BufferRegistry& registry = Registry();
+    const std::lock_guard<std::mutex> lock(registry.mutex);
+    registry.buffers.push_back(created);
+    return created;
+  }();
+  return *buffer;
+}
+
+void AppendJsonString(std::string* out, std::string_view text) {
+  out->push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char tmp[8];
+          std::snprintf(tmp, sizeof(tmp), "\\u%04x", c);
+          out->append(tmp);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendJsonDouble(std::string* out, double value) {
+  // NaN/Inf are not JSON; clamp to null so one bad sample cannot
+  // invalidate the whole export.
+  if (!(value >= -std::numeric_limits<double>::max() &&
+        value <= std::numeric_limits<double>::max())) {
+    out->append("null");
+    return;
+  }
+  char tmp[40];
+  std::snprintf(tmp, sizeof(tmp), "%.17g", value);
+  out->append(tmp);
+}
+
+}  // namespace
+
+TimeseriesRecorder& TimeseriesRecorder::Global() {
+  static TimeseriesRecorder* recorder = new TimeseriesRecorder();
+  return *recorder;
+}
+
+void TimeseriesRecorder::RecordAlways(double t, std::string_view key,
+                                      double value) {
+  SampleBuffer& buffer = ThreadBuffer();
+  const std::lock_guard<std::mutex> lock(buffer.mutex);
+  if (buffer.samples.size() >= kMaxTimeseriesSamplesPerThread) {
+    ++buffer.dropped;
+    return;
+  }
+  buffer.samples.push_back(Sample{std::string(key), t, value});
+}
+
+std::string TimeseriesRecorder::ToJson() const {
+  std::vector<Sample> merged;
+  uint64_t dropped = 0;
+  {
+    BufferRegistry& registry = Registry();
+    const std::lock_guard<std::mutex> registry_lock(registry.mutex);
+    for (const std::shared_ptr<SampleBuffer>& buffer : registry.buffers) {
+      const std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+      merged.insert(merged.end(), buffer->samples.begin(),
+                    buffer->samples.end());
+      dropped += buffer->dropped;
+    }
+  }
+  // (key, t, value) is a total order over everything the studies emit, so
+  // the export does not depend on which worker recorded which sample —
+  // the determinism the byte-identical regression test relies on.
+  std::sort(merged.begin(), merged.end(), [](const Sample& a, const Sample& b) {
+    return std::tie(a.key, a.t, a.value) < std::tie(b.key, b.t, b.value);
+  });
+
+  std::string out = "{\n  \"schema\": \"leosim.timeseries/1\",\n";
+  out.append("  \"dropped_samples\": ");
+  char tmp[24];
+  std::snprintf(tmp, sizeof(tmp), "%" PRIu64, dropped);
+  out.append(tmp);
+  out.append(",\n  \"series\": {");
+  bool first_key = true;
+  for (size_t i = 0; i < merged.size();) {
+    size_t end = i;
+    while (end < merged.size() && merged[end].key == merged[i].key) {
+      ++end;
+    }
+    out.append(first_key ? "\n    " : ",\n    ");
+    first_key = false;
+    AppendJsonString(&out, merged[i].key);
+    out.append(": [");
+    for (size_t s = i; s < end; ++s) {
+      out.append(s == i ? "\n      [" : ",\n      [");
+      AppendJsonDouble(&out, merged[s].t);
+      out.append(", ");
+      AppendJsonDouble(&out, merged[s].value);
+      out.push_back(']');
+    }
+    out.append("\n    ]");
+    i = end;
+  }
+  out.append("\n  }\n}\n");
+  return out;
+}
+
+bool TimeseriesRecorder::WriteJson(const std::string& path) const {
+  const std::string json = ToJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return written == json.size();
+}
+
+void TimeseriesRecorder::Reset() {
+  BufferRegistry& registry = Registry();
+  const std::lock_guard<std::mutex> registry_lock(registry.mutex);
+  for (const std::shared_ptr<SampleBuffer>& buffer : registry.buffers) {
+    const std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    buffer->samples.clear();
+    buffer->dropped = 0;
+  }
+}
+
+uint64_t TimeseriesRecorder::DroppedSamples() const {
+  uint64_t total = 0;
+  BufferRegistry& registry = Registry();
+  const std::lock_guard<std::mutex> registry_lock(registry.mutex);
+  for (const std::shared_ptr<SampleBuffer>& buffer : registry.buffers) {
+    const std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    total += buffer->dropped;
+  }
+  return total;
+}
+
+}  // namespace leosim::obs

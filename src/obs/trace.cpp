@@ -113,6 +113,9 @@ void Span::Finish() {
   if (histogram_ != nullptr) {
     histogram_->Observe(static_cast<double>(duration_ns) * 1e-3);
   }
+  if (elapsed_us_out_ != nullptr) {
+    *elapsed_us_out_ = static_cast<double>(duration_ns) * 1e-3;
+  }
   if (TracingEnabled()) {
     detail::RecordTraceEvent(name_, start_ns_, duration_ns);
   }

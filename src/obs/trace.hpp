@@ -40,6 +40,10 @@ inline bool TracingEnabled() {
   return detail::g_trace_enabled.load(std::memory_order_relaxed);
 }
 
+// Steady-clock nanoseconds since the process-wide trace epoch. For ad-hoc
+// interval measurement consistent with Span timestamps.
+inline int64_t NowNanos() { return detail::TraceNowNanos(); }
+
 void EnableTracing(bool enabled);
 
 // Chrome trace_event JSON object: {"displayTimeUnit": "ms",
@@ -57,12 +61,16 @@ uint64_t TraceDroppedEvents();
 // RAII scoped timer. `name` must outlive the span (string literals in
 // practice). Optionally observes the duration (in microseconds) into
 // `histogram` even when tracing is off, so phase histograms work without
-// a trace buffer.
+// a trace buffer. `elapsed_us_out`, when non-null, also arms the span and
+// receives the duration in microseconds on destruction — how the
+// snapshot builder hands per-phase times to the timeseries recorder.
 class Span {
  public:
-  explicit Span(std::string_view name, Histogram* histogram = nullptr)
-      : name_(name), histogram_(histogram) {
-    armed_ = (histogram_ != nullptr) || TracingEnabled();
+  explicit Span(std::string_view name, Histogram* histogram = nullptr,
+                double* elapsed_us_out = nullptr)
+      : name_(name), histogram_(histogram), elapsed_us_out_(elapsed_us_out) {
+    armed_ = (histogram_ != nullptr) || (elapsed_us_out_ != nullptr) ||
+             TracingEnabled();
     if (armed_) {
       start_ns_ = detail::TraceNowNanos();
     }
@@ -80,6 +88,7 @@ class Span {
 
   std::string_view name_;
   Histogram* histogram_;
+  double* elapsed_us_out_;
   int64_t start_ns_{0};
   bool armed_;
 };

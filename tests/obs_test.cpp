@@ -1,18 +1,21 @@
 // Unit tests for the obs subsystem: log level gating, sharded metric
-// merges, span nesting, and the JSON exports (validated with a strict
-// little scanner so a stray comma or unescaped quote fails here rather
-// than in chrome://tracing).
+// merges, span nesting, timeseries recording, progress heartbeats, and
+// the JSON exports (validated with a strict little scanner so a stray
+// comma or unescaped quote fails here rather than in chrome://tracing).
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <cctype>
 #include <cstddef>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 
 namespace leosim::obs {
@@ -278,8 +281,8 @@ TEST(ObsLogTest, FieldsQuoteAwkwardValues) {
 }
 
 TEST(ObsMetricsTest, CounterMergesAcrossThreads) {
+  const MetricsRegistry::ScopedReset reset;
   Counter& counter = MetricsRegistry::Global().GetCounter("test.counter_merge");
-  const uint64_t before = counter.Value();
   constexpr int kThreads = 8;
   constexpr int kPerThread = 10'000;
   std::vector<std::thread> threads;
@@ -295,8 +298,21 @@ TEST(ObsMetricsTest, CounterMergesAcrossThreads) {
   for (std::thread& t : threads) {
     t.join();
   }
-  EXPECT_EQ(counter.Value() - before,
-            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(counter.Value(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(ObsMetricsTest, ScopedResetIsolatesAndCleansUp) {
+  Counter& counter = MetricsRegistry::Global().GetCounter("test.scoped_reset");
+  counter.Add(5);
+  {
+    const MetricsRegistry::ScopedReset reset;
+    // Entry reset: the increments from outside the scope are gone.
+    EXPECT_EQ(counter.Value(), 0u);
+    counter.Add(3);
+    EXPECT_EQ(counter.Value(), 3u);
+  }
+  // Exit reset: nothing leaks to whoever observes the registry next.
+  EXPECT_EQ(counter.Value(), 0u);
 }
 
 TEST(ObsMetricsTest, HistogramMergeIsShardOrderIndependent) {
@@ -407,14 +423,28 @@ TEST(ObsTraceTest, NestedSpansExportParentFirst) {
 }
 
 TEST(ObsTraceTest, SpanObservesHistogramWithoutTracing) {
+  const MetricsRegistry::ScopedReset reset;
   EnableTracing(false);
   Histogram& hist = MetricsRegistry::Global().GetHistogram(
       "test.span_hist_us", Histogram::ExponentialBounds(1.0, 4.0, 8));
-  const uint64_t before = hist.Merge().count;
   {
     const Span span("trace.hist_only", &hist);
   }
-  EXPECT_EQ(hist.Merge().count, before + 1);
+  EXPECT_EQ(hist.Merge().count, 1u);
+}
+
+TEST(ObsTraceTest, SpanWritesElapsedOut) {
+  EnableTracing(false);
+  double elapsed_us = -1.0;
+  {
+    const Span span("trace.elapsed_out", nullptr, &elapsed_us);
+    volatile double sink = 0.0;
+    for (int i = 0; i < 1000; ++i) {
+      sink = sink + i;
+    }
+  }
+  // The span armed on the out-param alone (no histogram, no tracing).
+  EXPECT_GE(elapsed_us, 0.0);
 }
 
 TEST(ObsTraceTest, ManyThreadsProduceValidTrace) {
@@ -445,6 +475,185 @@ TEST(ObsTraceTest, ManyThreadsProduceValidTrace) {
   EXPECT_EQ(events, static_cast<size_t>(kThreads) * kSpansPerThread);
   EXPECT_EQ(TraceDroppedEvents(), 0u);
   ResetTrace();
+}
+
+// Enables timeseries recording for the test body and restores a clean,
+// disabled recorder on exit.
+class ScopedTimeseries {
+ public:
+  ScopedTimeseries() {
+    TimeseriesRecorder::Global().Reset();
+    TimeseriesRecorder::Global().Enable(true);
+  }
+  ~ScopedTimeseries() {
+    TimeseriesRecorder::Global().Enable(false);
+    TimeseriesRecorder::Global().Reset();
+  }
+};
+
+TEST(ObsTimeseriesTest, DisabledRecordIsANoOp) {
+  TimeseriesRecorder& recorder = TimeseriesRecorder::Global();
+  recorder.Reset();
+  recorder.Enable(false);
+  recorder.Record(0.0, "ts.disabled", 1.0);
+  const std::string json = recorder.ToJson();
+  EXPECT_TRUE(JsonScanner(json).Valid()) << json;
+  EXPECT_EQ(json.find("ts.disabled"), std::string::npos);
+}
+
+TEST(ObsTimeseriesTest, ExportIsValidSortedJson) {
+  const ScopedTimeseries scoped;
+  TimeseriesRecorder& recorder = TimeseriesRecorder::Global();
+  // Recorded deliberately out of order: the export sorts by (key, t).
+  recorder.Record(2.0, "ts.b", 20.0);
+  recorder.Record(1.0, "ts.b", 10.0);
+  recorder.Record(0.0, "ts.a", 1.0);
+  const std::string json = recorder.ToJson();
+  EXPECT_TRUE(JsonScanner(json).Valid()) << json;
+  EXPECT_NE(json.find("\"schema\": \"leosim.timeseries/1\""), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_samples\": 0"), std::string::npos);
+  const size_t a_pos = json.find("\"ts.a\"");
+  const size_t b_pos = json.find("\"ts.b\"");
+  ASSERT_NE(a_pos, std::string::npos);
+  ASSERT_NE(b_pos, std::string::npos);
+  EXPECT_LT(a_pos, b_pos);
+  // Within ts.b, t=1 precedes t=2.
+  const size_t t1 = json.find("[1, 10]", b_pos);
+  const size_t t2 = json.find("[2, 20]", b_pos);
+  ASSERT_NE(t1, std::string::npos);
+  ASSERT_NE(t2, std::string::npos);
+  EXPECT_LT(t1, t2);
+}
+
+TEST(ObsTimeseriesTest, NonFiniteValuesExportAsNull) {
+  const ScopedTimeseries scoped;
+  TimeseriesRecorder& recorder = TimeseriesRecorder::Global();
+  recorder.Record(0.0, "ts.nonfinite",
+                  std::numeric_limits<double>::infinity());
+  const std::string json = recorder.ToJson();
+  EXPECT_TRUE(JsonScanner(json).Valid()) << json;
+  EXPECT_NE(json.find("[0, null]"), std::string::npos) << json;
+}
+
+TEST(ObsTimeseriesTest, IdenticalRunsExportByteIdenticalJson) {
+  // Two "runs" record the same logical samples with work shuffled across
+  // different thread counts; the sorted export must not care.
+  const auto run = [](int num_threads) {
+    TimeseriesRecorder& recorder = TimeseriesRecorder::Global();
+    recorder.Reset();
+    recorder.Enable(true);
+    constexpr int kSamples = 256;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < num_threads; ++t) {
+      threads.emplace_back([t, num_threads] {
+        TimeseriesRecorder& r = TimeseriesRecorder::Global();
+        for (int i = t; i < kSamples; i += num_threads) {
+          r.Record(static_cast<double>(i), "ts.det.x", i * 0.25);
+          r.Record(static_cast<double>(i), "ts.det.y", 1000.0 - i);
+        }
+      });
+    }
+    for (std::thread& th : threads) {
+      th.join();
+    }
+    const std::string json = recorder.ToJson();
+    recorder.Enable(false);
+    recorder.Reset();
+    return json;
+  };
+  const std::string first = run(2);
+  const std::string second = run(7);
+  EXPECT_TRUE(JsonScanner(first).Valid());
+  EXPECT_EQ(first, second);
+}
+
+TEST(ObsTimeseriesTest, OverflowCountsDroppedSamples) {
+  const ScopedTimeseries scoped;
+  TimeseriesRecorder& recorder = TimeseriesRecorder::Global();
+  // This thread's buffer may already hold samples from earlier tests on
+  // this thread, so fill relative to the cap.
+  for (std::size_t i = 0; i < kMaxTimeseriesSamplesPerThread + 10; ++i) {
+    recorder.Record(0.0, "ts.flood", 0.0);
+  }
+  EXPECT_GE(recorder.DroppedSamples(), 10u);
+  const std::string json = recorder.ToJson();
+  EXPECT_TRUE(JsonScanner(json).Valid());
+  EXPECT_EQ(json.find("\"dropped_samples\": 0"), std::string::npos);
+}
+
+TEST(ObsProgressTest, OffMeansNoLines) {
+  SetProgressInterval(0.0);
+  LogCapture capture(LogLevel::kOff);
+  {
+    ProgressReporter progress("test_off", 4);
+    progress.Step(4);
+    EXPECT_EQ(progress.completed(), 4u);
+  }
+  EXPECT_TRUE(capture.lines().empty());
+  EXPECT_FALSE(ProgressEnabled());
+}
+
+TEST(ObsProgressTest, HeartbeatAndFinalLineWhenEnabled) {
+  // A vanishing interval makes every Step eligible to emit; the level is
+  // kOff to prove heartbeats bypass the log-level gate (asking for
+  // progress is the gate).
+  SetProgressInterval(1e-9);
+  {
+    LogCapture capture(LogLevel::kOff);
+    {
+      ProgressReporter progress("test_beat", 3);
+      for (int i = 0; i < 3; ++i) {
+        progress.Step();
+      }
+    }
+    ASSERT_FALSE(capture.lines().empty());
+    bool saw_heartbeat = false;
+    for (const std::string& line : capture.lines()) {
+      EXPECT_NE(line.find("[progress]"), std::string::npos) << line;
+      if (line.find("test_beat done=") != std::string::npos &&
+          line.find("test_beat.done") == std::string::npos) {
+        saw_heartbeat = true;
+        EXPECT_NE(line.find("total=3"), std::string::npos) << line;
+      }
+    }
+    EXPECT_TRUE(saw_heartbeat);
+    // Destructor emits the final summary line.
+    const std::string& last = capture.lines().back();
+    EXPECT_NE(last.find("test_beat.done"), std::string::npos) << last;
+    EXPECT_NE(last.find("done=3"), std::string::npos) << last;
+  }
+  SetProgressInterval(0.0);
+}
+
+TEST(ObsProgressTest, StepsFromManyThreadsSumExactly) {
+  SetProgressInterval(1e-9);
+  {
+    LogCapture capture(LogLevel::kOff);
+    constexpr int kThreads = 8;
+    constexpr int kSteps = 1000;
+    {
+      ProgressReporter progress("test_mt",
+                                static_cast<uint64_t>(kThreads) * kSteps);
+      std::vector<std::thread> threads;
+      for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&progress] {
+          for (int i = 0; i < kSteps; ++i) {
+            progress.Step();
+          }
+        });
+      }
+      for (std::thread& t : threads) {
+        t.join();
+      }
+      EXPECT_EQ(progress.completed(),
+                static_cast<uint64_t>(kThreads) * kSteps);
+    }
+    // The final line reports the exact total despite concurrent emitters.
+    const std::string& last = capture.lines().back();
+    EXPECT_NE(last.find("test_mt.done"), std::string::npos) << last;
+    EXPECT_NE(last.find("done=8000"), std::string::npos) << last;
+  }
+  SetProgressInterval(0.0);
 }
 
 }  // namespace

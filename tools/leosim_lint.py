@@ -19,6 +19,9 @@ Rules (each maps to a repo invariant documented in DESIGN.md):
                    redirectable); the one allowed writer is the default
                    sink in src/obs/log.cpp. bench/ and examples/ print
                    tables by design and are exempt.
+  study-summary   Every src/core/*_study.cpp calls EmitStudySummary:
+                   manifests, tests, and obs_report run comparisons all
+                   key on the shared summary line.
 
 File discovery walks `git ls-files` plus untracked-but-not-ignored files,
 so freshly added sources (e.g. a new src/obs/ or bench/ file) are linted
@@ -131,6 +134,19 @@ def grep_lint(findings: list[str]) -> None:
                     f"{rel}:{lineno}: [iostream-in-library] use obs::Log "
                     "(or a custom obs::SetLogSink) instead of iostream in src/"
                 )
+
+    # Every study driver must report its run through the shared summary
+    # path: EmitStudySummary is what the manifests, tests, and obs_report
+    # comparisons key on, so a silent study is a lint error.
+    for path in tracked_files(["src/core/*_study.cpp"]):
+        rel = path.relative_to(REPO_ROOT)
+        code = strip_comments_and_strings(path.read_text())
+        if not re.search(r"\bEmitStudySummary\s*\(", code):
+            findings.append(
+                f"{rel}:1: [study-summary] study driver never calls "
+                "EmitStudySummary; every src/core/*_study.cpp must report a "
+                "StudySummary"
+            )
 
     for path in headers:
         rel = path.relative_to(REPO_ROOT)

@@ -1,0 +1,389 @@
+#!/usr/bin/env python3
+"""Diff two leosim observability artifacts and report regressions.
+
+Turns the JSON the pipeline already emits into a verdict: feed it a
+baseline artifact and a current one and it prints per-metric deltas,
+flags everything beyond the regression threshold, and exits non-zero
+when anything regressed. Artifact kinds are auto-detected from the JSON
+shape:
+
+  bench       BenchSuite records (BENCH_pipeline.json): per-benchmark
+              median deltas, gated by --threshold.
+  metrics     MetricsRegistry exports: counter/gauge deltas plus
+              histogram shifts (count, mean, bucket total-variation
+              distance). Informational — counts depend on workload
+              size, so they never gate.
+  timeseries  TimeseriesRecorder exports (leosim.timeseries/1): per-key
+              overlay stats over time-matched samples (mean/max
+              deviation), gated by --threshold on relative drift.
+  manifest    RunReport manifests: params, per-study summaries, and a
+              recursive diff of the embedded metrics object.
+
+Usage:
+  obs_report.py BASELINE CURRENT [--threshold PCT] [--markdown]
+  obs_report.py --baseline BASELINE CURRENT [CURRENT...]
+
+Exit status: 0 = no regressions, 1 = at least one gated metric beyond
+the threshold, 2 = usage or input error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+EPS = 1e-12
+
+
+def detect_kind(doc: dict) -> str:
+    if not isinstance(doc, dict):
+        raise ValueError("artifact root must be a JSON object")
+    if isinstance(doc.get("schema"), str) and doc["schema"].startswith(
+        "leosim.timeseries/"
+    ):
+        return "timeseries"
+    if "suite" in doc and "results" in doc:
+        return "bench"
+    if "run" in doc and "metrics" in doc:
+        return "manifest"
+    if "counters" in doc and "histograms" in doc:
+        return "metrics"
+    raise ValueError("unrecognised artifact shape (not bench/metrics/timeseries/manifest)")
+
+
+class Report:
+    """Accumulates report lines in plain-text or markdown-table form."""
+
+    def __init__(self, markdown: bool) -> None:
+        self.markdown = markdown
+        self.lines: list[str] = []
+        self.regressions: list[str] = []
+
+    def section(self, title: str) -> None:
+        if self.lines:
+            self.lines.append("")
+        self.lines.append(f"### {title}" if self.markdown else f"== {title} ==")
+
+    def table(self, headers: list[str], rows: list[list[str]]) -> None:
+        if not rows:
+            self.note("(nothing to compare)")
+            return
+        if self.markdown:
+            self.lines.append("| " + " | ".join(headers) + " |")
+            self.lines.append("|" + "|".join("---" for _ in headers) + "|")
+            for row in rows:
+                self.lines.append("| " + " | ".join(row) + " |")
+        else:
+            widths = [
+                max(len(headers[c]), *(len(row[c]) for row in rows))
+                for c in range(len(headers))
+            ]
+            self.lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+            self.lines.append("  ".join("-" * w for w in widths))
+            for row in rows:
+                self.lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+
+    def note(self, text: str) -> None:
+        self.lines.append(text)
+
+    def regression(self, label: str) -> None:
+        self.regressions.append(label)
+
+    def render(self) -> str:
+        out = list(self.lines)
+        out.append("")
+        if self.regressions:
+            out.append(
+                f"REGRESSIONS ({len(self.regressions)}): "
+                + ", ".join(self.regressions)
+            )
+        else:
+            out.append("no regressions")
+        return "\n".join(out) + "\n"
+
+
+def fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def pct_change(base: float, cur: float) -> float:
+    """Relative change in percent; 0 when both sides are (near) zero."""
+    if abs(base) < EPS:
+        return 0.0 if abs(cur) < EPS else float("inf")
+    return (cur / base - 1.0) * 100.0
+
+
+def fmt_pct(p: float) -> str:
+    if p == float("inf"):
+        return "new!"
+    return f"{p:+.1f}%"
+
+
+def diff_bench(base: dict, cur: dict, report: Report, threshold: float) -> None:
+    base_medians = {r["name"]: r for r in base.get("results", [])}
+    cur_medians = {r["name"]: r for r in cur.get("results", [])}
+    report.section(f"bench medians (threshold {threshold:g}%)")
+    rows = []
+    for name in sorted(set(base_medians) | set(cur_medians)):
+        if name not in base_medians:
+            rows.append([name, "-", fmt(cur_medians[name]["median_ns_per_op"]), "new", ""])
+            continue
+        if name not in cur_medians:
+            rows.append([name, fmt(base_medians[name]["median_ns_per_op"]), "-", "gone", ""])
+            continue
+        b = base_medians[name]["median_ns_per_op"]
+        c = cur_medians[name]["median_ns_per_op"]
+        change = pct_change(b, c)
+        marker = ""
+        if change > threshold:
+            marker = "REGRESSED"
+            report.regression(f"bench:{name}")
+        elif change < -threshold:
+            marker = "improved"
+        rows.append([name, f"{b:.1f}", f"{c:.1f}", fmt_pct(change), marker])
+    report.table(["benchmark", "base ns/op", "now ns/op", "delta", ""], rows)
+
+
+def hist_mean(h: dict) -> float:
+    count = h.get("count", 0)
+    return h.get("sum", 0.0) / count if count else 0.0
+
+
+def total_variation(base: dict, cur: dict) -> float:
+    """Half the L1 distance between the normalised bucket distributions."""
+    bc, cc = base.get("counts", []), cur.get("counts", [])
+    if len(bc) != len(cc) or not sum(bc) or not sum(cc):
+        return 0.0
+    bn, cn = sum(bc), sum(cc)
+    return 0.5 * sum(abs(b / bn - c / cn) for b, c in zip(bc, cc))
+
+
+def diff_metrics(base: dict, cur: dict, report: Report) -> None:
+    counters_b, counters_c = base.get("counters", {}), cur.get("counters", {})
+    report.section("counters")
+    rows = []
+    for name in sorted(set(counters_b) | set(counters_c)):
+        b, c = counters_b.get(name, 0), counters_c.get(name, 0)
+        if b == c:
+            continue
+        rows.append([name, fmt(b), fmt(c), fmt_pct(pct_change(b, c))])
+    if rows:
+        report.table(["counter", "base", "now", "delta"], rows)
+    else:
+        report.note("(all counters identical)")
+
+    gauges_b, gauges_c = base.get("gauges", {}), cur.get("gauges", {})
+    changed = sorted(
+        name
+        for name in set(gauges_b) | set(gauges_c)
+        if gauges_b.get(name) != gauges_c.get(name)
+    )
+    if changed:
+        report.section("gauges")
+        report.table(
+            ["gauge", "base", "now"],
+            [
+                [n, fmt(gauges_b.get(n, 0.0) or 0.0), fmt(gauges_c.get(n, 0.0) or 0.0)]
+                for n in changed
+            ],
+        )
+
+    hists_b, hists_c = base.get("histograms", {}), cur.get("histograms", {})
+    report.section("histogram shifts")
+    rows = []
+    for name in sorted(set(hists_b) & set(hists_c)):
+        hb, hc = hists_b[name], hists_c[name]
+        tv = total_variation(hb, hc)
+        mean_shift = pct_change(hist_mean(hb), hist_mean(hc))
+        if hb.get("count") == hc.get("count") and tv == 0.0 and mean_shift == 0.0:
+            continue
+        rows.append(
+            [
+                name,
+                fmt(hb.get("count", 0)),
+                fmt(hc.get("count", 0)),
+                fmt_pct(mean_shift),
+                f"{tv:.3f}",
+            ]
+        )
+    if rows:
+        report.table(["histogram", "base n", "now n", "mean delta", "bucket TV"], rows)
+    else:
+        report.note("(all histograms identical)")
+
+
+def series_points(doc: dict) -> dict[str, list[list[float]]]:
+    return doc.get("series", {})
+
+
+def diff_timeseries(base: dict, cur: dict, report: Report, threshold: float) -> None:
+    sb, sc = series_points(base), series_points(cur)
+    report.section(f"timeseries overlay (threshold {threshold:g}% relative drift)")
+    only_base = sorted(set(sb) - set(sc))
+    only_cur = sorted(set(sc) - set(sb))
+    rows = []
+    for key in sorted(set(sb) & set(sc)):
+        base_by_t: dict[float, float] = {}
+        for t, v in sb[key]:
+            base_by_t.setdefault(t, v)
+        matched = [(v, base_by_t[t]) for t, v in sc[key] if t in base_by_t]
+        if not matched:
+            rows.append([key, str(len(sb[key])), str(len(sc[key])), "-", "-", "no overlap"])
+            continue
+        deviations = [abs(c - b) for c, b in matched]
+        mean_abs_base = sum(abs(b) for _, b in matched) / len(matched)
+        drift_pct = (
+            100.0 * (sum(deviations) / len(deviations)) / max(mean_abs_base, EPS)
+            if mean_abs_base > EPS
+            else (0.0 if max(deviations) < EPS else float("inf"))
+        )
+        marker = ""
+        if drift_pct > threshold:
+            marker = "DRIFTED"
+            report.regression(f"timeseries:{key}")
+        rows.append(
+            [
+                key,
+                str(len(sb[key])),
+                str(len(sc[key])),
+                f"{max(deviations):.4g}",
+                fmt_pct(drift_pct) if drift_pct != float("inf") else "inf",
+                marker,
+            ]
+        )
+    report.table(
+        ["key", "base n", "now n", "max |delta|", "mean drift", ""], rows
+    )
+    if only_base:
+        report.note(f"keys only in baseline: {', '.join(only_base)}")
+    if only_cur:
+        report.note(f"keys only in current: {', '.join(only_cur)}")
+    db, dc = base.get("dropped_samples", 0), cur.get("dropped_samples", 0)
+    if db or dc:
+        report.note(f"dropped samples: baseline {db}, current {dc}")
+
+
+def diff_manifest(base: dict, cur: dict, report: Report) -> None:
+    report.section("run manifest")
+    rows = [["run", str(base.get("run")), str(cur.get("run"))],
+            ["threads", fmt(base.get("threads", 0)), fmt(cur.get("threads", 0))],
+            ["wall_seconds", f"{base.get('wall_seconds', 0.0):.3f}",
+             f"{cur.get('wall_seconds', 0.0):.3f}"]]
+    report.table(["field", "base", "now"], rows)
+
+    params_b, params_c = base.get("params", {}), cur.get("params", {})
+    changed = sorted(
+        k for k in set(params_b) | set(params_c) if params_b.get(k) != params_c.get(k)
+    )
+    if changed:
+        report.section("param differences")
+        report.table(
+            ["param", "base", "now"],
+            [[k, str(params_b.get(k, "-")), str(params_c.get(k, "-"))] for k in changed],
+        )
+
+    studies_b = {s.get("study", f"#{i}"): s for i, s in enumerate(base.get("studies", []))}
+    studies_c = {s.get("study", f"#{i}"): s for i, s in enumerate(cur.get("studies", []))}
+    report.section("study summaries")
+    rows = []
+    for name in sorted(set(studies_b) | set(studies_c)):
+        b, c = studies_b.get(name, {}), studies_c.get(name, {})
+        rows.append(
+            [
+                name,
+                f"{fmt(b.get('snapshots_built', 0))}/{fmt(c.get('snapshots_built', 0))}",
+                f"{fmt(b.get('pairs_routed', 0))}/{fmt(c.get('pairs_routed', 0))}",
+                f"{fmt(b.get('pairs_unreachable', 0))}/{fmt(c.get('pairs_unreachable', 0))}",
+                f"{b.get('wall_seconds', 0.0):.3f}/{c.get('wall_seconds', 0.0):.3f}",
+            ]
+        )
+    report.table(
+        ["study", "snapshots b/n", "routed b/n", "unreachable b/n", "wall_s b/n"], rows
+    )
+
+    if isinstance(base.get("metrics"), dict) and isinstance(cur.get("metrics"), dict):
+        diff_metrics(base["metrics"], cur["metrics"], report)
+
+
+def load(path: str) -> tuple[dict, str]:
+    try:
+        doc = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as err:
+        raise ValueError(f"{path}: {err}") from err
+    return doc, detect_kind(doc)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("files", nargs="+", help="artifacts to compare")
+    parser.add_argument(
+        "--baseline",
+        help="baseline artifact; every positional file is diffed against it "
+        "(default: the first positional file is the baseline)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=10.0,
+        help="regression threshold in percent (default: 10)",
+    )
+    parser.add_argument(
+        "--markdown", action="store_true", help="emit GitHub-flavoured markdown tables"
+    )
+    args = parser.parse_args()
+
+    if args.baseline is not None:
+        baseline_path, current_paths = args.baseline, args.files
+    elif len(args.files) >= 2:
+        baseline_path, current_paths = args.files[0], args.files[1:]
+    else:
+        parser.print_usage(sys.stderr)
+        print("obs_report: need a baseline and at least one current file", file=sys.stderr)
+        return 2
+
+    try:
+        base, base_kind = load(baseline_path)
+    except ValueError as err:
+        print(f"obs_report: {err}", file=sys.stderr)
+        return 2
+
+    report = Report(markdown=args.markdown)
+    report.note(
+        f"**obs_report** baseline `{baseline_path}` ({base_kind})"
+        if args.markdown
+        else f"obs_report: baseline {baseline_path} ({base_kind})"
+    )
+    for path in current_paths:
+        try:
+            cur, cur_kind = load(path)
+        except ValueError as err:
+            print(f"obs_report: {err}", file=sys.stderr)
+            return 2
+        if cur_kind != base_kind:
+            print(
+                f"obs_report: {path} is a {cur_kind} artifact but the baseline "
+                f"is {base_kind}",
+                file=sys.stderr,
+            )
+            return 2
+        if base_kind == "bench":
+            diff_bench(base, cur, report, args.threshold)
+        elif base_kind == "metrics":
+            diff_metrics(base, cur, report)
+        elif base_kind == "timeseries":
+            diff_timeseries(base, cur, report, args.threshold)
+        else:
+            diff_manifest(base, cur, report)
+
+    sys.stdout.write(report.render())
+    return 1 if report.regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
