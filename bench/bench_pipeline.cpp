@@ -14,8 +14,11 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "core/churn_study.hpp"
 #include "core/latency_study.hpp"
 #include "core/scenario.hpp"
+#include "flow/flow_network.hpp"
+#include "flow/maxmin.hpp"
 #include "geo/geodesic.hpp"
 #include "graph/dijkstra.hpp"
 #include "link/visibility.hpp"
@@ -23,6 +26,35 @@
 namespace {
 
 using namespace leosim;
+
+uint64_t Splitmix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Synthetic allocator workload shaped like a day's throughput slots:
+// a few thousand shared links, each flow crossing a handful of them.
+flow::FlowNetwork MakeFillNetwork(int num_links, int num_flows) {
+  uint64_t rng = 20201104;
+  flow::FlowNetwork net;
+  for (int l = 0; l < num_links; ++l) {
+    net.AddLink(20.0 + static_cast<double>(Splitmix64(rng) % 81));
+  }
+  std::vector<flow::LinkId> path;
+  for (int f = 0; f < num_flows; ++f) {
+    const int hops = 2 + static_cast<int>(Splitmix64(rng) % 7);
+    path.clear();
+    for (int h = 0; h < hops; ++h) {
+      path.push_back(static_cast<flow::LinkId>(
+          Splitmix64(rng) % static_cast<uint64_t>(num_links)));
+    }
+    net.AddFlow(path);
+  }
+  return net;
+}
 
 }  // namespace
 
@@ -115,6 +147,29 @@ int main(int argc, char** argv) {
           core::RunLatencyStudy(bent_pipe, hybrid, pairs, schedule);
       (void)result;
     });
+  }
+
+  // 5. Snapshot-parallel temporal sweep: aggregate churn over the full
+  //    schedule, which exercises the sweep driver, per-worker workspace
+  //    reuse, and the one-to-many route batching in one number.
+  {
+    const core::SnapshotSchedule schedule = bench::MakeSchedule(config);
+    suite.Run("temporal_sweep", 3, 1, [&] {
+      const core::AggregateChurn churn =
+          core::RunAggregateChurnStudy(hybrid, pairs, schedule);
+      (void)churn;
+    });
+  }
+
+  // 6. Max-min fair allocation on a synthetic slot-sized flow network
+  //    (progressive filling is the throughput study's serial tail).
+  {
+    const flow::FlowNetwork fill_net = MakeFillNetwork(2000, 5000);
+    double fill_checksum = 0.0;
+    suite.Run("maxmin_fill", 5, 1, [&] {
+      fill_checksum = flow::MaxMinFairAllocate(fill_net).total_gbps;
+    });
+    std::printf("# maxmin checksum: %.3f Gbps total\n", fill_checksum);
   }
 
   suite.WriteJson("BENCH_pipeline.json");

@@ -58,8 +58,11 @@ AttenuationDistributions RunAttenuationStudy(const NetworkModel& bp_model,
                                              double time_sec,
                                              const AttenuationOptions& options) {
   const StudyTimer timer;
-  const NetworkModel::Snapshot bp_snap = bp_model.BuildSnapshot(time_sec);
-  const NetworkModel::Snapshot isl_snap = isl_model.BuildSnapshot(time_sec);
+  // Two workspaces: both snapshots stay alive for the whole pair loop.
+  NetworkModel::SnapshotWorkspace bp_ws;
+  NetworkModel::SnapshotWorkspace isl_ws;
+  const NetworkModel::Snapshot& bp_snap = bp_model.BuildSnapshot(time_sec, &bp_ws);
+  const NetworkModel::Snapshot& isl_snap = isl_model.BuildSnapshot(time_sec, &isl_ws);
 
   AttenuationDistributions result;
   graph::DijkstraWorkspace dijkstra_ws;
@@ -103,8 +106,10 @@ PathAttenuationCcdf TracePairAttenuation(const NetworkModel& bp_model,
   PathAttenuationCcdf out;
   out.exceedance_pct = exceedances;
 
-  const NetworkModel::Snapshot bp_snap = bp_model.BuildSnapshot(time_sec);
-  const NetworkModel::Snapshot isl_snap = isl_model.BuildSnapshot(time_sec);
+  NetworkModel::SnapshotWorkspace bp_ws;
+  NetworkModel::SnapshotWorkspace isl_ws;
+  const NetworkModel::Snapshot& bp_snap = bp_model.BuildSnapshot(time_sec, &bp_ws);
+  const NetworkModel::Snapshot& isl_snap = isl_model.BuildSnapshot(time_sec, &isl_ws);
   const int a_bp = CityIndexByName(bp_model.cities(), city_a);
   const int b_bp = CityIndexByName(bp_model.cities(), city_b);
   const int a_isl = CityIndexByName(isl_model.cities(), city_a);

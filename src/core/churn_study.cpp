@@ -2,17 +2,22 @@
 
 #include <algorithm>
 #include <cmath>
-#include <set>
+#include <cstdint>
+#include <limits>
+#include <span>
 #include <stdexcept>
 
 #include "core/report.hpp"
+#include "core/temporal_sweep.hpp"
+#include "graph/components.hpp"
 #include "graph/dijkstra.hpp"
-#include "obs/progress.hpp"
 #include "obs/timeseries.hpp"
 
 namespace leosim::core {
 
 namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
 
 int CityIndexByName(const std::vector<data::City>& cities, const std::string& name) {
   for (int i = 0; i < static_cast<int>(cities.size()); ++i) {
@@ -23,71 +28,110 @@ int CityIndexByName(const std::vector<data::City>& cities, const std::string& na
   throw std::invalid_argument("city not in list: " + name);
 }
 
-double Jaccard(const std::set<graph::NodeId>& a, const std::set<graph::NodeId>& b) {
+// Jaccard similarity over two sorted node-id runs. Shortest paths never
+// repeat a node, so a sorted run is exactly the node set the historical
+// std::set-based code compared; the two-pointer intersection gives the
+// same count without building sets.
+double JaccardSorted(std::span<const graph::NodeId> a,
+                     std::span<const graph::NodeId> b) {
   if (a.empty() && b.empty()) {
     return 1.0;
   }
+  size_t ia = 0;
+  size_t ib = 0;
   int intersection = 0;
-  for (const graph::NodeId n : a) {
-    if (b.contains(n)) {
+  while (ia < a.size() && ib < b.size()) {
+    if (a[ia] < b[ib]) {
+      ++ia;
+    } else if (b[ib] < a[ia]) {
+      ++ib;
+    } else {
       ++intersection;
+      ++ia;
+      ++ib;
     }
   }
   const int union_size = static_cast<int>(a.size() + b.size()) - intersection;
   return union_size == 0 ? 1.0 : static_cast<double>(intersection) / union_size;
 }
 
-ChurnStats ChurnForPair(const NetworkModel& model, int idx_a, int idx_b,
-                        const SnapshotSchedule& schedule,
-                        StudySummary* summary) {
-  ChurnStats stats;
-  std::set<graph::NodeId> prev_nodes;
-  double prev_rtt = -1.0;
-  bool have_prev = false;
-  int jaccard_steps = 0;
-  int jitter_steps = 0;
-  double jaccard_sum = 0.0;
-  double jitter_sum = 0.0;
-  NetworkModel::SnapshotWorkspace snapshot_ws;
-  graph::DijkstraWorkspace dijkstra_ws;
-  obs::TimeseriesRecorder& recorder = obs::TimeseriesRecorder::Global();
-  const std::vector<double> times = schedule.Times();
-  obs::ProgressReporter progress("churn", static_cast<uint64_t>(times.size()));
-  for (const double t : times) {
-    const auto& snap = model.BuildSnapshot(t, &snapshot_ws);
-    const auto path = graph::ShortestPath(snap.graph, snap.CityNode(idx_a),
-                                          snap.CityNode(idx_b), dijkstra_ws);
-    ++stats.snapshots;
-    ++summary->snapshots_built;
-    progress.Step();
-    if (!path.has_value()) {
-      ++summary->pairs_unreachable;
-      prev_nodes.clear();
-      have_prev = false;
-      prev_rtt = -1.0;
+// One slot's routing answers for every pair: RTT (+inf when unreachable)
+// plus each pair's path nodes, sorted, as [begin, end) runs into one
+// shared buffer. This is what the parallel sweep produces and the serial
+// diff pass consumes — the diff chains slot i to i-1, so it cannot run
+// inside the sweep, but replaying it over these tables costs microseconds.
+struct SlotRoutes {
+  std::vector<double> rtt;
+  std::vector<uint32_t> begin;
+  std::vector<uint32_t> end;
+  std::vector<graph::NodeId> nodes;
+
+  std::span<const graph::NodeId> PathNodes(size_t pair) const {
+    return {nodes.data() + begin[pair], nodes.data() + end[pair]};
+  }
+};
+
+// Routes every pair against one snapshot. Cross-component pairs are
+// answered by the component precheck without any search (a plain
+// Dijkstra that fails settles the source's whole component — the most
+// expensive query shape there is); the rest run as one multi-target
+// Dijkstra per source group, which is bit-identical to per-pair
+// graph::ShortestPath from the same source (see sssp_tree.hpp).
+void RouteSlotPaths(const NetworkModel::Snapshot& snap,
+                    const std::vector<CityPair>& pairs,
+                    const std::vector<SourceGroup>& groups, SlotRoutes* out,
+                    SweepWorkspace* ws) {
+  const size_t n = pairs.size();
+  out->rtt.assign(n, kInf);
+  out->begin.assign(n, 0);
+  out->end.assign(n, 0);
+  out->nodes.clear();
+  graph::ConnectedComponentsInto(snap.graph, &ws->labels, &ws->stack);
+  for (const SourceGroup& group : groups) {
+    const graph::NodeId src = snap.CityNode(group.src_city);
+    const int src_label = ws->labels[static_cast<size_t>(src)];
+    ws->targets.clear();
+    ws->target_pairs.clear();
+    for (const int i : group.pair_indices) {
+      const graph::NodeId dst = snap.CityNode(pairs[static_cast<size_t>(i)].b);
+      if (ws->labels[static_cast<size_t>(dst)] == src_label) {
+        ws->targets.push_back(dst);
+        ws->target_pairs.push_back(i);
+      }
+    }
+    if (ws->targets.empty()) {
       continue;
     }
-    ++summary->pairs_routed;
-    const std::set<graph::NodeId> nodes(path->nodes.begin(), path->nodes.end());
-    const double rtt = 2.0 * path->distance;
-    recorder.Record(t, "churn.pair.rtt_ms", rtt);
-    if (have_prev) {
-      if (nodes != prev_nodes) {
-        ++stats.path_changes;
-      }
-      recorder.Record(t, "churn.pair.changed", nodes != prev_nodes ? 1.0 : 0.0);
-      jaccard_sum += Jaccard(prev_nodes, nodes);
-      ++jaccard_steps;
-      jitter_sum += std::fabs(rtt - prev_rtt);
-      ++jitter_steps;
+    ws->tree.Build(snap.graph, src, ws->targets, ws->dijkstra);
+    for (size_t j = 0; j < ws->targets.size(); ++j) {
+      const auto path = ws->tree.PathTo(ws->targets[j]);
+      const size_t i = static_cast<size_t>(ws->target_pairs[j]);
+      out->rtt[i] = 2.0 * path->distance;
+      out->begin[i] = static_cast<uint32_t>(out->nodes.size());
+      out->nodes.insert(out->nodes.end(), path->nodes.begin(),
+                        path->nodes.end());
+      out->end[i] = static_cast<uint32_t>(out->nodes.size());
+      std::sort(out->nodes.begin() + out->begin[i], out->nodes.end());
     }
-    prev_nodes = nodes;
-    prev_rtt = rtt;
-    have_prev = true;
   }
-  stats.mean_jaccard = jaccard_steps > 0 ? jaccard_sum / jaccard_steps : 1.0;
-  stats.rtt_jitter_ms = jitter_steps > 0 ? jitter_sum / jitter_steps : 0.0;
-  return stats;
+}
+
+// Routes every slot of the schedule in parallel into per-slot tables.
+// `label` names the progress stream ("churn" / "churn_aggregate").
+std::vector<SlotRoutes> SweepRoutes(const NetworkModel& model,
+                                    const std::vector<CityPair>& pairs,
+                                    const std::vector<double>& times,
+                                    const std::string& label) {
+  const std::vector<SourceGroup> groups = GroupPairsBySource(pairs);
+  std::vector<SlotRoutes> slots(times.size());
+  const TemporalSweep sweep(times);
+  sweep.Run(label, [&](const SweepItem& item, SweepWorkspace& ws) {
+    const NetworkModel::Snapshot& snap =
+        model.BuildSnapshot(item.time_sec, &ws.snapshot);
+    RouteSlotPaths(snap, pairs, groups, &slots[static_cast<size_t>(item.slot)],
+                   &ws);
+  });
+  return slots;
 }
 
 }  // namespace
@@ -98,9 +142,49 @@ ChurnStats RunChurnStudy(const NetworkModel& model, const std::string& city_a,
   const StudyTimer timer;
   StudySummary summary;
   summary.study = "churn";
-  const ChurnStats stats =
-      ChurnForPair(model, CityIndexByName(model.cities(), city_a),
-                   CityIndexByName(model.cities(), city_b), schedule, &summary);
+  const std::vector<double> times = schedule.Times();
+  const std::vector<CityPair> pairs = {
+      {CityIndexByName(model.cities(), city_a),
+       CityIndexByName(model.cities(), city_b)}};
+  const std::vector<SlotRoutes> slots = SweepRoutes(model, pairs, times, "churn");
+  summary.snapshots_built = static_cast<uint64_t>(times.size());
+
+  // Serial diff pass in slot order: identical recorder emissions and
+  // float accumulation order to the historical one-snapshot-at-a-time
+  // loop. A slot's "previous path" is slot-1's, valid only when slot-1
+  // was reachable (an unreachable snapshot breaks the streak).
+  ChurnStats stats;
+  stats.snapshots = static_cast<int>(times.size());
+  int jaccard_steps = 0;
+  int jitter_steps = 0;
+  double jaccard_sum = 0.0;
+  double jitter_sum = 0.0;
+  obs::TimeseriesRecorder& recorder = obs::TimeseriesRecorder::Global();
+  for (size_t s = 0; s < slots.size(); ++s) {
+    const double rtt = slots[s].rtt[0];
+    if (rtt == kInf) {
+      ++summary.pairs_unreachable;
+      continue;
+    }
+    ++summary.pairs_routed;
+    recorder.Record(times[s], "churn.pair.rtt_ms", rtt);
+    if (s > 0 && slots[s - 1].rtt[0] != kInf) {
+      const std::span<const graph::NodeId> cur = slots[s].PathNodes(0);
+      const std::span<const graph::NodeId> prev = slots[s - 1].PathNodes(0);
+      const bool changed = !std::equal(cur.begin(), cur.end(), prev.begin(),
+                                       prev.end());
+      if (changed) {
+        ++stats.path_changes;
+      }
+      recorder.Record(times[s], "churn.pair.changed", changed ? 1.0 : 0.0);
+      jaccard_sum += JaccardSorted(prev, cur);
+      ++jaccard_steps;
+      jitter_sum += std::fabs(rtt - slots[s - 1].rtt[0]);
+      ++jitter_steps;
+    }
+  }
+  stats.mean_jaccard = jaccard_steps > 0 ? jaccard_sum / jaccard_steps : 1.0;
+  stats.rtt_jitter_ms = jitter_steps > 0 ? jitter_sum / jitter_steps : 0.0;
   summary.wall_seconds = timer.Seconds();
   EmitStudySummary(summary);
   return stats;
@@ -109,77 +193,66 @@ ChurnStats RunChurnStudy(const NetworkModel& model, const std::string& city_a,
 AggregateChurn RunAggregateChurnStudy(const NetworkModel& model,
                                       const std::vector<CityPair>& pairs,
                                       const SnapshotSchedule& schedule) {
-  // Snapshot-major loop: each snapshot graph is built once and routed for
-  // every pair (building snapshots dominates the cost).
-  struct PairState {
-    std::set<graph::NodeId> prev_nodes;
-    double prev_rtt{-1.0};
-    bool have_prev{false};
+  struct PairTotals {
     int changes{0};
     int steps{0};
     double jaccard_sum{0.0};
     double jitter_sum{0.0};
   };
-  std::vector<PairState> state(pairs.size());
+  std::vector<PairTotals> totals(pairs.size());
 
   const StudyTimer timer;
   StudySummary summary;
   summary.study = "churn_aggregate";
   const std::vector<double> times = schedule.Times();
-  NetworkModel::SnapshotWorkspace snapshot_ws;
-  graph::DijkstraWorkspace dijkstra_ws;
+  const std::vector<SlotRoutes> slots =
+      SweepRoutes(model, pairs, times, "churn_aggregate");
+  summary.snapshots_built = static_cast<uint64_t>(times.size());
+
+  // Serial diff pass, slot-major with pairs inner — the historical
+  // accumulation order, so per-pair float sums are bit-identical.
   obs::TimeseriesRecorder& recorder = obs::TimeseriesRecorder::Global();
-  obs::ProgressReporter progress("churn_aggregate",
-                                 static_cast<uint64_t>(times.size()));
-  for (const double t : times) {
-    const auto& snap = model.BuildSnapshot(t, &snapshot_ws);
-    ++summary.snapshots_built;
+  for (size_t s = 0; s < slots.size(); ++s) {
     int step_changes = 0;
     int step_routed = 0;
     int step_unreachable = 0;
     for (size_t i = 0; i < pairs.size(); ++i) {
-      PairState& ps = state[i];
-      const auto path =
-          graph::ShortestPath(snap.graph, snap.CityNode(pairs[i].a),
-                              snap.CityNode(pairs[i].b), dijkstra_ws);
-      if (!path.has_value()) {
+      const double rtt = slots[s].rtt[i];
+      if (rtt == kInf) {
         ++summary.pairs_unreachable;
         ++step_unreachable;
-        ps.have_prev = false;
         continue;
       }
       ++summary.pairs_routed;
       ++step_routed;
-      const std::set<graph::NodeId> nodes(path->nodes.begin(), path->nodes.end());
-      const double rtt = 2.0 * path->distance;
-      if (ps.have_prev) {
-        if (nodes != ps.prev_nodes) {
-          ++ps.changes;
+      if (s > 0 && slots[s - 1].rtt[i] != kInf) {
+        PairTotals& pt = totals[i];
+        const std::span<const graph::NodeId> cur = slots[s].PathNodes(i);
+        const std::span<const graph::NodeId> prev = slots[s - 1].PathNodes(i);
+        if (!std::equal(cur.begin(), cur.end(), prev.begin(), prev.end())) {
+          ++pt.changes;
           ++step_changes;
         }
-        ps.jaccard_sum += Jaccard(ps.prev_nodes, nodes);
-        ps.jitter_sum += std::fabs(rtt - ps.prev_rtt);
-        ++ps.steps;
+        pt.jaccard_sum += JaccardSorted(prev, cur);
+        pt.jitter_sum += std::fabs(rtt - slots[s - 1].rtt[i]);
+        ++pt.steps;
       }
-      ps.prev_nodes = nodes;
-      ps.prev_rtt = rtt;
-      ps.have_prev = true;
     }
-    recorder.Record(t, "churn.route_changes", static_cast<double>(step_changes));
-    recorder.Record(t, "churn.routed", static_cast<double>(step_routed));
-    recorder.Record(t, "churn.unreachable",
+    recorder.Record(times[s], "churn.route_changes",
+                    static_cast<double>(step_changes));
+    recorder.Record(times[s], "churn.routed", static_cast<double>(step_routed));
+    recorder.Record(times[s], "churn.unreachable",
                     static_cast<double>(step_unreachable));
-    progress.Step();
   }
 
   AggregateChurn agg;
-  for (const PairState& ps : state) {
-    if (ps.steps == 0) {
+  for (const PairTotals& pt : totals) {
+    if (pt.steps == 0) {
       continue;
     }
-    agg.mean_change_rate += static_cast<double>(ps.changes) / ps.steps;
-    agg.mean_jaccard += ps.jaccard_sum / ps.steps;
-    agg.mean_rtt_jitter_ms += ps.jitter_sum / ps.steps;
+    agg.mean_change_rate += static_cast<double>(pt.changes) / pt.steps;
+    agg.mean_jaccard += pt.jaccard_sum / pt.steps;
+    agg.mean_rtt_jitter_ms += pt.jitter_sum / pt.steps;
     ++agg.pairs_evaluated;
   }
   if (agg.pairs_evaluated > 0) {

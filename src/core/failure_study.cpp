@@ -15,7 +15,8 @@ std::vector<FailureRow> RunFailureStudy(const NetworkModel& model,
   const StudyTimer timer;
   StudySummary summary;
   summary.study = "failure";
-  NetworkModel::Snapshot snap = model.BuildSnapshot(options.time_sec);
+  NetworkModel::SnapshotWorkspace snapshot_ws;
+  NetworkModel::Snapshot& snap = model.BuildSnapshot(options.time_sec, &snapshot_ws);
   summary.snapshots_built = 1;
   data::SplitMix64 rng(options.seed);
 

@@ -18,8 +18,11 @@ GsoModeImpact CompareMode(const Scenario& scenario,
   options.gso_separation_deg = gso.separation_deg;
   const NetworkModel excluded(scenario, options, cities);
 
-  const auto plain_snap = plain.BuildSnapshot(gso.time_sec);
-  const auto excl_snap = excluded.BuildSnapshot(gso.time_sec);
+  // Two workspaces: both snapshots stay alive for the whole pair loop.
+  NetworkModel::SnapshotWorkspace plain_ws;
+  NetworkModel::SnapshotWorkspace excl_ws;
+  const auto& plain_snap = plain.BuildSnapshot(gso.time_sec, &plain_ws);
+  const auto& excl_snap = excluded.BuildSnapshot(gso.time_sec, &excl_ws);
   summary->snapshots_built += 2;
 
   GsoModeImpact impact;

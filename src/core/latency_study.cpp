@@ -5,13 +5,13 @@
 #include <stdexcept>
 #include <string>
 
-#include "core/parallel.hpp"
 #include "core/report.hpp"
 #include "core/stats.hpp"
+#include "core/temporal_sweep.hpp"
 #include "geo/coordinates.hpp"
+#include "graph/components.hpp"
 #include "graph/dijkstra.hpp"
 #include "link/radio.hpp"
-#include "obs/progress.hpp"
 #include "obs/timeseries.hpp"
 
 namespace leosim::core {
@@ -27,6 +27,13 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 // loosening the bound.
 constexpr double kPotentialSlack = 1.0 - 1e-12;
 
+// A source's destinations are batched into one multi-target Dijkstra
+// once there are at least this many of them; below the threshold,
+// per-pair goal-directed A* wins because its settled corridor is
+// roughly half the size of the Dijkstra ball the batched search grows.
+// Either route reports the same shortest-path latency.
+constexpr size_t kTreeBatchThreshold = 3;
+
 std::vector<PairRttSeries> InitSeries(const std::vector<CityPair>& pairs,
                                       size_t num_snapshots) {
   std::vector<PairRttSeries> series;
@@ -40,45 +47,69 @@ std::vector<PairRttSeries> InitSeries(const std::vector<CityPair>& pairs,
   return series;
 }
 
-// Per-worker scratch: snapshot storage plus Dijkstra arrays, reused
-// across every slot a worker claims so the steady state allocates
-// nothing.
-struct StudyScratch {
-  NetworkModel::SnapshotWorkspace snapshot;
-  graph::DijkstraWorkspace dijkstra;
-};
-
-// Fills snapshot column `slot` of every pair's series. Pair queries run
-// goal-directed (A* with the straight-line latency bound): the settled
-// region shrinks to the corridor around the great-circle route, and the
-// returned distance is the same shortest-path latency plain Dijkstra
-// yields.
-void FillSnapshotRtts(const NetworkModel& model, double time_sec, size_t slot,
-                      const std::vector<CityPair>& pairs,
-                      std::vector<PairRttSeries>* series, StudyScratch* scratch) {
-  const NetworkModel::Snapshot& snap = model.BuildSnapshot(time_sec, &scratch->snapshot);
-  for (size_t i = 0; i < pairs.size(); ++i) {
-    const graph::NodeId src = snap.CityNode(pairs[i].a);
-    const graph::NodeId dst = snap.CityNode(pairs[i].b);
-    const geo::Vec3 dst_pos = snap.node_ecef[static_cast<size_t>(dst)];
-    // Plain lambda (not graph::PotentialFn) so it inlines into the A*
-    // relax loop.
-    const auto potential = [&snap, &dst_pos](graph::NodeId n) {
-      return kPotentialSlack *
-             link::PropagationLatencyMs(snap.node_ecef[static_cast<size_t>(n)],
-                                        dst_pos);
-    };
-    const auto path =
-        graph::ShortestPathAStar(snap.graph, src, dst, scratch->dijkstra, potential);
-    // RTT = out-and-back over the same path: 2x the one-way latency.
-    (*series)[i].rtt_ms[slot] = path.has_value() ? 2.0 * path->distance : kInf;
+// Fills snapshot column `slot` of every pair's series from one built
+// snapshot. Three cost tiers per pair, cheapest first:
+//   1. component precheck — cross-component pairs stay +inf without any
+//      search (a failed search would otherwise settle the whole
+//      component);
+//   2. sources with >= kTreeBatchThreshold surviving destinations run
+//      ONE multi-target Dijkstra (ShortestPathTree) shared by all of
+//      them;
+//   3. remaining pairs run goal-directed A* with the straight-line
+//      latency bound.
+// Writes only this slot's column, so concurrent calls for distinct
+// slots never conflict.
+void RouteSlotRtts(const NetworkModel::Snapshot& snap, size_t slot,
+                   const std::vector<CityPair>& pairs,
+                   const std::vector<SourceGroup>& groups,
+                   std::vector<PairRttSeries>* series, SweepWorkspace* ws) {
+  graph::ConnectedComponentsInto(snap.graph, &ws->labels, &ws->stack);
+  for (const SourceGroup& group : groups) {
+    const graph::NodeId src = snap.CityNode(group.src_city);
+    const int src_label = ws->labels[static_cast<size_t>(src)];
+    ws->targets.clear();
+    ws->target_pairs.clear();
+    for (const int i : group.pair_indices) {
+      const graph::NodeId dst = snap.CityNode(pairs[static_cast<size_t>(i)].b);
+      // Different component: unreachable; the series column is already
+      // initialised to +inf.
+      if (ws->labels[static_cast<size_t>(dst)] == src_label) {
+        ws->targets.push_back(dst);
+        ws->target_pairs.push_back(i);
+      }
+    }
+    if (ws->targets.size() >= kTreeBatchThreshold) {
+      ws->tree.Build(snap.graph, src, ws->targets, ws->dijkstra);
+      for (size_t j = 0; j < ws->targets.size(); ++j) {
+        // RTT = out-and-back over the same path: 2x the one-way latency.
+        (*series)[static_cast<size_t>(ws->target_pairs[j])].rtt_ms[slot] =
+            2.0 * ws->tree.DistanceTo(ws->targets[j]);
+      }
+    } else {
+      for (size_t j = 0; j < ws->targets.size(); ++j) {
+        const graph::NodeId dst = ws->targets[j];
+        const geo::Vec3 dst_pos = snap.node_ecef[static_cast<size_t>(dst)];
+        // Plain lambda (not graph::PotentialFn) so it inlines into the
+        // A* relax loop.
+        const auto potential = [&snap, &dst_pos](graph::NodeId n) {
+          return kPotentialSlack *
+                 link::PropagationLatencyMs(
+                     snap.node_ecef[static_cast<size_t>(n)], dst_pos);
+        };
+        const auto path = graph::ShortestPathAStar(snap.graph, src, dst,
+                                                   ws->dijkstra, potential);
+        (*series)[static_cast<size_t>(ws->target_pairs[j])].rtt_ms[slot] =
+            path.has_value() ? 2.0 * path->distance : kInf;
+      }
+    }
   }
 }
 
 // One sample per snapshot per series: the cross-pair RTT distribution
 // (p50/p95 over reachable pairs) and the unreachable-pair count. Derived
-// from the completed series after the parallel fill, so recording order —
-// and therefore the export — is independent of worker scheduling.
+// from the completed series after the parallel sweep and emitted through
+// RecordSeries' serial slot walk, so recording is independent of worker
+// scheduling.
 void RecordLatencyTimeseries(const std::string& prefix,
                              const std::vector<double>& times,
                              const std::vector<PairRttSeries>& series) {
@@ -86,26 +117,29 @@ void RecordLatencyTimeseries(const std::string& prefix,
   if (!recorder.Enabled()) {
     return;
   }
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> unreachable(times.size(), 0.0);
+  std::vector<double> p50(times.size(), nan);  // NaN = no sample this slot
+  std::vector<double> p95(times.size(), nan);
   std::vector<double> reachable;
   for (size_t slot = 0; slot < times.size(); ++slot) {
     reachable.clear();
-    int unreachable = 0;
     for (const PairRttSeries& s : series) {
       const double rtt = s.rtt_ms[slot];
       if (rtt == kInf) {
-        ++unreachable;
+        unreachable[slot] += 1.0;
       } else {
         reachable.push_back(rtt);
       }
     }
-    const double t = times[slot];
-    recorder.Record(t, prefix + ".unreachable",
-                    static_cast<double>(unreachable));
     if (!reachable.empty()) {
-      recorder.Record(t, prefix + ".rtt_p50_ms", Percentile(reachable, 50.0));
-      recorder.Record(t, prefix + ".rtt_p95_ms", Percentile(reachable, 95.0));
+      p50[slot] = Percentile(reachable, 50.0);
+      p95[slot] = Percentile(reachable, 95.0);
     }
   }
+  recorder.RecordSeries(prefix + ".unreachable", times, unreachable);
+  recorder.RecordSeries(prefix + ".rtt_p50_ms", times, p50);
+  recorder.RecordSeries(prefix + ".rtt_p95_ms", times, p95);
 }
 
 }  // namespace
@@ -182,26 +216,53 @@ LatencyStudyResult RunLatencyStudy(const NetworkModel& bp_model,
   result.snapshot_times = schedule.Times();
   result.bp = InitSeries(pairs, result.snapshot_times.size());
   result.hybrid = InitSeries(pairs, result.snapshot_times.size());
-  // Snapshots are independent; fan out across cores, with per-worker
-  // scratch that persists across the slots each worker claims. (Worker
-  // count never exceeds the slot count, so sizing by slots is safe.)
+  const std::vector<SourceGroup> groups = GroupPairsBySource(pairs);
   const int slots = static_cast<int>(result.snapshot_times.size());
-  std::vector<StudyScratch> scratch(static_cast<size_t>(slots));
-  obs::ProgressReporter progress("latency", static_cast<uint64_t>(slots));
-  ParallelForWorkers(slots, [&](int worker, int slot) {
-    StudyScratch& ws = scratch[static_cast<size_t>(worker)];
-    const double t = result.snapshot_times[static_cast<size_t>(slot)];
-    FillSnapshotRtts(bp_model, t, static_cast<size_t>(slot), pairs, &result.bp, &ws);
-    FillSnapshotRtts(hybrid_model, t, static_cast<size_t>(slot), pairs,
-                     &result.hybrid, &ws);
-    progress.Step();
-  });
+
+  // When the two models differ only in connectivity mode, each slot is
+  // built ONCE (the hybrid snapshot) and the bent-pipe answers come from
+  // the same snapshot with its ISL edges masked off — bit-identical to a
+  // dedicated bent-pipe build (see CanDeriveBentPipeByMasking) at half
+  // the construction cost. Otherwise the two models are independent
+  // streams of the sweep.
+  const bool shared_build = CanDeriveBentPipeByMasking(bp_model, hybrid_model);
+  uint64_t snapshots_built = 0;
+  if (shared_build) {
+    const TemporalSweep sweep(result.snapshot_times, 1);
+    sweep.Run("latency", [&](const SweepItem& item, SweepWorkspace& ws) {
+      NetworkModel::Snapshot& snap =
+          hybrid_model.BuildSnapshot(item.time_sec, &ws.snapshot);
+      const size_t slot = static_cast<size_t>(item.slot);
+      RouteSlotRtts(snap, slot, pairs, groups, &result.hybrid, &ws);
+      for (const graph::EdgeId e : snap.isl_edges) {
+        snap.graph.SetEnabled(e, false);
+      }
+      RouteSlotRtts(snap, slot, pairs, groups, &result.bp, &ws);
+      for (const graph::EdgeId e : snap.isl_edges) {
+        snap.graph.SetEnabled(e, true);
+      }
+    });
+    snapshots_built = static_cast<uint64_t>(slots);
+  } else {
+    const TemporalSweep sweep(result.snapshot_times, 2);
+    sweep.Run("latency", [&](const SweepItem& item, SweepWorkspace& ws) {
+      const NetworkModel& model = item.stream == 0 ? bp_model : hybrid_model;
+      std::vector<PairRttSeries>* series =
+          item.stream == 0 ? &result.bp : &result.hybrid;
+      const NetworkModel::Snapshot& snap =
+          model.BuildSnapshot(item.time_sec, &ws.snapshot);
+      RouteSlotRtts(snap, static_cast<size_t>(item.slot), pairs, groups, series,
+                    &ws);
+    });
+    snapshots_built = 2 * static_cast<uint64_t>(slots);
+  }
+
   RecordLatencyTimeseries("latency.bp", result.snapshot_times, result.bp);
   RecordLatencyTimeseries("latency.hybrid", result.snapshot_times,
                           result.hybrid);
   StudySummary summary;
   summary.study = "latency";
-  summary.snapshots_built = 2 * static_cast<uint64_t>(slots);  // bp + hybrid
+  summary.snapshots_built = snapshots_built;
   for (const std::vector<PairRttSeries>* series : {&result.bp, &result.hybrid}) {
     for (const PairRttSeries& s : *series) {
       const uint64_t unreachable = static_cast<uint64_t>(s.UnreachableCount());

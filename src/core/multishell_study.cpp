@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/report.hpp"
+#include "core/temporal_sweep.hpp"
 #include "graph/dijkstra.hpp"
 
 namespace leosim::core {
@@ -43,27 +44,34 @@ MultishellResult RunMultishellStudy(const Scenario& scenario,
   summary.study = "multishell";
   MultishellResult result;
   result.times_sec = schedule.Times();
+  const size_t slots = result.times_sec.size();
+  result.single_shell_rtt_ms.assign(slots, kInf);
+  result.dual_shell_rtt_ms.assign(slots, kInf);
+  // Two streams per slot — the single- and dual-shell builds are
+  // independent, so they load-balance as separate sweep items; the
+  // comparison below runs serially over the slot-indexed arrays.
+  const TemporalSweep sweep(result.times_sec, 2);
+  sweep.Run("multishell", [&](const SweepItem& item, SweepWorkspace& ws) {
+    const NetworkModel& model = item.stream == 0 ? single : dual;
+    std::vector<double>& rtts = item.stream == 0 ? result.single_shell_rtt_ms
+                                                 : result.dual_shell_rtt_ms;
+    const auto& snap = model.BuildSnapshot(item.time_sec, &ws.snapshot);
+    const auto path = graph::ShortestPath(snap.graph, snap.CityNode(idx_a),
+                                          snap.CityNode(idx_b), ws.dijkstra);
+    rtts[static_cast<size_t>(item.slot)] =
+        path ? 2.0 * path->distance : kInf;
+  });
+  summary.snapshots_built = 2 * static_cast<uint64_t>(slots);
+
   double improvement_sum = 0.0;
   int improvement_count = 0;
-  NetworkModel::SnapshotWorkspace single_ws;
-  NetworkModel::SnapshotWorkspace dual_ws;
-  graph::DijkstraWorkspace dijkstra_ws;
-  for (const double t : result.times_sec) {
-    const auto& single_snap = single.BuildSnapshot(t, &single_ws);
-    const auto& dual_snap = dual.BuildSnapshot(t, &dual_ws);
-    const auto single_path =
-        graph::ShortestPath(single_snap.graph, single_snap.CityNode(idx_a),
-                            single_snap.CityNode(idx_b), dijkstra_ws);
-    const auto dual_path =
-        graph::ShortestPath(dual_snap.graph, dual_snap.CityNode(idx_a),
-                            dual_snap.CityNode(idx_b), dijkstra_ws);
-    summary.snapshots_built += 2;
-    summary.pairs_routed += (single_path ? 1 : 0) + (dual_path ? 1 : 0);
-    summary.pairs_unreachable += (single_path ? 0 : 1) + (dual_path ? 0 : 1);
-    const double single_rtt = single_path ? 2.0 * single_path->distance : kInf;
-    const double dual_rtt = dual_path ? 2.0 * dual_path->distance : kInf;
-    result.single_shell_rtt_ms.push_back(single_rtt);
-    result.dual_shell_rtt_ms.push_back(dual_rtt);
+  for (size_t s = 0; s < slots; ++s) {
+    const double single_rtt = result.single_shell_rtt_ms[s];
+    const double dual_rtt = result.dual_shell_rtt_ms[s];
+    summary.pairs_routed +=
+        (single_rtt != kInf ? 1 : 0) + (dual_rtt != kInf ? 1 : 0);
+    summary.pairs_unreachable +=
+        (single_rtt != kInf ? 0 : 1) + (dual_rtt != kInf ? 0 : 1);
     if (dual_rtt < single_rtt - 1e-9) {
       ++result.improved_snapshots;
     }

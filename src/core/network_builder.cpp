@@ -120,7 +120,7 @@ NetworkModel::Snapshot NetworkModel::BuildSnapshot(double time_sec) const {
   return std::move(workspace.snapshot);
 }
 
-const NetworkModel::Snapshot& NetworkModel::BuildSnapshot(
+NetworkModel::Snapshot& NetworkModel::BuildSnapshot(
     double time_sec, SnapshotWorkspace* workspace) const {
   SnapshotMetrics& metrics = SnapshotMetrics::Get();
   // Per-phase durations, captured from the spans so the timeseries export

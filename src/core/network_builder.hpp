@@ -130,8 +130,12 @@ class NetworkModel {
 
   // Builds the snapshot into `workspace` and returns a reference to
   // workspace->snapshot (valid until the next build with that workspace).
-  // Identical output to the value-returning overload below.
-  const Snapshot& BuildSnapshot(double time_sec, SnapshotWorkspace* workspace) const;
+  // Identical output to the value-returning overload below. The
+  // reference is mutable because the snapshot belongs to the caller's
+  // workspace: studies that perturb the graph (SetEnabled for outage /
+  // failure / disjoint-path routing) operate on their own copy, never
+  // on model state, and the next build resets every edge anyway.
+  Snapshot& BuildSnapshot(double time_sec, SnapshotWorkspace* workspace) const;
 
   // Convenience wrapper: builds with a throwaway workspace.
   Snapshot BuildSnapshot(double time_sec) const;

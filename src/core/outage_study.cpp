@@ -17,7 +17,8 @@ std::vector<OutageRow> RunOutageStudy(const NetworkModel& model,
   const StudyTimer timer;
   StudySummary summary;
   summary.study = "outage";
-  NetworkModel::Snapshot snap = model.BuildSnapshot(options.time_sec);
+  NetworkModel::SnapshotWorkspace snapshot_ws;
+  NetworkModel::Snapshot& snap = model.BuildSnapshot(options.time_sec, &snapshot_ws);
   summary.snapshots_built = 1;
   const link::RadioConfig& radio = model.scenario().radio;
 

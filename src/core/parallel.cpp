@@ -45,22 +45,24 @@ int HardwareWorkers() {
   return hw > 0 ? hw : 1;
 }
 
-// LEOSIM_THREADS, parsed once per process. Returns 0 when unset/invalid
-// ("use hardware concurrency"), else a value clamped to [1, 1024].
+// LEOSIM_THREADS, re-read on every run (a getenv + strtol is noise next
+// to spawning even one thread, and re-reading lets tests and embedding
+// processes vary the worker count between runs — the sweep determinism
+// test sweeps 1/4/13 workers inside one process). Returns 0 when
+// unset/invalid ("use hardware concurrency"), else a value clamped to
+// [1, 1024]. Only ever called from the thread that launches the run,
+// before workers spawn, so it never races a setenv between runs.
 int EnvThreadOverride() {
-  static const int cached = [] {
-    const char* raw = std::getenv("LEOSIM_THREADS");
-    if (raw == nullptr || *raw == '\0') {
-      return 0;
-    }
-    char* end = nullptr;
-    const long value = std::strtol(raw, &end, 10);
-    if (end == raw || *end != '\0' || value <= 0) {
-      return 0;  // "0", negatives, and garbage all mean "auto"
-    }
-    return static_cast<int>(std::min<long>(value, 1024));
-  }();
-  return cached;
+  const char* raw = std::getenv("LEOSIM_THREADS");
+  if (raw == nullptr || *raw == '\0') {
+    return 0;
+  }
+  char* end = nullptr;
+  const long value = std::strtol(raw, &end, 10);
+  if (end == raw || *end != '\0' || value <= 0) {
+    return 0;  // "0", negatives, and garbage all mean "auto"
+  }
+  return static_cast<int>(std::min<long>(value, 1024));
 }
 
 int ResolveWorkers(int count, int num_threads) {

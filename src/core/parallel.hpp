@@ -13,7 +13,9 @@ namespace leosim::core {
 //                      (clamped to [1, 1024]; "0" or garbage falls back to
 //                      hardware concurrency), else hardware concurrency.
 // LEOSIM_THREADS lets CI/sanitizer jobs pin thread counts without
-// touching call sites; it is read once per process (first ParallelFor).
+// touching call sites; it is re-read at the start of every run (from
+// the launching thread, before workers spawn), so a process can vary it
+// between runs — the sweep determinism tests rely on this.
 //
 // Exception semantics: the first exception captured from any worker is
 // rethrown to the caller after all workers have joined. Capturing an

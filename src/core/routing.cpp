@@ -178,7 +178,8 @@ PolicyThroughputResult RunThroughputWithPolicy(const NetworkModel& model,
                                                const std::vector<CityPair>& pairs,
                                                int k, double time_sec,
                                                RoutingPolicy policy) {
-  NetworkModel::Snapshot snap = model.BuildSnapshot(time_sec);
+  NetworkModel::SnapshotWorkspace snapshot_ws;
+  NetworkModel::Snapshot& snap = model.BuildSnapshot(time_sec, &snapshot_ws);
 
   flow::FlowNetwork net;
   for (graph::EdgeId e = 0; e < snap.graph.NumEdges(); ++e) {

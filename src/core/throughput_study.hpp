@@ -37,6 +37,16 @@ ThroughputResult RunThroughputStudy(
     const NetworkModel& model, const std::vector<CityPair>& pairs, int k,
     double time_sec, CapacityModel capacity_model = CapacityModel::kSharedPerLink);
 
+// Aggregate throughput at every snapshot of the schedule, one result per
+// slot. Slots run as a parallel temporal sweep (see core/temporal_sweep.hpp);
+// each slot's result is identical to RunThroughputStudy at that time, and
+// the timeseries samples/summary are emitted in a serial pass so outputs
+// do not depend on the thread count.
+std::vector<ThroughputResult> RunThroughputSweep(
+    const NetworkModel& model, const std::vector<CityPair>& pairs, int k,
+    const SnapshotSchedule& schedule,
+    CapacityModel capacity_model = CapacityModel::kSharedPerLink);
+
 struct DisconnectionStats {
   double min_fraction{0.0};   // across snapshots
   double max_fraction{0.0};

@@ -20,12 +20,27 @@ Allocation ProgressiveFilling(const FlowNetwork& net,
   Allocation alloc;
   alloc.flow_rate_gbps.assign(static_cast<size_t>(num_flows), 0.0);
 
-  std::vector<double> remaining(static_cast<size_t>(num_links));
-  std::vector<double> active_weight(static_cast<size_t>(num_links), 0.0);
+  // Active links as a structure of parallel arrays, compacted in place
+  // as links drain: the per-round min-share scan streams {rem, wt} of
+  // the links that still matter instead of chasing a shrinking id list
+  // through full-size arrays. pos_of_link maps a LinkId to its current
+  // position (-1 once dropped) so flow retirement can update rem/wt.
+  std::vector<LinkId> ids;
+  std::vector<double> rem;  // capacity not yet claimed by frozen flows
+  std::vector<double> wt;   // total weight of unfrozen flows crossing
+  std::vector<double> cap;  // original capacity, scales the freeze epsilon
+  std::vector<int> pos_of_link(static_cast<size_t>(num_links), -1);
   for (LinkId l = 0; l < num_links; ++l) {
-    remaining[static_cast<size_t>(l)] = net.LinkCapacity(l);
+    double link_weight = 0.0;
     for (const FlowId f : net.LinkFlows(l)) {
-      active_weight[static_cast<size_t>(l)] += weights[static_cast<size_t>(f)];
+      link_weight += weights[static_cast<size_t>(f)];
+    }
+    if (link_weight > 0.0) {
+      pos_of_link[static_cast<size_t>(l)] = static_cast<int>(ids.size());
+      ids.push_back(l);
+      rem.push_back(net.LinkCapacity(l));
+      wt.push_back(link_weight);
+      cap.push_back(net.LinkCapacity(l));
     }
   }
 
@@ -40,36 +55,30 @@ Allocation ProgressiveFilling(const FlowNetwork& net,
     }
   }
 
-  // Links that still have unfrozen flows; compacted as links saturate.
-  std::vector<LinkId> active_links;
-  active_links.reserve(static_cast<size_t>(num_links));
-  for (LinkId l = 0; l < num_links; ++l) {
-    if (active_weight[static_cast<size_t>(l)] > 0.0) {
-      active_links.push_back(l);
-    }
-  }
-
-  while (unfrozen > 0 && !active_links.empty()) {
+  while (unfrozen > 0 && !ids.empty()) {
     double min_share = std::numeric_limits<double>::infinity();
-    for (const LinkId l : active_links) {
-      const double share =
-          remaining[static_cast<size_t>(l)] / active_weight[static_cast<size_t>(l)];
-      min_share = std::min(min_share, share);
+    for (size_t p = 0; p < ids.size(); ++p) {
+      min_share = std::min(min_share, rem[p] / wt[p]);
     }
 
-    // Freeze every unfrozen flow crossing a link whose share equals the
-    // minimum (within tolerance), at weight * min_share.
+    // Freeze every unfrozen flow crossing a bottleneck link, at
+    // weight * min_share. Bottleneck test: rem - min_share * wt within
+    // epsilon of zero, with the epsilon RELATIVE to the link's capacity.
+    // An absolute tolerance on the share ratio misgroups links whose
+    // fair shares differ by less than one ulp once capacities are large
+    // (ulp(1e5) ~ 1.5e-11 already exceeds 1e-12); scaling by capacity
+    // keeps the test meaningful at every magnitude. Regression-tested in
+    // flow_maxmin_test with two links whose shares differ in the last
+    // ulp.
     constexpr double kTol = 1e-12;
-    for (const LinkId l : active_links) {
-      if (active_weight[static_cast<size_t>(l)] <= 0.0) {
+    for (size_t p = 0; p < ids.size(); ++p) {
+      if (wt[p] <= 0.0) {
         continue;  // drained earlier in this round
       }
-      const double share =
-          remaining[static_cast<size_t>(l)] / active_weight[static_cast<size_t>(l)];
-      if (share > min_share + kTol) {
+      if (rem[p] - min_share * wt[p] > kTol * cap[p]) {
         continue;
       }
-      for (const FlowId f : net.LinkFlows(l)) {
+      for (const FlowId f : net.LinkFlows(ids[p])) {
         if (frozen[static_cast<size_t>(f)]) {
           continue;
         }
@@ -77,22 +86,40 @@ Allocation ProgressiveFilling(const FlowNetwork& net,
         --unfrozen;
         const double rate = weights[static_cast<size_t>(f)] * min_share;
         alloc.flow_rate_gbps[static_cast<size_t>(f)] = rate;
-        // Retire this flow from all links it crosses.
+        // Retire this flow from all links it crosses (skipping links
+        // already compacted away — updates to them are unobservable).
         for (const LinkId fl : net.FlowLinks(f)) {
-          remaining[static_cast<size_t>(fl)] -= rate;
-          active_weight[static_cast<size_t>(fl)] -= weights[static_cast<size_t>(f)];
+          const int q = pos_of_link[static_cast<size_t>(fl)];
+          if (q >= 0) {
+            rem[static_cast<size_t>(q)] -= rate;
+            wt[static_cast<size_t>(q)] -= weights[static_cast<size_t>(f)];
+          }
         }
       }
     }
 
     // Compact: drop links with no unfrozen flows; clamp tiny negatives
     // introduced by floating-point subtraction.
-    std::erase_if(active_links, [&](LinkId l) {
-      if (remaining[static_cast<size_t>(l)] < 0.0) {
-        remaining[static_cast<size_t>(l)] = 0.0;
+    size_t out = 0;
+    for (size_t p = 0; p < ids.size(); ++p) {
+      if (rem[p] < 0.0) {
+        rem[p] = 0.0;
       }
-      return active_weight[static_cast<size_t>(l)] <= 1e-12;
-    });
+      if (wt[p] <= 1e-12) {
+        pos_of_link[static_cast<size_t>(ids[p])] = -1;
+        continue;
+      }
+      pos_of_link[static_cast<size_t>(ids[p])] = static_cast<int>(out);
+      ids[out] = ids[p];
+      rem[out] = rem[p];
+      wt[out] = wt[p];
+      cap[out] = cap[p];
+      ++out;
+    }
+    ids.resize(out);
+    rem.resize(out);
+    wt.resize(out);
+    cap.resize(out);
   }
 
   for (const double r : alloc.flow_rate_gbps) {

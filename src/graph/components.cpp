@@ -5,32 +5,41 @@
 namespace leosim::graph {
 
 Components ConnectedComponents(const Graph& g) {
-  const int n = g.NumNodes();
   Components result;
-  result.label.assign(static_cast<size_t>(n), -1);
   std::vector<NodeId> stack;
+  result.count = ConnectedComponentsInto(g, &result.label, &stack);
+  return result;
+}
+
+int ConnectedComponentsInto(const Graph& g, std::vector<int>* label,
+                            std::vector<NodeId>* stack) {
+  g.FinalizeAdjacency();
+  const int n = g.NumNodes();
+  label->assign(static_cast<size_t>(n), -1);
+  stack->clear();
+  int count = 0;
   for (NodeId start = 0; start < n; ++start) {
-    if (result.label[static_cast<size_t>(start)] != -1) {
+    if ((*label)[static_cast<size_t>(start)] != -1) {
       continue;
     }
-    const int comp = result.count++;
-    stack.push_back(start);
-    result.label[static_cast<size_t>(start)] = comp;
-    while (!stack.empty()) {
-      const NodeId u = stack.back();
-      stack.pop_back();
+    const int comp = count++;
+    stack->push_back(start);
+    (*label)[static_cast<size_t>(start)] = comp;
+    while (!stack->empty()) {
+      const NodeId u = stack->back();
+      stack->pop_back();
       for (const HalfEdge& half : g.Neighbours(u)) {
         if (!g.IsEnabled(half.edge)) {
           continue;
         }
-        if (result.label[static_cast<size_t>(half.to)] == -1) {
-          result.label[static_cast<size_t>(half.to)] = comp;
-          stack.push_back(half.to);
+        if ((*label)[static_cast<size_t>(half.to)] == -1) {
+          (*label)[static_cast<size_t>(half.to)] = comp;
+          stack->push_back(half.to);
         }
       }
     }
   }
-  return result;
+  return count;
 }
 
 int CountDisconnected(const Graph& g, const std::vector<NodeId>& candidates,

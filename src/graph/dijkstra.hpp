@@ -35,6 +35,7 @@ struct Path {
 using PotentialFn = std::function<double(NodeId)>;
 
 class DijkstraWorkspace;
+class ShortestPathTree;
 
 template <typename Potential>
 std::optional<Path> ShortestPathAStar(const Graph& g, NodeId src, NodeId dst,
@@ -79,6 +80,9 @@ class DijkstraWorkspace {
   friend void ShortestDistancesInto(const Graph& g, NodeId src,
                                     DijkstraWorkspace& workspace,
                                     std::vector<double>* out);
+  // One-to-many batched search (sssp_tree.hpp) runs the same relax loop
+  // over the same state.
+  friend class ShortestPathTree;
 
   // Distance/predecessor valid only while stamp matches the workspace
   // epoch. 16 bytes so one relaxation touches a single cache line.

@@ -15,4 +15,18 @@ namespace leosim::graph {
 // edges disabled by the caller beforehand stay disabled.
 std::vector<Path> KEdgeDisjointShortestPaths(Graph& g, NodeId src, NodeId dst, int k);
 
+// As above, reusing `workspace` scratch across the up-to-k searches.
+// Results are identical to the workspace-free overload.
+std::vector<Path> KEdgeDisjointShortestPaths(Graph& g, NodeId src, NodeId dst, int k,
+                                             DijkstraWorkspace& workspace);
+
+// As above with the first path already computed (typically extracted from
+// a ShortestPathTree shared across every pair of one source). `first`
+// must be a shortest src->dst path on the graph as currently enabled;
+// the function disables its edges, finds up to k-1 further paths, and
+// restores. Output is identical to the from-scratch overloads because
+// the greedy scheme's first iteration is exactly that shortest path.
+std::vector<Path> KEdgeDisjointShortestPaths(Graph& g, Path first, int k,
+                                             DijkstraWorkspace& workspace);
+
 }  // namespace leosim::graph

@@ -107,6 +107,21 @@ void TimeseriesRecorder::RecordAlways(double t, std::string_view key,
   buffer.samples.push_back(Sample{std::string(key), t, value});
 }
 
+void TimeseriesRecorder::RecordSeries(std::string_view key,
+                                      const std::vector<double>& times,
+                                      const std::vector<double>& values) {
+  if (!Enabled()) {
+    return;
+  }
+  const size_t count = std::min(times.size(), values.size());
+  for (size_t i = 0; i < count; ++i) {
+    if (values[i] != values[i]) {
+      continue;  // NaN marks "no sample this slot"
+    }
+    RecordAlways(times[i], key, values[i]);
+  }
+}
+
 std::string TimeseriesRecorder::ToJson() const {
   std::vector<Sample> merged;
   uint64_t dropped = 0;

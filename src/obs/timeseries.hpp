@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace leosim::obs {
 
@@ -57,6 +58,16 @@ class TimeseriesRecorder {
     }
     RecordAlways(t, key, value);
   }
+
+  // Records one whole series in a single serial walk over the slots:
+  // values[i] is the sample at times[i]. NaN values mean "no sample this
+  // slot" and are skipped (the studies use that for e.g. a percentile
+  // over zero reachable pairs). The convenience over per-slot Record()
+  // calls is structural: a parallel study collects into a slot-indexed
+  // array and emits it here after the sweep, so what lands in the
+  // recorder never depends on worker scheduling.
+  void RecordSeries(std::string_view key, const std::vector<double>& times,
+                    const std::vector<double>& values);
 
   // JSON object {"schema": "leosim.timeseries/1", "dropped_samples": N,
   // "series": {"key": [[t, value], ...], ...}} with keys sorted and each

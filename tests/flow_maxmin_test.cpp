@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <numeric>
 
 #include "flow/flow_network.hpp"
@@ -176,6 +177,46 @@ TEST_P(FairShareTest, EqualSplit) {
 
 INSTANTIATE_TEST_SUITE_P(FlowCounts, FairShareTest,
                          ::testing::Values(1, 2, 3, 7, 16, 100));
+
+// Two links whose fair shares differ only in the last ulp must freeze as
+// ONE bottleneck group. At capacity 1e5 the shares differ by ~7.3e-12 —
+// above an absolute 1e-12 tolerance on the share ratio, so a
+// fixed-epsilon freeze splits them across two rounds and leaks the ulp
+// into the second group's rates; the capacity-relative epsilon keeps
+// them together. The assertions are exact (EXPECT_EQ): a 4-ulp
+// EXPECT_DOUBLE_EQ would pass the broken grouping too.
+TEST(MaxMinTest, UlpCloseBottlenecksFreezeTogether) {
+  const double cap = 1e5;
+  const double cap_ulp = std::nextafter(cap, 2.0 * cap);
+  ASSERT_GT(cap_ulp, cap);
+  FlowNetwork net;
+  const LinkId a = net.AddLink(cap);
+  const LinkId b = net.AddLink(cap_ulp);
+  net.AddFlow({a});
+  net.AddFlow({a});
+  net.AddFlow({b});
+  net.AddFlow({b});
+  const Allocation alloc = MaxMinFairAllocate(net);
+  for (int f = 0; f < 4; ++f) {
+    EXPECT_EQ(alloc.flow_rate_gbps[static_cast<size_t>(f)], cap / 2.0);
+  }
+}
+
+// The relative epsilon must not over-group: a link with genuinely more
+// headroom still waits for a later round and its flow picks up the
+// larger share.
+TEST(MaxMinTest, DistinctBottlenecksStaySeparate) {
+  FlowNetwork net;
+  const LinkId tight = net.AddLink(1e5);
+  const LinkId loose = net.AddLink(3e5);
+  net.AddFlow({tight});
+  net.AddFlow({tight});
+  net.AddFlow({loose});
+  const Allocation alloc = MaxMinFairAllocate(net);
+  EXPECT_EQ(alloc.flow_rate_gbps[0], 5e4);
+  EXPECT_EQ(alloc.flow_rate_gbps[1], 5e4);
+  EXPECT_EQ(alloc.flow_rate_gbps[2], 3e5);
+}
 
 }  // namespace
 }  // namespace leosim::flow

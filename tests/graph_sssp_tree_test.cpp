@@ -1,0 +1,170 @@
+// Property tests for the one-to-many Dijkstra (ShortestPathTree): on
+// real bent-pipe and hybrid snapshots, the batched search must agree
+// with the single-pair queries it replaces — bit-identically with plain
+// ShortestPath (same heap evolution, so same distances AND predecessor
+// chains), and on distance with goal-directed ShortestPathAStar.
+#include "graph/sssp_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "core/network_builder.hpp"
+#include "core/scenario.hpp"
+#include "core/traffic_matrix.hpp"
+#include "data/cities.hpp"
+#include "graph/dijkstra.hpp"
+#include "link/radio.hpp"
+
+namespace leosim::graph {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+core::NetworkOptions FastOptions(core::ConnectivityMode mode) {
+  core::NetworkOptions options;
+  options.mode = mode;
+  options.relay_spacing_deg = 4.0;
+  options.aircraft_scale = 1.0;
+  return options;
+}
+
+std::vector<core::CityPair> SeededPairs(int count) {
+  core::TrafficMatrixOptions options;
+  options.num_pairs = count;
+  return core::SampleCityPairs(data::AnchorCities(), options);
+}
+
+// Groups the pairs by source city and checks every target of every
+// group against the per-pair searches.
+void CheckTreeAgainstPairQueries(const core::NetworkModel& model,
+                                 double time_sec) {
+  core::NetworkModel::SnapshotWorkspace snapshot_ws;
+  const core::NetworkModel::Snapshot& snap =
+      model.BuildSnapshot(time_sec, &snapshot_ws);
+  const std::vector<core::CityPair> pairs = SeededPairs(50);
+
+  std::map<int, std::vector<NodeId>> targets_by_source;
+  for (const core::CityPair& pair : pairs) {
+    targets_by_source[pair.a].push_back(snap.CityNode(pair.b));
+  }
+
+  DijkstraWorkspace tree_ws;
+  DijkstraWorkspace pair_ws;
+  ShortestPathTree tree;
+  int reachable_checked = 0;
+  for (const auto& [src_city, targets] : targets_by_source) {
+    const NodeId src = snap.CityNode(src_city);
+    tree.Build(snap.graph, src, targets, tree_ws);
+    EXPECT_EQ(tree.source(), src);
+    for (const NodeId dst : targets) {
+      const double tree_dist = tree.DistanceTo(dst);
+      const auto tree_path = tree.PathTo(dst);
+      const auto pair_path = ShortestPath(snap.graph, src, dst, pair_ws);
+      if (!pair_path.has_value()) {
+        EXPECT_EQ(tree_dist, kInf);
+        EXPECT_FALSE(tree_path.has_value());
+        continue;
+      }
+      ++reachable_checked;
+      // Bit-identical to the per-pair plain Dijkstra: distance, node
+      // chain, and edge chain (exact ==, no tolerance).
+      ASSERT_TRUE(tree_path.has_value());
+      EXPECT_EQ(tree_dist, pair_path->distance);
+      EXPECT_EQ(tree_path->distance, pair_path->distance);
+      EXPECT_EQ(tree_path->nodes, pair_path->nodes);
+      EXPECT_EQ(tree_path->edges, pair_path->edges);
+      EXPECT_EQ(tree_path->nodes.front(), src);
+      EXPECT_EQ(tree_path->nodes.back(), dst);
+
+      // And the goal-directed query reports the same distance.
+      const geo::Vec3 dst_pos = snap.node_ecef[static_cast<size_t>(dst)];
+      const auto potential = [&snap, &dst_pos](NodeId n) {
+        return (1.0 - 1e-12) *
+               link::PropagationLatencyMs(
+                   snap.node_ecef[static_cast<size_t>(n)], dst_pos);
+      };
+      const auto astar_path =
+          ShortestPathAStar(snap.graph, src, dst, pair_ws, potential);
+      ASSERT_TRUE(astar_path.has_value());
+      EXPECT_EQ(tree_dist, astar_path->distance);
+    }
+  }
+  // The check must have exercised real routes, not an all-unreachable
+  // degenerate snapshot.
+  EXPECT_GT(reachable_checked, 10);
+}
+
+TEST(ShortestPathTreeTest, MatchesPairQueriesOnBentPipeSnapshot) {
+  const core::NetworkModel model(
+      core::Scenario::Starlink(),
+      FastOptions(core::ConnectivityMode::kBentPipe), data::AnchorCities());
+  CheckTreeAgainstPairQueries(model, 0.0);
+  CheckTreeAgainstPairQueries(model, 900.0);
+}
+
+TEST(ShortestPathTreeTest, MatchesPairQueriesOnHybridSnapshot) {
+  const core::NetworkModel model(core::Scenario::Starlink(),
+                                 FastOptions(core::ConnectivityMode::kHybrid),
+                                 data::AnchorCities());
+  CheckTreeAgainstPairQueries(model, 0.0);
+  CheckTreeAgainstPairQueries(model, 900.0);
+}
+
+TEST(ShortestPathTreeTest, DuplicateTargetsAndWorkspaceReuse) {
+  const core::NetworkModel model(core::Scenario::Starlink(),
+                                 FastOptions(core::ConnectivityMode::kHybrid),
+                                 data::AnchorCities());
+  core::NetworkModel::SnapshotWorkspace snapshot_ws;
+  const auto& snap = model.BuildSnapshot(0.0, &snapshot_ws);
+  const NodeId src = snap.CityNode(0);
+  const NodeId dst = snap.CityNode(5);
+
+  DijkstraWorkspace ws;
+  ShortestPathTree tree;
+  const std::vector<NodeId> dup = {dst, dst, dst};
+  tree.Build(snap.graph, src, dup, ws);
+  const double first = tree.DistanceTo(dst);
+
+  // Rebuilding through the same (now dirty) workspace and tree must not
+  // change the answer — epoch stamping has to isolate searches.
+  const std::vector<NodeId> other = {snap.CityNode(3), snap.CityNode(7)};
+  tree.Build(snap.graph, src, other, ws);
+  tree.Build(snap.graph, src, dup, ws);
+  EXPECT_EQ(tree.DistanceTo(dst), first);
+
+  DijkstraWorkspace fresh;
+  const auto pair_path = ShortestPath(snap.graph, src, dst, fresh);
+  if (pair_path.has_value()) {
+    EXPECT_EQ(first, pair_path->distance);
+  } else {
+    EXPECT_EQ(first, kInf);
+  }
+}
+
+TEST(ShortestPathTreeTest, EmptyTargetListIsAFullSssp) {
+  const core::NetworkModel model(core::Scenario::Starlink(),
+                                 FastOptions(core::ConnectivityMode::kHybrid),
+                                 data::AnchorCities());
+  core::NetworkModel::SnapshotWorkspace snapshot_ws;
+  const auto& snap = model.BuildSnapshot(0.0, &snapshot_ws);
+  const NodeId src = snap.CityNode(0);
+  DijkstraWorkspace ws;
+  ShortestPathTree tree;
+  tree.Build(snap.graph, src, {}, ws);
+  // With no targets the search exhausts the component, so every node is
+  // settled; spot-check one city against the per-pair query.
+  const NodeId dst = snap.CityNode(4);
+  DijkstraWorkspace fresh;
+  const auto pair_path = ShortestPath(snap.graph, src, dst, fresh);
+  if (pair_path.has_value()) {
+    EXPECT_EQ(tree.DistanceTo(dst), pair_path->distance);
+  } else {
+    EXPECT_EQ(tree.DistanceTo(dst), kInf);
+  }
+}
+
+}  // namespace
+}  // namespace leosim::graph

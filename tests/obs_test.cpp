@@ -567,6 +567,53 @@ TEST(ObsTimeseriesTest, IdenticalRunsExportByteIdenticalJson) {
   EXPECT_EQ(first, second);
 }
 
+TEST(ObsTimeseriesTest, RecordSeriesMatchesPerSampleRecord) {
+  // One whole-array emission must export exactly like the equivalent
+  // per-slot Record calls, with NaN entries skipped ("no sample this
+  // slot") and non-NaN infinities kept (they export as null but still
+  // count as samples).
+  const std::vector<double> times = {0.0, 10.0, 20.0, 30.0};
+  const std::vector<double> values = {
+      1.5, std::numeric_limits<double>::quiet_NaN(),
+      std::numeric_limits<double>::infinity(), 4.5};
+  const auto run = [&](bool series) {
+    TimeseriesRecorder& recorder = TimeseriesRecorder::Global();
+    recorder.Reset();
+    recorder.Enable(true);
+    if (series) {
+      recorder.RecordSeries("ts.series", times, values);
+    } else {
+      for (size_t i = 0; i < times.size(); ++i) {
+        if (values[i] == values[i]) {
+          recorder.Record(times[i], "ts.series", values[i]);
+        }
+      }
+    }
+    const std::string json = recorder.ToJson();
+    recorder.Enable(false);
+    recorder.Reset();
+    return json;
+  };
+  const std::string from_series = run(true);
+  const std::string from_samples = run(false);
+  EXPECT_TRUE(JsonScanner(from_series).Valid()) << from_series;
+  EXPECT_EQ(from_series, from_samples);
+  // The NaN slot is absent, not null: exactly three samples.
+  EXPECT_NE(from_series.find("[0, 1.5]"), std::string::npos) << from_series;
+  EXPECT_NE(from_series.find("[20, null]"), std::string::npos) << from_series;
+  EXPECT_NE(from_series.find("[30, 4.5]"), std::string::npos) << from_series;
+  EXPECT_EQ(from_series.find("[10,"), std::string::npos) << from_series;
+}
+
+TEST(ObsTimeseriesTest, RecordSeriesDisabledIsANoOp) {
+  TimeseriesRecorder& recorder = TimeseriesRecorder::Global();
+  recorder.Reset();
+  ASSERT_FALSE(recorder.Enabled());
+  recorder.RecordSeries("ts.series.off", {0.0}, {1.0});
+  const std::string json = recorder.ToJson();
+  EXPECT_EQ(json.find("ts.series.off"), std::string::npos);
+}
+
 TEST(ObsTimeseriesTest, OverflowCountsDroppedSamples) {
   const ScopedTimeseries scoped;
   TimeseriesRecorder& recorder = TimeseriesRecorder::Global();

@@ -22,6 +22,12 @@ Rules (each maps to a repo invariant documented in DESIGN.md):
   study-summary   Every src/core/*_study.cpp calls EmitStudySummary:
                    manifests, tests, and obs_report run comparisons all
                    key on the shared summary line.
+  snapshot-workspace
+                   No allocating BuildSnapshot(t) in study drivers
+                   (src/core/*_study.cpp, routing.cpp). Inner loops must
+                   use the workspace overload BuildSnapshot(t, &ws) so
+                   sweeps reuse graph/index storage instead of
+                   reallocating per slot.
 
 File discovery walks `git ls-files` plus untracked-but-not-ignored files,
 so freshly added sources (e.g. a new src/obs/ or bench/ file) are linted
@@ -147,6 +153,35 @@ def grep_lint(findings: list[str]) -> None:
                 "EmitStudySummary; every src/core/*_study.cpp must report a "
                 "StudySummary"
             )
+
+    # Study inner loops must not call the allocating BuildSnapshot(t):
+    # the workspace overload BuildSnapshot(t, &ws) reuses graph/index
+    # storage across slots. A call is allocating when its argument list
+    # has no top-level comma (args may span lines, so walk balanced
+    # parens instead of matching a single line).
+    for path in tracked_files(["src/core/*_study.cpp", "src/core/routing.cpp"]):
+        rel = path.relative_to(REPO_ROOT)
+        code = strip_comments_and_strings(path.read_text())
+        for match in re.finditer(r"\bBuildSnapshot\s*\(", code):
+            depth = 1
+            top_level_commas = 0
+            i = match.end()
+            while i < len(code) and depth > 0:
+                c = code[i]
+                if c in "([{":
+                    depth += 1
+                elif c in ")]}":
+                    depth -= 1
+                elif c == "," and depth == 1:
+                    top_level_commas += 1
+                i += 1
+            if top_level_commas == 0:
+                lineno = code.count("\n", 0, match.start()) + 1
+                findings.append(
+                    f"{rel}:{lineno}: [snapshot-workspace] allocating "
+                    "BuildSnapshot(t) in a study driver; use the workspace "
+                    "overload BuildSnapshot(t, &ws)"
+                )
 
     for path in headers:
         rel = path.relative_to(REPO_ROOT)
