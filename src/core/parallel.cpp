@@ -6,10 +6,11 @@
 #include <cstdlib>
 #include <exception>
 #include <limits>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "core/mutex.hpp"
+#include "core/thread_annotations.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -103,8 +104,12 @@ void ParallelForWorkers(int count,
   std::vector<double> worker_seconds(static_cast<size_t>(workers), 0.0);
   std::atomic<int> next{0};
   std::atomic<bool> stop{false};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
+  // Wrapped in a struct so the guarded_by relation is expressible: the
+  // analysis tracks members, not loose locals.
+  struct ErrorSlot {
+    leosim::Mutex mutex;
+    std::exception_ptr first LEOSIM_GUARDED_BY(mutex);
+  } error;
   std::vector<std::thread> threads;
   threads.reserve(static_cast<size_t>(workers));
   for (int w = 0; w < workers; ++w) {
@@ -122,9 +127,9 @@ void ParallelForWorkers(int count,
         try {
           body(w, i);
         } catch (...) {
-          const std::lock_guard<std::mutex> lock(error_mutex);
-          if (!first_error) {
-            first_error = std::current_exception();
+          const leosim::MutexLock lock(error.mutex);
+          if (!error.first) {
+            error.first = std::current_exception();
           }
           stop.store(true, std::memory_order_relaxed);
         }
@@ -147,8 +152,11 @@ void ParallelForWorkers(int count,
       UtilizationHistogram().Observe(std::min(1.0, seconds / run_seconds));
     }
   }
-  if (first_error) {
-    std::rethrow_exception(first_error);
+  // All workers have joined, but the analysis still wants the lock held
+  // to read the guarded slot — an uncontended acquire, once per run.
+  const leosim::MutexLock lock(error.mutex);
+  if (error.first) {
+    std::rethrow_exception(error.first);
   }
 }
 

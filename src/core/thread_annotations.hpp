@@ -1,0 +1,71 @@
+// Clang thread-safety annotation macros (the mechanism behind abseil's
+// GUARDED_BY/LOCKS_EXCLUDED discipline). Under clang with
+// -Wthread-safety these let the compiler prove lock discipline at build
+// time: every access to a LEOSIM_GUARDED_BY member must happen with its
+// capability (mutex) held, functions declare what they acquire, release,
+// require, or must not hold, and violations are hard errors in the
+// LEOSIM_THREAD_SAFETY=ON CI build. Under GCC (and any compiler without
+// the attributes) every macro expands to nothing, so the annotations are
+// zero-cost documentation.
+//
+// This header is deliberately dependency-free (not even std includes):
+// together with core/mutex.hpp it forms the "base" layer that every
+// module — including the otherwise std-only obs layer — may include
+// (see the [layering] lint rule in tools/leosim_lint.py).
+//
+// Annotation conventions (DESIGN.md §9):
+//   LEOSIM_GUARDED_BY(mu)   on a member: reads and writes need mu held.
+//   LEOSIM_REQUIRES(mu)     on a function: callers must already hold mu
+//                           (private *Locked() helpers).
+//   LEOSIM_ACQUIRE/RELEASE  on functions that take/drop the lock
+//                           themselves (the Mutex wrapper, init paths).
+//   LEOSIM_EXCLUDES(mu)     on a function that locks mu internally and
+//                           would self-deadlock if called with it held.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define LEOSIM_THREAD_ANNOTATION_IMPL(x) __attribute__((x))
+#else
+#define LEOSIM_THREAD_ANNOTATION_IMPL(x)  // no-op outside clang
+#endif
+
+// Type annotations.
+#define LEOSIM_CAPABILITY(x) LEOSIM_THREAD_ANNOTATION_IMPL(capability(x))
+#define LEOSIM_SCOPED_CAPABILITY LEOSIM_THREAD_ANNOTATION_IMPL(scoped_lockable)
+
+// Member annotations.
+#define LEOSIM_GUARDED_BY(x) LEOSIM_THREAD_ANNOTATION_IMPL(guarded_by(x))
+#define LEOSIM_PT_GUARDED_BY(x) LEOSIM_THREAD_ANNOTATION_IMPL(pt_guarded_by(x))
+#define LEOSIM_ACQUIRED_BEFORE(...) \
+  LEOSIM_THREAD_ANNOTATION_IMPL(acquired_before(__VA_ARGS__))
+#define LEOSIM_ACQUIRED_AFTER(...) \
+  LEOSIM_THREAD_ANNOTATION_IMPL(acquired_after(__VA_ARGS__))
+
+// Function annotations.
+#define LEOSIM_REQUIRES(...) \
+  LEOSIM_THREAD_ANNOTATION_IMPL(requires_capability(__VA_ARGS__))
+#define LEOSIM_REQUIRES_SHARED(...) \
+  LEOSIM_THREAD_ANNOTATION_IMPL(requires_shared_capability(__VA_ARGS__))
+#define LEOSIM_ACQUIRE(...) \
+  LEOSIM_THREAD_ANNOTATION_IMPL(acquire_capability(__VA_ARGS__))
+#define LEOSIM_ACQUIRE_SHARED(...) \
+  LEOSIM_THREAD_ANNOTATION_IMPL(acquire_shared_capability(__VA_ARGS__))
+#define LEOSIM_RELEASE(...) \
+  LEOSIM_THREAD_ANNOTATION_IMPL(release_capability(__VA_ARGS__))
+#define LEOSIM_RELEASE_SHARED(...) \
+  LEOSIM_THREAD_ANNOTATION_IMPL(release_shared_capability(__VA_ARGS__))
+#define LEOSIM_TRY_ACQUIRE(...) \
+  LEOSIM_THREAD_ANNOTATION_IMPL(try_acquire_capability(__VA_ARGS__))
+#define LEOSIM_EXCLUDES(...) \
+  LEOSIM_THREAD_ANNOTATION_IMPL(locks_excluded(__VA_ARGS__))
+#define LEOSIM_ASSERT_CAPABILITY(x) \
+  LEOSIM_THREAD_ANNOTATION_IMPL(assert_capability(x))
+#define LEOSIM_RETURN_CAPABILITY(x) \
+  LEOSIM_THREAD_ANNOTATION_IMPL(lock_returned(x))
+
+// Escape hatch: suppresses analysis inside one function. The only
+// legitimate users are the Mutex wrapper itself and test code that
+// deliberately breaks discipline; src/ proper must stay suppression-free
+// (checked by the [tsa-suppression] lint rule).
+#define LEOSIM_NO_THREAD_SAFETY_ANALYSIS \
+  LEOSIM_THREAD_ANNOTATION_IMPL(no_thread_safety_analysis)

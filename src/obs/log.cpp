@@ -3,8 +3,10 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <utility>
+
+#include "core/mutex.hpp"
+#include "core/thread_annotations.hpp"
 
 namespace leosim::obs {
 
@@ -14,14 +16,15 @@ std::atomic<int> g_log_level{-1};
 
 namespace {
 
-std::mutex& SinkMutex() {
-  static std::mutex mutex;
-  return mutex;
-}
+struct SinkState {
+  Mutex mutex;
+  LogSink sink LEOSIM_GUARDED_BY(mutex);  // empty = default stderr sink
+};
 
-LogSink& SinkSlot() {
-  static LogSink sink;  // empty = default stderr sink
-  return sink;
+SinkState& Sink() {
+  static SinkState* state = new SinkState();  // never destroyed: worker
+  // threads may log past static destruction order.
+  return *state;
 }
 
 }  // namespace
@@ -39,10 +42,10 @@ int InitLogLevelFromEnv() {
 }
 
 void EmitLogLine(const std::string& line) {
-  const std::lock_guard<std::mutex> lock(SinkMutex());
-  LogSink& sink = SinkSlot();
-  if (sink) {
-    sink(line);
+  SinkState& state = Sink();
+  const MutexLock lock(state.mutex);
+  if (state.sink) {
+    state.sink(line);
   } else {
     std::fwrite(line.data(), 1, line.size(), stderr);
   }
@@ -87,8 +90,9 @@ void SetLogLevel(LogLevel level) {
 }
 
 void SetLogSink(LogSink sink) {
-  const std::lock_guard<std::mutex> lock(detail::SinkMutex());
-  detail::SinkSlot() = std::move(sink);
+  detail::SinkState& state = detail::Sink();
+  const MutexLock lock(state.mutex);
+  state.sink = std::move(sink);
 }
 
 namespace {

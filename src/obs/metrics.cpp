@@ -157,7 +157,7 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter& MetricsRegistry::GetCounter(std::string_view name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const leosim::MutexLock lock(mutex_);
   for (const std::unique_ptr<Counter>& c : counters_) {
     if (c->name_ == name) {
       return *c;
@@ -168,7 +168,7 @@ Counter& MetricsRegistry::GetCounter(std::string_view name) {
 }
 
 Gauge& MetricsRegistry::GetGauge(std::string_view name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const leosim::MutexLock lock(mutex_);
   for (const std::unique_ptr<Gauge>& g : gauges_) {
     if (g->name_ == name) {
       return *g;
@@ -180,7 +180,7 @@ Gauge& MetricsRegistry::GetGauge(std::string_view name) {
 
 Histogram& MetricsRegistry::GetHistogram(std::string_view name,
                                          std::vector<double> upper_bounds) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const leosim::MutexLock lock(mutex_);
   for (const std::unique_ptr<Histogram>& h : histograms_) {
     if (h->name_ == name) {
       return *h;
@@ -198,7 +198,7 @@ std::string MetricsRegistry::ToJson() const {
   std::vector<const Gauge*> gauges;
   std::vector<const Histogram*> histograms;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const leosim::MutexLock lock(mutex_);
     for (const auto& c : counters_) counters.push_back(c.get());
     for (const auto& g : gauges_) gauges.push_back(g.get());
     for (const auto& h : histograms_) histograms.push_back(h.get());
@@ -269,7 +269,7 @@ bool MetricsRegistry::WriteJson(const std::string& path) const {
 }
 
 void MetricsRegistry::Reset() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const leosim::MutexLock lock(mutex_);
   for (const auto& c : counters_) {
     for (Counter::Slot& slot : c->slots_) {
       slot.value.store(0, std::memory_order_relaxed);

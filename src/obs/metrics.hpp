@@ -20,10 +20,12 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "core/mutex.hpp"
+#include "core/thread_annotations.hpp"
 
 namespace leosim::obs {
 
@@ -172,10 +174,17 @@ class MetricsRegistry {
   };
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<Counter>> counters_;
-  std::vector<std::unique_ptr<Gauge>> gauges_;
-  std::vector<std::unique_ptr<Histogram>> histograms_;
+  // tests/tsa_negative/metrics_guard_probe.cpp reads the guarded vectors
+  // without the lock and must fail to compile under -Werror=thread-safety;
+  // the friend grants it the member access so the probe exercises exactly
+  // the GUARDED_BY annotations below.
+  friend struct MetricsRegistryTsaProbe;
+
+  mutable leosim::Mutex mutex_;
+  std::vector<std::unique_ptr<Counter>> counters_ LEOSIM_GUARDED_BY(mutex_);
+  std::vector<std::unique_ptr<Gauge>> gauges_ LEOSIM_GUARDED_BY(mutex_);
+  std::vector<std::unique_ptr<Histogram>> histograms_
+      LEOSIM_GUARDED_BY(mutex_);
 };
 
 }  // namespace leosim::obs

@@ -5,9 +5,11 @@
 #include <cstdio>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <tuple>
 #include <vector>
+
+#include "core/mutex.hpp"
+#include "core/thread_annotations.hpp"
 
 namespace leosim::obs {
 
@@ -20,14 +22,14 @@ struct Sample {
 };
 
 struct SampleBuffer {
-  std::mutex mutex;
-  std::vector<Sample> samples;
-  uint64_t dropped = 0;
+  Mutex mutex;
+  std::vector<Sample> samples LEOSIM_GUARDED_BY(mutex);
+  uint64_t dropped LEOSIM_GUARDED_BY(mutex) = 0;
 };
 
 struct BufferRegistry {
-  std::mutex mutex;
-  std::vector<std::shared_ptr<SampleBuffer>> buffers;
+  Mutex mutex;
+  std::vector<std::shared_ptr<SampleBuffer>> buffers LEOSIM_GUARDED_BY(mutex);
 };
 
 BufferRegistry& Registry() {
@@ -43,7 +45,7 @@ SampleBuffer& ThreadBuffer() {
   thread_local std::shared_ptr<SampleBuffer> buffer = [] {
     auto created = std::make_shared<SampleBuffer>();
     BufferRegistry& registry = Registry();
-    const std::lock_guard<std::mutex> lock(registry.mutex);
+    const MutexLock lock(registry.mutex);
     registry.buffers.push_back(created);
     return created;
   }();
@@ -99,7 +101,7 @@ TimeseriesRecorder& TimeseriesRecorder::Global() {
 void TimeseriesRecorder::RecordAlways(double t, std::string_view key,
                                       double value) {
   SampleBuffer& buffer = ThreadBuffer();
-  const std::lock_guard<std::mutex> lock(buffer.mutex);
+  const MutexLock lock(buffer.mutex);
   if (buffer.samples.size() >= kMaxTimeseriesSamplesPerThread) {
     ++buffer.dropped;
     return;
@@ -127,9 +129,9 @@ std::string TimeseriesRecorder::ToJson() const {
   uint64_t dropped = 0;
   {
     BufferRegistry& registry = Registry();
-    const std::lock_guard<std::mutex> registry_lock(registry.mutex);
+    const MutexLock registry_lock(registry.mutex);
     for (const std::shared_ptr<SampleBuffer>& buffer : registry.buffers) {
-      const std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+      const MutexLock buffer_lock(buffer->mutex);
       merged.insert(merged.end(), buffer->samples.begin(),
                     buffer->samples.end());
       dropped += buffer->dropped;
@@ -185,9 +187,9 @@ bool TimeseriesRecorder::WriteJson(const std::string& path) const {
 
 void TimeseriesRecorder::Reset() {
   BufferRegistry& registry = Registry();
-  const std::lock_guard<std::mutex> registry_lock(registry.mutex);
+  const MutexLock registry_lock(registry.mutex);
   for (const std::shared_ptr<SampleBuffer>& buffer : registry.buffers) {
-    const std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    const MutexLock buffer_lock(buffer->mutex);
     buffer->samples.clear();
     buffer->dropped = 0;
   }
@@ -196,9 +198,9 @@ void TimeseriesRecorder::Reset() {
 uint64_t TimeseriesRecorder::DroppedSamples() const {
   uint64_t total = 0;
   BufferRegistry& registry = Registry();
-  const std::lock_guard<std::mutex> registry_lock(registry.mutex);
+  const MutexLock registry_lock(registry.mutex);
   for (const std::shared_ptr<SampleBuffer>& buffer : registry.buffers) {
-    const std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    const MutexLock buffer_lock(buffer->mutex);
     total += buffer->dropped;
   }
   return total;

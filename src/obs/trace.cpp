@@ -4,8 +4,10 @@
 #include <chrono>
 #include <cstdio>
 #include <memory>
-#include <mutex>
 #include <vector>
+
+#include "core/mutex.hpp"
+#include "core/thread_annotations.hpp"
 
 namespace leosim::obs {
 
@@ -22,16 +24,18 @@ struct TraceEvent {
 };
 
 struct TraceBuffer {
-  std::mutex mutex;
-  std::vector<TraceEvent> events;
-  uint64_t dropped = 0;
+  Mutex mutex;
+  std::vector<TraceEvent> events LEOSIM_GUARDED_BY(mutex);
+  uint64_t dropped LEOSIM_GUARDED_BY(mutex) = 0;
+  // Written once under the registry lock before the buffer is published,
+  // immutable afterwards — no capability needed.
   int tid = 0;
 };
 
 struct TraceRegistry {
-  std::mutex mutex;
-  std::vector<std::shared_ptr<TraceBuffer>> buffers;
-  int next_tid = 0;
+  Mutex mutex;
+  std::vector<std::shared_ptr<TraceBuffer>> buffers LEOSIM_GUARDED_BY(mutex);
+  int next_tid LEOSIM_GUARDED_BY(mutex) = 0;
 };
 
 TraceRegistry& Registry() {
@@ -47,7 +51,7 @@ TraceBuffer& ThreadBuffer() {
   thread_local std::shared_ptr<TraceBuffer> buffer = [] {
     auto created = std::make_shared<TraceBuffer>();
     TraceRegistry& registry = Registry();
-    const std::lock_guard<std::mutex> lock(registry.mutex);
+    const MutexLock lock(registry.mutex);
     created->tid = registry.next_tid++;
     registry.buffers.push_back(created);
     return created;
@@ -94,7 +98,7 @@ int64_t TraceNowNanos() {
 void RecordTraceEvent(std::string_view name, int64_t start_ns,
                       int64_t duration_ns) {
   TraceBuffer& buffer = ThreadBuffer();
-  const std::lock_guard<std::mutex> lock(buffer.mutex);
+  const MutexLock lock(buffer.mutex);
   if (buffer.events.size() >= kMaxTraceEventsPerThread) {
     ++buffer.dropped;
     return;
@@ -129,10 +133,10 @@ std::string TraceToJson() {
   std::vector<FlatEvent> flat;
   {
     detail::TraceRegistry& registry = detail::Registry();
-    const std::lock_guard<std::mutex> registry_lock(registry.mutex);
+    const MutexLock registry_lock(registry.mutex);
     for (const std::shared_ptr<detail::TraceBuffer>& buffer :
          registry.buffers) {
-      const std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+      const MutexLock buffer_lock(buffer->mutex);
       for (const detail::TraceEvent& event : buffer->events) {
         flat.push_back(FlatEvent{buffer->tid, event});
       }
@@ -181,9 +185,9 @@ bool WriteTraceJson(const std::string& path) {
 
 void ResetTrace() {
   detail::TraceRegistry& registry = detail::Registry();
-  const std::lock_guard<std::mutex> registry_lock(registry.mutex);
+  const MutexLock registry_lock(registry.mutex);
   for (const std::shared_ptr<detail::TraceBuffer>& buffer : registry.buffers) {
-    const std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    const MutexLock buffer_lock(buffer->mutex);
     buffer->events.clear();
     buffer->dropped = 0;
   }
@@ -192,9 +196,9 @@ void ResetTrace() {
 uint64_t TraceDroppedEvents() {
   uint64_t total = 0;
   detail::TraceRegistry& registry = detail::Registry();
-  const std::lock_guard<std::mutex> registry_lock(registry.mutex);
+  const MutexLock registry_lock(registry.mutex);
   for (const std::shared_ptr<detail::TraceBuffer>& buffer : registry.buffers) {
-    const std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    const MutexLock buffer_lock(buffer->mutex);
     total += buffer->dropped;
   }
   return total;

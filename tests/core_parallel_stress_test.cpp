@@ -18,8 +18,10 @@
 #include <vector>
 
 #include "core/latency_study.hpp"
+#include "core/mutex.hpp"
 #include "core/network_builder.hpp"
 #include "core/parallel.hpp"
+#include "core/thread_annotations.hpp"
 #include "core/traffic_matrix.hpp"
 #include "data/cities.hpp"
 #include "obs/metrics.hpp"
@@ -70,6 +72,70 @@ TEST(ParallelStressTest, MutexProtectedSharedVector) {
     sum += v;
   }
   EXPECT_EQ(sum, static_cast<std::int64_t>(n) * (n - 1) / 2);
+}
+
+TEST(ParallelStressTest, AnnotatedMutexGuardedCounterFromAllWorkers) {
+  // The annotated leosim::Mutex wrapper under maximum contention: every
+  // worker locks the same mutex on every iteration to bump a guarded
+  // counter and append to a guarded vector, from ParallelForWorkers so
+  // the per-worker shard pinning is active too. Proves the annotations
+  // (compile-time discipline) and the runtime behaviour agree — TSan
+  // must stay as quiet about MutexLock as it was about lock_guard.
+  struct Guarded {
+    leosim::Mutex mutex;
+    std::int64_t counter LEOSIM_GUARDED_BY(mutex) = 0;
+    std::vector<int> per_worker_hits LEOSIM_GUARDED_BY(mutex);
+  } state;
+  {
+    const leosim::MutexLock lock(state.mutex);
+    state.per_worker_hits.assign(8, 0);
+  }
+
+  const int n = 50'000;
+  ParallelForWorkers(
+      n,
+      [&](int worker, int i) {
+        const leosim::MutexLock lock(state.mutex);
+        state.counter += i;
+        state.per_worker_hits[static_cast<size_t>(worker)] += 1;
+      },
+      8);
+
+  const leosim::MutexLock lock(state.mutex);
+  EXPECT_EQ(state.counter, static_cast<std::int64_t>(n) * (n - 1) / 2);
+  std::int64_t hits = 0;
+  for (const int h : state.per_worker_hits) {
+    hits += h;
+  }
+  EXPECT_EQ(hits, n);
+}
+
+TEST(ParallelStressTest, AnnotatedMutexTryLockContention) {
+  // TryLock under contention: winners mutate guarded state, losers fall
+  // back to an atomic tally. Exercises the LEOSIM_TRY_ACQUIRE path of
+  // the wrapper, which the studies do not use yet.
+  struct Guarded {
+    leosim::Mutex mutex;
+    std::int64_t acquired LEOSIM_GUARDED_BY(mutex) = 0;
+  } state;
+  std::atomic<std::int64_t> contended{0};
+
+  const int n = 50'000;
+  ParallelFor(
+      n,
+      [&](int) {
+        if (state.mutex.TryLock()) {
+          ++state.acquired;
+          state.mutex.Unlock();
+        } else {
+          contended.fetch_add(1, std::memory_order_relaxed);
+        }
+      },
+      8);
+
+  const leosim::MutexLock lock(state.mutex);
+  EXPECT_EQ(state.acquired + contended.load(), static_cast<std::int64_t>(n));
+  EXPECT_GE(state.acquired, 1);
 }
 
 TEST(ParallelStressTest, DisjointSlotWritesWithoutSynchronisation) {

@@ -1,0 +1,5 @@
+#pragma once
+
+struct Vec {
+  double x;  // "float" only appears in this comment
+};

@@ -1,0 +1,16 @@
+#include <vector>
+
+struct SweepWorkspace {
+  std::vector<int> scratch;
+};
+
+void Sweep(SweepWorkspace& ws, std::vector<int>& out) {
+  out.clear();
+  out.push_back(1);
+  auto& scratch = ws.scratch;
+  scratch.push_back(2);
+}
+
+void ColdPath(std::vector<int>& out) {
+  out.push_back(3);  // no workspace parameter: not a hot path
+}

@@ -1,0 +1,11 @@
+#include <vector>
+
+struct SweepWorkspace {
+  std::vector<int> scratch;
+};
+
+void Sweep(SweepWorkspace& ws, std::vector<int>& out) {
+  out.push_back(1);
+  int* leak = new int(7);
+  (void)leak;
+}

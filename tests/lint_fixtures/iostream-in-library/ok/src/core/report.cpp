@@ -1,0 +1,1 @@
+void Report();  // diagnostics go through obs::Log

@@ -1,0 +1,3 @@
+#include <iostream>
+
+void DefaultSink() { std::cerr << "allowlisted default sink\n"; }

@@ -1,0 +1,3 @@
+#include <iostream>
+
+void Report() { std::cout << "hi\n"; }

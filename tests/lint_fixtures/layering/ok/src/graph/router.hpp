@@ -1,0 +1,5 @@
+#pragma once
+
+#include "core/mutex.hpp"
+#include "graph/dijkstra.hpp"
+#include "obs/metrics.hpp"

@@ -1,0 +1,3 @@
+#pragma once
+
+#include "core/latency_study.hpp"

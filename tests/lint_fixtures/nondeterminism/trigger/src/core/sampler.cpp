@@ -1,0 +1,3 @@
+#include <cstdlib>
+
+int Draw() { return std::rand(); }

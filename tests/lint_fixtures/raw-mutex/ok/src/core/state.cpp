@@ -1,0 +1,4 @@
+#include "core/mutex.hpp"
+
+leosim::Mutex g_mutex;
+void Touch() { const leosim::MutexLock lock(g_mutex); }

@@ -1,0 +1,7 @@
+#pragma once
+
+#include <vector>
+
+struct Holder {
+  std::vector<int> values;
+};

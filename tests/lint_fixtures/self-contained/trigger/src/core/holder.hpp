@@ -1,0 +1,5 @@
+#pragma once
+
+struct Holder {
+  std::vector<int> values;
+};

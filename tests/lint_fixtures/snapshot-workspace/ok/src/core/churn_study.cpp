@@ -1,0 +1,7 @@
+struct Snapshot {};
+struct SnapshotWorkspace {};
+Snapshot BuildSnapshot(double t, SnapshotWorkspace* ws);
+void Run() {
+  SnapshotWorkspace ws;
+  Snapshot s = BuildSnapshot(42.0, &ws);
+}

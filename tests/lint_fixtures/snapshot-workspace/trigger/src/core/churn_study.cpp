@@ -1,0 +1,6 @@
+struct Snapshot {};
+Snapshot BuildSnapshot(double t);
+void Run() {
+  Snapshot s = BuildSnapshot(
+      42.0);
+}

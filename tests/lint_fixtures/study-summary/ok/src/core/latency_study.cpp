@@ -1,0 +1,2 @@
+void EmitStudySummary(int);
+void RunLatencyStudy() { EmitStudySummary(0); }

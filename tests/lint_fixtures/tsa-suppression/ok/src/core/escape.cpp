@@ -1,0 +1,3 @@
+#include "core/thread_annotations.hpp"
+
+void Disciplined();

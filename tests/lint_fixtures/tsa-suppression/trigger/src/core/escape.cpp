@@ -1,0 +1,3 @@
+#include "core/thread_annotations.hpp"
+
+void Sneaky() LEOSIM_NO_THREAD_SAFETY_ANALYSIS;

@@ -1,0 +1,5 @@
+#pragma once
+
+namespace leosim {
+void Fn();  // using-declarations of single names are fine elsewhere
+}

@@ -1,0 +1,28 @@
+// Compile-fail probe for the GUARDED_BY annotations in obs/metrics.hpp.
+//
+// This translation unit reads MetricsRegistry's guarded vectors WITHOUT
+// holding mutex_. Under clang with -Werror=thread-safety it must NOT
+// compile; tools/check_thread_safety.sh asserts exactly that. If someone
+// removes the LEOSIM_GUARDED_BY annotations from metrics.hpp, this file
+// starts compiling cleanly and the gate fails the build — which is how
+// the CI job proves the annotations are load-bearing rather than
+// decorative.
+//
+// Deliberately not part of any CMake target: only the checker script
+// compiles it (and expects the compile to fail).
+#include <cstddef>
+
+#include "obs/metrics.hpp"
+
+namespace leosim::obs {
+
+struct MetricsRegistryTsaProbe {
+  static std::size_t UnguardedCounterCount(const MetricsRegistry& registry) {
+    // Reads counters_ without mutex_ held: under -Werror=thread-safety
+    // clang rejects this line ("reading variable 'counters_' requires
+    // holding mutex 'mutex_'").
+    return registry.counters_.size();
+  }
+};
+
+}  // namespace leosim::obs

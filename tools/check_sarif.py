@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Structural validator for SARIF 2.1.0 files.
+
+CI runs this over every SARIF document the lint pipeline emits
+(tools/leosim_lint.py --sarif, tools/clang_tidy_sarif.py) before
+uploading it, so a malformed document fails the lint job instead of
+being silently rejected by the code-scanning ingest.
+
+The checks are structural (required fields, types, cross-references)
+rather than a full JSON-schema walk, which keeps the validator
+dependency-free; when the `jsonschema` package and a schema file happen
+to be available, pass --schema to additionally run the real thing.
+
+Usage: check_sarif.py FILE [FILE...] [--schema sarif-2.1.0.json]
+Exit 0 when every file validates, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+class SarifError(Exception):
+    pass
+
+
+def _require(cond: bool, where: str, what: str) -> None:
+    if not cond:
+        raise SarifError(f"{where}: {what}")
+
+
+def _check_result(result: dict, i: int, rule_ids: set[str],
+                  num_rules: int) -> None:
+    where = f"runs[0].results[{i}]"
+    _require(isinstance(result, dict), where, "result must be an object")
+    _require(isinstance(result.get("message"), dict)
+             and isinstance(result["message"].get("text"), str)
+             and result["message"]["text"] != "",
+             where, "message.text must be a non-empty string")
+    rule_id = result.get("ruleId")
+    if rule_id is not None:
+        _require(isinstance(rule_id, str) and rule_id != "",
+                 where, "ruleId must be a non-empty string")
+        if rule_ids:
+            _require(rule_id in rule_ids, where,
+                     f"ruleId {rule_id!r} not declared in tool.driver.rules")
+    rule_index = result.get("ruleIndex")
+    if rule_index is not None:
+        _require(isinstance(rule_index, int)
+                 and 0 <= rule_index < max(num_rules, 1),
+                 where, f"ruleIndex {rule_index!r} out of range")
+    level = result.get("level")
+    if level is not None:
+        _require(level in ("none", "note", "warning", "error"),
+                 where, f"invalid level {level!r}")
+    for j, loc in enumerate(result.get("locations", [])):
+        lwhere = f"{where}.locations[{j}]"
+        phys = loc.get("physicalLocation")
+        _require(isinstance(phys, dict), lwhere,
+                 "physicalLocation must be an object")
+        artifact = phys.get("artifactLocation")
+        _require(isinstance(artifact, dict)
+                 and isinstance(artifact.get("uri"), str)
+                 and artifact["uri"] != "",
+                 lwhere, "artifactLocation.uri must be a non-empty string")
+        region = phys.get("region")
+        if region is not None:
+            _require(isinstance(region, dict), lwhere,
+                     "region must be an object")
+            start = region.get("startLine")
+            if start is not None:
+                _require(isinstance(start, int) and start >= 1, lwhere,
+                         f"region.startLine must be a positive int "
+                         f"(got {start!r})")
+    for j, sup in enumerate(result.get("suppressions", [])):
+        _require(isinstance(sup, dict)
+                 and sup.get("kind") in ("inSource", "external"),
+                 f"{where}.suppressions[{j}]",
+                 "suppression.kind must be 'inSource' or 'external'")
+
+
+def check_sarif(doc: dict) -> None:
+    """Raises SarifError on the first structural violation."""
+    _require(isinstance(doc, dict), "$", "document must be a JSON object")
+    _require(doc.get("version") == "2.1.0", "$",
+             f"version must be '2.1.0' (got {doc.get('version')!r})")
+    runs = doc.get("runs")
+    _require(isinstance(runs, list) and len(runs) >= 1, "$",
+             "runs must be a non-empty array")
+    for r, run in enumerate(runs):
+        where = f"runs[{r}]"
+        _require(isinstance(run, dict), where, "run must be an object")
+        driver = run.get("tool", {}).get("driver")
+        _require(isinstance(driver, dict), where,
+                 "tool.driver must be an object")
+        _require(isinstance(driver.get("name"), str) and driver["name"] != "",
+                 where, "tool.driver.name must be a non-empty string")
+        rules = driver.get("rules", [])
+        _require(isinstance(rules, list), where,
+                 "tool.driver.rules must be an array")
+        rule_ids: set[str] = set()
+        for k, rule in enumerate(rules):
+            _require(isinstance(rule, dict)
+                     and isinstance(rule.get("id"), str) and rule["id"] != "",
+                     f"{where}.tool.driver.rules[{k}]",
+                     "rule.id must be a non-empty string")
+            rule_ids.add(rule["id"])
+        results = run.get("results", [])
+        _require(isinstance(results, list), where, "results must be an array")
+        for i, result in enumerate(results):
+            _check_result(result, i, rule_ids, len(rules))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="+", type=Path)
+    parser.add_argument("--schema", type=Path, default=None,
+                        help="optionally also validate against this JSON "
+                             "schema (needs the jsonschema package)")
+    args = parser.parse_args()
+
+    status = 0
+    for path in args.files:
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"[check_sarif] {path}: not readable JSON: {err}")
+            status = 1
+            continue
+        try:
+            check_sarif(doc)
+        except SarifError as err:
+            print(f"[check_sarif] {path}: INVALID: {err}")
+            status = 1
+            continue
+        if args.schema is not None:
+            try:
+                import jsonschema  # noqa: deferred, optional dependency
+            except ImportError:
+                print(f"[check_sarif] {path}: --schema given but jsonschema "
+                      "is not installed; structural checks only")
+            else:
+                try:
+                    jsonschema.validate(doc, json.loads(args.schema.read_text()))
+                except jsonschema.ValidationError as err:
+                    print(f"[check_sarif] {path}: SCHEMA-INVALID: "
+                          f"{err.message}")
+                    status = 1
+                    continue
+        n = sum(len(run.get("results", [])) for run in doc["runs"])
+        print(f"[check_sarif] {path}: ok ({n} result(s))")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

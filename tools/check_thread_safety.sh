@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Negative gate for the clang thread-safety annotations.
+#
+# The positive gate is the ordinary build with -DLEOSIM_THREAD_SAFETY=ON
+# (every annotated file must compile clean under -Werror=thread-safety).
+# This script adds the inverse check: a probe TU that violates lock
+# discipline on purpose (tests/tsa_negative/metrics_guard_probe.cpp,
+# reading MetricsRegistry's guarded vectors without the lock) must FAIL
+# to compile. If it ever compiles, the GUARDED_BY annotations have been
+# dropped or the analysis is off, and the gate exits non-zero — so
+# deleting an annotation breaks CI just like adding a race would.
+#
+# Usage: tools/check_thread_safety.sh  (CXX overrides the compiler,
+# default clang++; requires clang — the annotations are no-ops elsewhere).
+
+set -u -o pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cxx="${CXX:-clang++}"
+probe="${repo_root}/tests/tsa_negative/metrics_guard_probe.cpp"
+flags=(-std=c++20 -fsyntax-only -I "${repo_root}/src" -x c++ "${probe}")
+
+if ! command -v "${cxx}" >/dev/null 2>&1; then
+  echo "[tsa-gate] compiler '${cxx}' not found" >&2
+  exit 1
+fi
+if ! "${cxx}" --version 2>/dev/null | grep -qi clang; then
+  echo "[tsa-gate] '${cxx}' is not clang; thread-safety analysis needs clang" >&2
+  exit 1
+fi
+
+# 1) The probe must be valid C++ apart from lock discipline — otherwise a
+#    stale probe (renamed member, moved header) would "fail to compile"
+#    for the wrong reason and the gate would pass vacuously.
+if ! "${cxx}" "${flags[@]}" 2>/tmp/tsa_probe_plain.err; then
+  echo "[tsa-gate] probe does not compile even without -Werror=thread-safety;" >&2
+  echo "[tsa-gate] it has bit-rotted and no longer tests the annotations:" >&2
+  cat /tmp/tsa_probe_plain.err >&2
+  exit 1
+fi
+
+# 2) With the analysis promoted to errors the probe must be rejected.
+if "${cxx}" -Wthread-safety -Werror=thread-safety "${flags[@]}" \
+    2>/tmp/tsa_probe_strict.err; then
+  echo "[tsa-gate] FAIL: the unguarded-access probe compiled under" >&2
+  echo "[tsa-gate] -Werror=thread-safety. The GUARDED_BY annotations in" >&2
+  echo "[tsa-gate] src/obs/metrics.hpp are missing or inert." >&2
+  exit 1
+fi
+if ! grep -q "thread-safety" /tmp/tsa_probe_strict.err; then
+  echo "[tsa-gate] FAIL: probe was rejected, but not by the thread-safety" >&2
+  echo "[tsa-gate] analysis:" >&2
+  cat /tmp/tsa_probe_strict.err >&2
+  exit 1
+fi
+
+echo "[tsa-gate] OK: annotations are load-bearing (probe rejected by" \
+     "thread-safety analysis)"

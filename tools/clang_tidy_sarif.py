@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Convert clang-tidy text output into a SARIF 2.1.0 document.
+
+clang-tidy has no native SARIF emitter in the versions we target, so
+tools/lint.sh tees its stdout into this converter to get the diagnostics
+into the same code-scanning pipeline as tools/leosim_lint.py.
+
+Input (stdin or --input): the familiar diagnostic lines
+
+    src/core/parallel.cpp:42:7: warning: message text [check-name]
+
+Notes (`note:`) attach context to the preceding warning and are folded
+into that result as related locations rather than emitted as findings.
+Warnings repeated because a header is seen from several TUs are deduped
+on (path, line, column, check, message). Paths are rewritten relative to
+--root so the SARIF is stable across checkouts.
+
+Usage:
+    clang-tidy ... | tools/clang_tidy_sarif.py --root . --output tidy.sarif
+Exit 0 always (the converter reports, the caller decides pass/fail).
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import re
+import sys
+from pathlib import Path
+
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+# path:line:col: severity: message [check,names]
+DIAG_RE = re.compile(
+    r"^(?P<path>[^\s:][^:]*):(?P<line>\d+):(?P<col>\d+): "
+    r"(?P<severity>error|warning|note): (?P<message>.*?)"
+    r"(?: \[(?P<checks>[^\[\]]+)\])?$"
+)
+
+LEVEL_FOR = {"error": "error", "warning": "warning", "note": "note"}
+
+
+def _relative_uri(raw_path: str, root: Path) -> str:
+    path = Path(raw_path)
+    if path.is_absolute():
+        try:
+            path = path.resolve().relative_to(root)
+        except ValueError:
+            pass  # outside the repo (system header) — keep absolute
+    return path.as_posix()
+
+
+def parse_diagnostics(lines, root: Path) -> list[dict]:
+    """Returns deduped diagnostics; notes fold into the prior warning."""
+    diags: list[dict] = []
+    seen: set[tuple] = set()
+    current: dict | None = None
+    for line in lines:
+        match = DIAG_RE.match(line.rstrip("\n"))
+        if match is None:
+            continue
+        severity = match.group("severity")
+        uri = _relative_uri(match.group("path"), root)
+        entry = {
+            "uri": uri,
+            "line": int(match.group("line")),
+            "col": int(match.group("col")),
+            "message": match.group("message"),
+        }
+        if severity == "note":
+            if current is not None:
+                current["notes"].append(entry)
+            continue
+        checks = match.group("checks") or "clang-diagnostic"
+        # A diagnostic can carry several checks ("a,b"); the first one is
+        # the canonical rule id.
+        rule = checks.split(",")[0].strip()
+        key = (uri, entry["line"], entry["col"], rule, entry["message"])
+        if key in seen:
+            current = None
+            continue
+        seen.add(key)
+        current = {**entry, "level": LEVEL_FOR[severity], "rule": rule,
+                   "notes": []}
+        diags.append(current)
+    return diags
+
+
+def to_sarif(diags: list[dict]) -> dict:
+    rule_ids = sorted({d["rule"] for d in diags})
+    rule_index = {rule: i for i, rule in enumerate(rule_ids)}
+    results = []
+    for d in diags:
+        fingerprint = hashlib.sha256(
+            f"{d['rule']}|{d['uri']}|{d['message']}".encode()
+        ).hexdigest()[:24]
+        result = {
+            "ruleId": d["rule"],
+            "ruleIndex": rule_index[d["rule"]],
+            "level": d["level"],
+            "message": {"text": d["message"]},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": d["uri"],
+                                         "uriBaseId": "SRCROOT"},
+                    "region": {"startLine": d["line"],
+                               "startColumn": d["col"]},
+                },
+            }],
+            "partialFingerprints": {"clangTidy/v1": fingerprint},
+        }
+        if d["notes"]:
+            result["relatedLocations"] = [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": n["uri"],
+                                         "uriBaseId": "SRCROOT"},
+                    "region": {"startLine": n["line"],
+                               "startColumn": n["col"]},
+                },
+                "message": {"text": n["message"]},
+            } for n in d["notes"]]
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "clang-tidy",
+                "informationUri": "https://clang.llvm.org/extra/clang-tidy/",
+                "rules": [{"id": rule} for rule in rule_ids],
+            }},
+            "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+            "results": results,
+        }],
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--input", type=Path, default=None,
+                        help="clang-tidy output file (default: stdin)")
+    parser.add_argument("--output", type=Path, required=True,
+                        help="where to write the SARIF document")
+    parser.add_argument("--root", type=Path, default=Path("."),
+                        help="repo root for relativising paths")
+    args = parser.parse_args()
+
+    if args.input is not None:
+        lines = args.input.read_text().splitlines()
+    else:
+        lines = sys.stdin.read().splitlines()
+    diags = parse_diagnostics(lines, args.root.resolve())
+    doc = to_sarif(diags)
+    args.output.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"[clang_tidy_sarif] wrote {len(doc['runs'][0]['results'])} "
+          f"result(s) to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
