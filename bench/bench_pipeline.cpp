@@ -12,11 +12,14 @@
 // the CI perf-smoke job; refresh it (same flags, quiet machine) whenever
 // a PR intentionally moves these numbers.
 #include <cstdio>
+#include <thread>
 
 #include "bench_common.hpp"
 #include "core/churn_study.hpp"
 #include "core/latency_study.hpp"
+#include "core/parallel.hpp"
 #include "core/scenario.hpp"
+#include "core/snapshot_stepper.hpp"
 #include "flow/flow_network.hpp"
 #include "flow/maxmin.hpp"
 #include "geo/geodesic.hpp"
@@ -77,6 +80,13 @@ int main(int argc, char** argv) {
   suite.AddConfig("pairs", std::to_string(pairs.size()));
   suite.AddConfig("relay_spacing_deg", std::to_string(config.relay_spacing_deg));
   suite.AddConfig("snapshots", std::to_string(config.num_snapshots));
+  // Machine context: records tracked in git get compared across checkouts,
+  // and a number taken on a 4-core box is not comparable to one from CI's
+  // single vCPU. host_cores is the hardware; threads is what the sweeps
+  // actually used after LEOSIM_THREADS resolution (see parallel.hpp).
+  suite.AddConfig("host_cores",
+                  std::to_string(std::thread::hardware_concurrency()));
+  suite.AddConfig("threads", std::to_string(core::DefaultWorkerCount()));
 
   // 1. Snapshot construction at rolling times (graph + ECEF + index + edges).
   {
@@ -86,6 +96,29 @@ int main(int argc, char** argv) {
         const core::NetworkModel::Snapshot snap = hybrid.BuildSnapshot(t);
         t += 300.0;
         (void)snap;
+      }
+    });
+  }
+
+  // 1b. Incremental snapshot stepping at fine (10 s) spacing: the same
+  //     pipeline as snapshot_build but advancing a warm workspace through
+  //     the margin-tracked visibility filter and CSR patching instead of
+  //     rebuilding. Uses a no-aircraft model — dynamic nodes force full
+  //     rebuilds, and the stepper refuses them (see snapshot_stepper.hpp).
+  core::NetworkOptions stepped_options =
+      bench::MakeOptions(config, core::ConnectivityMode::kHybrid);
+  stepped_options.use_aircraft = false;
+  const core::NetworkModel stepped_model(scenario, stepped_options, cities);
+  {
+    core::NetworkModel::SnapshotWorkspace ws;
+    core::SnapshotStepper stepper;
+    double t = 0.0;
+    // Warm build + prime outside the timed region; each op is one step.
+    core::BuildOrStepSnapshot(stepped_model, t, &ws, &stepper);
+    suite.Run("snapshot_step", 5, 16, [&] {
+      for (int i = 0; i < 16; ++i) {
+        t += 10.0;
+        core::BuildOrStepSnapshot(stepped_model, t, &ws, &stepper);
       }
     });
   }
@@ -157,6 +190,21 @@ int main(int argc, char** argv) {
     suite.Run("temporal_sweep", 3, 1, [&] {
       const core::AggregateChurn churn =
           core::RunAggregateChurnStudy(hybrid, pairs, schedule);
+      (void)churn;
+    });
+  }
+
+  // 5b. The same sweep at stepping-fine spacing (10 s slots): with
+  //     workers claiming mostly-adjacent slots, almost every snapshot
+  //     comes from the incremental path, so this is the end-to-end win
+  //     the stepper buys for paper-scale fine sweeps.
+  {
+    core::SnapshotSchedule fine;
+    fine.step_sec = 10.0;
+    fine.duration_sec = 10.0 * 60.0;  // 60 slots
+    suite.Run("temporal_sweep_fine", 3, 1, [&] {
+      const core::AggregateChurn churn =
+          core::RunAggregateChurnStudy(stepped_model, pairs, fine);
       (void)churn;
     });
   }

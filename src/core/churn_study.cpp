@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "core/report.hpp"
+#include "core/snapshot_stepper.hpp"
 #include "core/temporal_sweep.hpp"
 #include "graph/components.hpp"
 #include "graph/dijkstra.hpp"
@@ -127,7 +128,7 @@ std::vector<SlotRoutes> SweepRoutes(const NetworkModel& model,
   const TemporalSweep sweep(times);
   sweep.Run(label, [&](const SweepItem& item, SweepWorkspace& ws) {
     const NetworkModel::Snapshot& snap =
-        model.BuildSnapshot(item.time_sec, &ws.snapshot);
+        BuildOrStepSnapshot(model, item.time_sec, &ws.snapshot, &ws.stepper);
     RouteSlotPaths(snap, pairs, groups, &slots[static_cast<size_t>(item.slot)],
                    &ws);
   });

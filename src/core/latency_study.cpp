@@ -6,6 +6,7 @@
 #include <string>
 
 #include "core/report.hpp"
+#include "core/snapshot_stepper.hpp"
 #include "core/stats.hpp"
 #include "core/temporal_sweep.hpp"
 #include "geo/coordinates.hpp"
@@ -230,8 +231,12 @@ LatencyStudyResult RunLatencyStudy(const NetworkModel& bp_model,
   if (shared_build) {
     const TemporalSweep sweep(result.snapshot_times, 1);
     sweep.Run("latency", [&](const SweepItem& item, SweepWorkspace& ws) {
-      NetworkModel::Snapshot& snap =
-          hybrid_model.BuildSnapshot(item.time_sec, &ws.snapshot);
+      // Fine-spaced slots advance the previous snapshot incrementally
+      // (bit-identical to a rebuild); the ISL masking below composes with
+      // stepping because the next step rewrites every ISL weight, which
+      // re-enables the edge.
+      NetworkModel::Snapshot& snap = BuildOrStepSnapshot(
+          hybrid_model, item.time_sec, &ws.snapshot, &ws.stepper);
       const size_t slot = static_cast<size_t>(item.slot);
       RouteSlotRtts(snap, slot, pairs, groups, &result.hybrid, &ws);
       for (const graph::EdgeId e : snap.isl_edges) {
@@ -249,6 +254,9 @@ LatencyStudyResult RunLatencyStudy(const NetworkModel& bp_model,
       const NetworkModel& model = item.stream == 0 ? bp_model : hybrid_model;
       std::vector<PairRttSeries>* series =
           item.stream == 0 ? &result.bp : &result.hybrid;
+      // No stepping here: a worker's successive items alternate between
+      // the two models, so a single stepper would re-prime every item
+      // and never get to step.
       const NetworkModel::Snapshot& snap =
           model.BuildSnapshot(item.time_sec, &ws.snapshot);
       RouteSlotRtts(snap, static_cast<size_t>(item.slot), pairs, groups, series,

@@ -27,6 +27,8 @@
 
 namespace leosim::core {
 
+class SnapshotStepper;
+
 enum class ConnectivityMode { kBentPipe, kHybrid, kIslOnly };
 
 std::string_view ToString(ConnectivityMode mode);
@@ -101,6 +103,7 @@ class NetworkModel {
 
    private:
     friend class NetworkModel;
+    friend class SnapshotStepper;
     // One ground terminal that can see `sat` (flat, counting-sorted into
     // satellite-major order to apply per-satellite beam budgets).
     struct RadioCandidate {
@@ -154,6 +157,8 @@ class NetworkModel {
                                      graph::NodeId node) const;
 
  private:
+  friend class SnapshotStepper;
+
   void Initialise();
 
   Scenario scenario_;

@@ -1,0 +1,233 @@
+// Incremental snapshot time stepping.
+//
+// Rebuilding a snapshot from scratch costs ~5 ms; between close-spaced
+// slots almost everything persists — satellites move a few tens of km,
+// nearly every visibility edge survives, and only the edge weights and a
+// small add/remove delta change. SnapshotStepper exploits that temporal
+// coherence: it advances the satellite ECEF state in place inside an
+// existing SnapshotWorkspace and patches the graph's CSR adjacency
+// (graph::Graph patch mode) instead of rebuilding it.
+//
+// Correctness bar: a stepped snapshot is *bit-identical* to a full
+// rebuild at the same time — node positions, per-row adjacency (to,
+// weight) sequences, and therefore every Dijkstra relaxation and route.
+// Three mechanisms make that hold:
+//
+//   1. Visibility decisions always evaluate the exact expression
+//      link::IsVisible uses (dot(g, s-g) >= sin(min_el)|g| * |s-g|).
+//      Pairs with a live edge are re-evaluated every step — the weight
+//      refresh needs |s-g| anyway, so the exact test is almost free on
+//      top. Invisible pairs are throttled by a conservative *distance
+//      window*. For a satellite at orbital radius r and a terminal at
+//      radius g, the exact visibility inequality rewrites (via
+//      g.d = (r^2 - g^2 - dn^2)/2) to a pure slant-range condition
+//      dn <= d_vis(r, g) = sqrt(g^2 sin^2(el) + r^2 - g^2) - g sin(el),
+//      so "dn > d_vis + 1 km pad" certifies invisibility per pair, not
+//      just in aggregate. The slant distance dn(t) has radial rate
+//      v_r = d.v_rel/dn and curvature bounded below by -A (A = the
+//      worst-case ECEF satellite acceleration; the geometric term
+//      (|v_rel|^2 - v_r^2)/dn is nonnegative), so
+//      dn(t0+t) >= dn + v_r t - A t^2 / 2 for every t, and a pair with
+//      dn > d_vis stays invisible while that parabola clears d_vis —
+//      the window [t0 + (v_r - q)/A, t0 + (v_r + q)/A] with
+//      q = sqrt(v_r^2 + 2 A (dn - d_vis)). Receding pairs get windows
+//      of many minutes. Pairs inside the 1 km pad band (no distance
+//      surplus left) fall back to a window on the visibility *margin*
+//      m = sin(el)|g| |s-g| - g.(s-g), which is positive for every
+//      invisible pair, has an exactly measurable rate, and curvature
+//      bounded by (sin(el)|g| + |g|) A — so even grazing geometries
+//      are touched a handful of times per pass instead of every step.
+//   2. Candidate pairs are tracked per satellite as the terminals within
+//      an *activation radius* (coverage + 100 km + pad) of the
+//      sub-satellite point, queried from a static-terminal spatial grid.
+//      While the satellite drifts less than the pad from the list's
+//      anchor, any untracked terminal is beyond coverage + 100 km and
+//      hence invisible — the same +100 km invariant the builder's
+//      satellite index relies on. Drifting past the pad triggers a
+//      rescan (~every 80 s per satellite at LEO speeds).
+//   3. Graph edges carry canonical order keys (satellite-major, then
+//      terminal; ISLs after all radio edges) so patched rows keep the
+//      exact half-edge order a fresh build produces, even though EdgeIds
+//      are recycled.
+//
+// TemporalSweep-style loops use BuildOrStepSnapshot: fine spacings step,
+// coarse spacings (gap > kMaxStepGapSec) fall back to full rebuilds.
+// Priming is O(1); all heavy initialisation is deferred to the first
+// successful TryStep so coarse sweeps pay nothing.
+//
+// Environment knobs: LEOSIM_STEP=0 disables stepping (every call falls
+// back to a full rebuild); LEOSIM_STEP_CHECK=1 cross-checks every step
+// against a full rebuild and throws on any divergence (the exhaustive
+// self-verification mode used by tests).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/network_builder.hpp"
+#include "geo/vec3.hpp"
+#include "graph/graph.hpp"
+#include "link/visibility.hpp"
+
+namespace leosim::core {
+
+class SnapshotStepper {
+ public:
+  // Steps are only attempted when the target time is within this many
+  // seconds of the current snapshot; larger gaps rebuild from scratch
+  // (stepping stays correct at any gap, but loses its advantage).
+  static constexpr double kMaxStepGapSec = 120.0;
+
+  SnapshotStepper() = default;
+
+  // Records the snapshot just built into `workspace` at `time_sec` as
+  // the stepping base. O(1): the heavy state (terminal grid, patch-mode
+  // entry, per-pair distance windows) is initialised lazily on the first
+  // successful TryStep, so priming inside a coarse sweep costs nothing.
+  // Any prior stepping state is discarded (the fresh build reset the
+  // graph).
+  void Prime(const NetworkModel& model, double time_sec,
+             NetworkModel::SnapshotWorkspace* workspace);
+
+  // Advances the primed workspace's snapshot in place to `time_sec` and
+  // returns it, or returns nullptr when stepping does not apply: not
+  // primed, primed for a different model/workspace, the model uses
+  // features the stepper cannot reproduce (aircraft, GSO exclusion,
+  // beam budgets), the time gap exceeds kMaxStepGapSec, or stepping is
+  // disabled via LEOSIM_STEP=0.
+  NetworkModel::Snapshot* TryStep(const NetworkModel& model, double time_sec,
+                                  NetworkModel::SnapshotWorkspace* workspace);
+
+  // True once the lazy initialisation has run (useful in tests).
+  bool Warm() const { return warm_; }
+
+  // LEOSIM_STEP != "0" (stepping on by default).
+  static bool StepEnabled();
+  // LEOSIM_STEP_CHECK == "1" (cross-check every step against a rebuild).
+  static bool CheckEnabled();
+
+ private:
+  // Candidate pairs are split into two per-satellite lists: live pairs
+  // (visible, edge in the graph) are kept sorted by terminal node id
+  // and retested/reweighted every step; dormant pairs are guaranteed
+  // invisible while t_lo <= t <= t_hi (distance window) and are stored
+  // as a min-heap on t_hi — the next window to expire sits at the
+  // root, so a forward step pops exactly the expired windows and never
+  // scans the held ones. A step landing before a window opened (t <
+  // t_lo — backward steps only) is caught by the per-satellite
+  // dorm_lo_ bound and handled with a full scan. The window ends are
+  // floats rounded *inward* (the stored window is a subset of the true
+  // one), which keeps the hot dormant record at 12 bytes; an inverted
+  // window (t_lo > t_hi) never holds and forces a recheck.
+  struct LiveTrack {
+    int32_t terminal;  // graph node id of the ground terminal
+    graph::EdgeId edge;
+  };
+  struct DormTrack {
+    int32_t terminal;
+    float t_lo;
+    float t_hi;
+  };
+  // Heap order for the dormant lists: min-heap on expiry time.
+  static bool ExpiresLater(const DormTrack& x, const DormTrack& y) {
+    return x.t_hi > y.t_hi;
+  }
+  // Everything a retest needs about one terminal, packed into a single
+  // cache line so a window expiry costs one memory access: position,
+  // the exact-test threshold thr = sin(min_el)|g| (which doubles as the
+  // subtractive term of the boundary), the terminal part of the
+  // boundary discriminant — d_vis(r, g) = sqrt(r^2 + gs2mg2) - thr —
+  // and the curvature bound of the visibility margin (see MarginWindow).
+  struct alignas(64) TermData {
+    geo::Vec3 g;     // ECEF position (km)
+    double thr;      // sin(min_el) * |g|
+    double gs2mg2;   // g^2 sin^2(min_el) - g^2
+    double mb;       // margin curvature bound (thr + |g|) a_rel_max
+    double inv_mb;   // 1 / mb (0 when mb is unusable)
+  };
+
+  static bool CanStep(const NetworkModel& model);
+  static DormTrack QuadWindow(int32_t terminal, double time_sec, double rate,
+                              double surplus, double accel, double inv_accel);
+  DormTrack MarginWindow(int32_t terminal, double time_sec,
+                         const TermData& td, const geo::Vec3& d,
+                         const geo::Vec3& vel, double dn, double gd) const;
+  void ColdInit();
+  void Step(double time_sec);
+  void Rescan(int sat, const geo::Vec3& pos);
+  void CrossCheck(double time_sec);
+
+  const NetworkModel* model_{nullptr};
+  NetworkModel::SnapshotWorkspace* ws_{nullptr};
+  double t_{0.0};
+  bool primed_{false};
+  bool can_step_{false};
+  bool warm_{false};
+
+  // Static per-model state built on first step.
+  int num_sats_{0};
+  int first_ground_{0};
+  int total_nodes_{0};
+  double activation_radius_km_{0.0};
+  double cos_pad_{1.0};        // anchor-drift rescan threshold (unit dot)
+  double a_rel_max_{0.0};      // max ECEF satellite acceleration, km/s^2
+  double inv_a_rel_{0.0};      // 1 / a_rel_max_
+  uint64_t isl_key_base_{0};
+  std::vector<TermData> terms_;          // static terminals, node-id order
+  std::vector<geo::Vec3> sat_vel_;       // per-step ECEF velocities (km/s)
+  std::vector<double> r2_km2_;           // per-satellite orbit radius, squared
+  link::SatelliteIndex ground_index_;    // grid over the static terminals
+  std::vector<std::vector<LiveTrack>> live_;  // per satellite, terminal-ascending
+  std::vector<std::vector<DormTrack>> dorm_;  // per satellite, t_hi min-heap
+  // Per satellite gate, read from a contiguous array so skipped
+  // satellites never touch their heap: dorm_hi_ caches the heap root's
+  // t_hi (the earliest expiry), dorm_lo_ a conservative max over every
+  // t_lo ever issued to the list (reset exactly on full scans and
+  // rescans). While dorm_lo_ <= time_sec <= dorm_hi_ every window in
+  // the list holds; time_sec < dorm_lo_ (backward steps) forces a full
+  // scan, time_sec > dorm_hi_ pops just the expired windows.
+  std::vector<float> dorm_lo_;
+  std::vector<float> dorm_hi_;
+  std::vector<geo::Vec3> anchors_;          // per-satellite rescan anchor (unit)
+  std::vector<uint64_t> edge_keys_;      // scratch for BeginPatchMode
+  std::vector<int> scan_;                // terminal-grid query buffer
+  // Step/Rescan scratch, kept to avoid per-step allocation.
+  // A pair that turned visible in the dormant phase, queued for the
+  // live phase of the same step (satellite-ascending by construction).
+  struct Birth {
+    int32_t sat;
+    LiveTrack lt;
+  };
+  std::vector<Birth> births_;
+  std::vector<LiveTrack> newly_live_;
+  std::vector<DormTrack> newly_dorm_;
+  std::vector<DormTrack> dorm_refresh_;
+  std::vector<LiveTrack> live_merge_;
+  std::vector<LiveTrack> rescan_live_;
+  std::vector<DormTrack> rescan_dorm_;
+  std::vector<DormTrack> rescan_sorted_;
+  std::unique_ptr<NetworkModel::SnapshotWorkspace> check_ws_;
+};
+
+// The drop-in replacement for model.BuildSnapshot in sweep loops: steps
+// when the stepper can, otherwise builds from scratch and re-primes the
+// stepper so the next nearby slot can step. Passing stepper == nullptr
+// degenerates to a plain build.
+NetworkModel::Snapshot& BuildOrStepSnapshot(const NetworkModel& model,
+                                            double time_sec,
+                                            NetworkModel::SnapshotWorkspace* workspace,
+                                            SnapshotStepper* stepper);
+
+// Structural bit-identity check used by the cross-check mode and the
+// property tests: node counts and positions (bitwise), aircraft
+// coordinates, per-node adjacency rows as (to, weight, capacity,
+// enabled) sequences, live edge counts, and the radio/ISL edge lists'
+// endpoint+weight sequences. EdgeIds are deliberately NOT compared —
+// stepping recycles ids; no consumer observes them. On mismatch returns
+// false and, when `why` is non-null, describes the first difference.
+bool SnapshotsEquivalent(const NetworkModel::Snapshot& a,
+                         const NetworkModel::Snapshot& b, std::string* why);
+
+}  // namespace leosim::core

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/network_builder.hpp"
+#include "core/snapshot_stepper.hpp"
 #include "core/traffic_matrix.hpp"
 #include "graph/dijkstra.hpp"
 #include "graph/sssp_tree.hpp"
@@ -35,6 +36,12 @@ namespace leosim::core {
 // multishell study's single- and dual-shell builds).
 struct SweepWorkspace {
   NetworkModel::SnapshotWorkspace snapshot;
+  // Incremental stepping state for bodies that build snapshots through
+  // BuildOrStepSnapshot: with dynamic slot claiming a worker's successive
+  // items are usually adjacent slots, so fine-spaced sweeps step far more
+  // often than they rebuild. Bodies that call BuildSnapshot directly
+  // simply leave it cold.
+  SnapshotStepper stepper;
   graph::DijkstraWorkspace dijkstra;
   graph::ShortestPathTree tree;
   // Generic study scratch: component labels + DFS stack for the

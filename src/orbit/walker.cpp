@@ -99,6 +99,26 @@ void Constellation::PositionsEcefInto(double seconds_since_epoch,
   }
 }
 
+void Constellation::VelocitiesEcefInto(double seconds_since_epoch,
+                                       std::vector<geo::Vec3>* out) const {
+  out->clear();
+  out->reserve(orbits_.size());
+  const double w = geo::kEarthRotationRadPerSec;
+  const double theta = w * seconds_since_epoch;
+  const double c = std::cos(theta);
+  const double s = std::sin(theta);
+  for (const CircularOrbit& orbit : orbits_) {
+    const geo::Vec3 p = orbit.PositionEci(seconds_since_epoch);
+    const geo::Vec3 v = orbit.VelocityEci(seconds_since_epoch);
+    // d/dt [R(theta) p] = R(theta) v + R'(theta) p, and R'(theta) p is
+    // w * (y_ecef, -x_ecef, 0) for this (earth-fixed) rotation sense.
+    const double xe = c * p.x + s * p.y;
+    const double ye = -s * p.x + c * p.y;
+    out->push_back(
+        {c * v.x + s * v.y + w * ye, -s * v.x + c * v.y - w * xe, v.z});
+  }
+}
+
 OrbitalShell StarlinkShell1() {
   OrbitalShell shell;
   shell.name = "starlink-s1";

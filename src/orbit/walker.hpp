@@ -83,6 +83,14 @@ class Constellation {
   void PositionsEcefInto(double seconds_since_epoch,
                          std::vector<geo::Vec3>* out) const;
 
+  // ECEF velocities (km/s) of all satellites: the time derivative of
+  // PositionsEcefInto — the rotated inertial velocity plus the frame
+  // term omega x r. Consumers (the snapshot stepper's visibility
+  // windows) use these as rate bounds, so exactness to the last bit is
+  // not required, only consistency with the positions.
+  void VelocitiesEcefInto(double seconds_since_epoch,
+                          std::vector<geo::Vec3>* out) const;
+
  private:
   std::vector<OrbitalShell> shells_;
   std::vector<int> shell_start_index_;

@@ -1,0 +1,209 @@
+// Unit tests for the graph's incremental patch mode: slack-padded CSR
+// rows ordered by caller-supplied keys, in-place add/remove/weight
+// mutations, EdgeId recycling through tombstones, and the row-overflow
+// recompaction path. The bit-identity contract these mechanics exist to
+// serve is exercised end to end in snapshot_step_property_test; here we
+// pin the row-level invariants directly.
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/dijkstra.hpp"
+
+namespace leosim::graph {
+namespace {
+
+// A fresh 5-node graph whose edges carry keys equal to their insertion
+// order — the simplest "fresh build position" key assignment.
+Graph PatchedPath(std::vector<uint64_t>* keys, int row_slack = 2) {
+  Graph g(5);
+  g.AddEdge(0, 1, 1.0, 10.0);
+  g.AddEdge(1, 2, 2.0, 10.0);
+  g.AddEdge(2, 3, 3.0, 10.0);
+  g.AddEdge(3, 4, 4.0, 10.0);
+  *keys = {0, 1, 2, 3};
+  g.BeginPatchMode(*keys, row_slack);
+  return g;
+}
+
+// Node n's row as (to, weight) pairs, the only thing traversal sees.
+std::vector<std::pair<NodeId, double>> Row(const Graph& g, NodeId n) {
+  std::vector<std::pair<NodeId, double>> row;
+  for (const HalfEdge& h : g.Neighbours(n)) {
+    row.emplace_back(h.to, h.weight);
+  }
+  return row;
+}
+
+TEST(GraphPatchTest, BeginPatchModeValidates) {
+  Graph g(3);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(1, 2, 1.0);
+  const std::vector<uint64_t> short_keys = {0};
+  EXPECT_THROW(g.BeginPatchMode(short_keys, 2), std::invalid_argument);
+  const std::vector<uint64_t> dup_keys = {7, 7};
+  EXPECT_THROW(g.BeginPatchMode(dup_keys, 2), std::invalid_argument);
+  const std::vector<uint64_t> keys = {0, 1};
+  EXPECT_THROW(g.BeginPatchMode(keys, -1), std::invalid_argument);
+  g.BeginPatchMode(keys, 2);
+  EXPECT_TRUE(g.InPatchMode());
+  // Plain AddEdge is the lazy-rebuild path; it is off limits in patch
+  // mode where the rows are authoritative.
+  EXPECT_THROW(g.AddEdge(0, 2, 1.0), std::logic_error);
+  // Reset leaves patch mode.
+  g.Reset(3);
+  EXPECT_FALSE(g.InPatchMode());
+}
+
+TEST(GraphPatchTest, RowsOrderedByKeyNotInsertionOrder) {
+  Graph g(3);
+  // Inserted out of key order: the 0-2 edge (key 5) arrives before the
+  // 0-1 edge (key 2). Patched rows must present key order.
+  g.AddEdge(0, 2, 9.0);
+  g.AddEdge(0, 1, 4.0);
+  const std::vector<uint64_t> keys = {5, 2};
+  g.BeginPatchMode(keys, 2);
+  const auto row = Row(g, 0);
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_EQ(row[0].first, 1);  // key 2 first
+  EXPECT_EQ(row[1].first, 2);  // key 5 second
+}
+
+TEST(GraphPatchTest, AddRemoveAndWeightMutateInPlace) {
+  std::vector<uint64_t> keys;
+  Graph g = PatchedPath(&keys);
+  EXPECT_EQ(g.NumLiveEdges(), 4);
+
+  // Splice a chord 1-3 between keys 1 and 2.
+  const EdgeId chord = g.PatchAddEdge(1, 3, 0.5, 10.0, /*order_key=*/10);
+  EXPECT_EQ(g.NumLiveEdges(), 5);
+  auto row1 = Row(g, 1);
+  ASSERT_EQ(row1.size(), 3u);
+  // Keys on node 1: edge 0-1 (0), edge 1-2 (1), chord (10).
+  EXPECT_EQ(row1[2].first, 3);
+  EXPECT_DOUBLE_EQ(row1[2].second, 0.5);
+
+  g.PatchEdgeWeight(chord, 0.25);
+  EXPECT_DOUBLE_EQ(Row(g, 1)[2].second, 0.25);
+  // Node 3's key order: 2-3 (key 2), 3-4 (key 3), chord (key 10).
+  EXPECT_DOUBLE_EQ(Row(g, 3)[2].second, 0.25);
+  EXPECT_DOUBLE_EQ(g.Edge(chord).weight, 0.25);
+
+  g.PatchRemoveEdge(chord);
+  EXPECT_EQ(g.NumLiveEdges(), 4);
+  EXPECT_TRUE(g.IsTombstone(chord));
+  EXPECT_EQ(Row(g, 1).size(), 2u);
+  EXPECT_EQ(Row(g, 3).size(), 2u);
+  EXPECT_THROW(g.PatchRemoveEdge(chord), std::logic_error);
+  EXPECT_THROW(g.PatchEdgeWeight(chord, 1.0), std::logic_error);
+  EXPECT_THROW(g.SetEnabled(chord, true), std::logic_error);
+
+  // The tombstoned id is recycled by the next add, and the recycled
+  // edge is fully live again.
+  const EdgeId recycled = g.PatchAddEdge(0, 4, 7.0, 10.0, /*order_key=*/11);
+  EXPECT_EQ(recycled, chord);
+  EXPECT_FALSE(g.IsTombstone(recycled));
+  EXPECT_EQ(g.NumLiveEdges(), 5);
+  EXPECT_EQ(g.NumEdges(), 5);  // no record growth
+  EXPECT_DOUBLE_EQ(Row(g, 4)[1].second, 7.0);
+}
+
+TEST(GraphPatchTest, RowOverflowTriggersCountedRecompaction) {
+  std::vector<uint64_t> keys;
+  Graph g = PatchedPath(&keys, /*row_slack=*/1);
+  EXPECT_EQ(g.PatchRecompactions(), 0u);
+  // Node 2 starts with 2 halves + 1 slack. Two adds overflow the row.
+  g.PatchAddEdge(2, 0, 1.0, 10.0, /*order_key=*/20);
+  EXPECT_EQ(g.PatchRecompactions(), 0u);
+  g.PatchAddEdge(2, 4, 1.0, 10.0, /*order_key=*/21);
+  EXPECT_GE(g.PatchRecompactions(), 1u);
+  // The recompacted graph is intact: rows still key-ordered, all live.
+  const auto row2 = Row(g, 2);
+  ASSERT_EQ(row2.size(), 4u);
+  EXPECT_EQ(row2[0].first, 1);
+  EXPECT_EQ(row2[1].first, 3);
+  EXPECT_EQ(row2[2].first, 0);
+  EXPECT_EQ(row2[3].first, 4);
+  EXPECT_EQ(g.NumLiveEdges(), 6);
+}
+
+TEST(GraphPatchTest, RecompactionPreservesPendingTombstonesAndFreeList) {
+  std::vector<uint64_t> keys;
+  Graph g = PatchedPath(&keys, /*row_slack=*/1);
+  // Every add recycles a freed id first, so a tombstone only survives to
+  // a compaction when removes outnumber adds: free three ids, then two
+  // adds that overflow node 4's row (1 half + 1 slack) mid-recycling.
+  g.PatchRemoveEdge(0);
+  g.PatchRemoveEdge(1);
+  g.PatchRemoveEdge(2);
+  g.PatchAddEdge(4, 0, 1.0, 10.0, /*order_key=*/30);
+  g.PatchAddEdge(4, 1, 1.0, 10.0, /*order_key=*/31);
+  EXPECT_GE(g.PatchRecompactions(), 1u);
+  EXPECT_EQ(g.NumLiveEdges(), 3);
+  EXPECT_EQ(g.NumEdges(), 4);  // exactly one record still tombstoned
+  int tombstoned = -1;
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    if (g.IsTombstone(e)) {
+      ASSERT_EQ(tombstoned, -1);
+      tombstoned = e;
+    }
+  }
+  ASSERT_NE(tombstoned, -1);
+  // The pending free id survives compaction and is still recycled.
+  const EdgeId recycled = g.PatchAddEdge(1, 2, 2.0, 10.0, /*order_key=*/1);
+  EXPECT_EQ(recycled, tombstoned);
+  EXPECT_EQ(g.NumLiveEdges(), 4);
+  EXPECT_EQ(g.NumEdges(), 4);
+}
+
+TEST(GraphPatchTest, SetEnabledAndEnableAllCoexistWithPatches) {
+  std::vector<uint64_t> keys;
+  Graph g = PatchedPath(&keys);
+  g.SetEnabled(2, false);
+  EXPECT_DOUBLE_EQ(Row(g, 2)[1].second, std::numeric_limits<double>::infinity());
+  g.PatchRemoveEdge(0);
+  g.EnableAllEdges();  // re-enables edge 2, skips the tombstone
+  EXPECT_DOUBLE_EQ(Row(g, 2)[1].second, 3.0);
+  EXPECT_TRUE(g.IsTombstone(0));
+  // PatchEdgeWeight re-enables a disabled edge, mirroring fresh AddEdge.
+  g.SetEnabled(3, false);
+  g.PatchEdgeWeight(3, 4.5);
+  EXPECT_TRUE(g.IsEnabled(3));
+  EXPECT_DOUBLE_EQ(Row(g, 4)[0].second, 4.5);
+}
+
+TEST(GraphPatchTest, DijkstraAgreesWithFreshBuildAfterPatching) {
+  // Mutate a patched graph into a target topology, then build the same
+  // topology from scratch with matching key order; routing must agree.
+  std::vector<uint64_t> keys;
+  Graph patched = PatchedPath(&keys);
+  patched.PatchRemoveEdge(2);                          // drop 2-3
+  patched.PatchAddEdge(0, 3, 2.5, 10.0, /*order_key=*/2);  // reuse key slot
+  patched.PatchEdgeWeight(1, 1.5);                     // reweight 1-2
+
+  Graph fresh(5);
+  fresh.AddEdge(0, 1, 1.0, 10.0);
+  fresh.AddEdge(1, 2, 1.5, 10.0);
+  fresh.AddEdge(0, 3, 2.5, 10.0);
+  fresh.AddEdge(3, 4, 4.0, 10.0);
+
+  DijkstraWorkspace wa;
+  DijkstraWorkspace wb;
+  for (NodeId dst = 1; dst < 5; ++dst) {
+    const auto pa = ShortestPath(patched, 0, dst, wa);
+    const auto pb = ShortestPath(fresh, 0, dst, wb);
+    ASSERT_EQ(pa.has_value(), pb.has_value()) << "dst " << dst;
+    if (pa.has_value()) {
+      EXPECT_DOUBLE_EQ(pa->distance, pb->distance) << "dst " << dst;
+      EXPECT_EQ(pa->nodes, pb->nodes) << "dst " << dst;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace leosim::graph

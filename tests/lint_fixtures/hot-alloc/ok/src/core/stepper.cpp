@@ -1,0 +1,23 @@
+#include <vector>
+
+// A *Stepper method reusing member capacity (clear before push) and a
+// reference alias to member-owned storage both satisfy the contract.
+class DeltaStepper {
+ public:
+  void Step(double t);
+
+ private:
+  std::vector<int> pending_;
+  std::vector<std::vector<int>> rows_;
+};
+
+void DeltaStepper::Step(double t) {
+  (void)t;
+  pending_.clear();
+  pending_.push_back(1);
+  auto& row = rows_[0];
+  row.push_back(2);
+}
+
+// Not a stepper method and no workspace parameter: cold path, exempt.
+void Accumulate(std::vector<int>& out) { out.push_back(3); }

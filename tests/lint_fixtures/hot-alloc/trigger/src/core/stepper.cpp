@@ -1,0 +1,16 @@
+#include <vector>
+
+// A *Stepper method is a hot path even without a *Workspace parameter:
+// the workspace it advances is a member.
+class DeltaStepper {
+ public:
+  void Step(double t);
+
+ private:
+  std::vector<int> pending_;
+};
+
+void DeltaStepper::Step(double t) {
+  (void)t;
+  pending_.push_back(1);  // growth in the hot path, no capacity reuse
+}

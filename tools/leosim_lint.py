@@ -56,8 +56,11 @@ Rules (each maps to a repo invariant documented in DESIGN.md):
   tsa-suppression No LEOSIM_NO_THREAD_SAFETY_ANALYSIS in src/ outside
                    the annotation/wrapper headers: the -Werror gate is
                    only meaningful if src/ carries zero suppressions.
-  hot-alloc       Functions taking a *Workspace parameter are the
-                   steady-state hot paths; inside them `new`
+  hot-alloc       Functions taking a *Workspace parameter, and every
+                   method of a *Stepper class (steppers advance a
+                   workspace held as a member, so their whole surface
+                   is the steady-state hot path), are the
+                   zero-steady-state-alloc paths; inside them `new`
                    expressions are forbidden and push_back/emplace_back
                    on a container requires a reserve/resize/clear of
                    that container in the same function (capacity reuse),
@@ -497,8 +500,10 @@ def check_tsa_suppression(ctx: LintContext) -> list[Finding]:
 
 
 # ---------------------------------------------------------------------------
-# hot-alloc: workspace-taking functions are the zero-steady-state-alloc
-# hot paths (DESIGN.md §7); allocation inside them defeats the contract.
+# hot-alloc: workspace-taking functions — and every method of a *Stepper
+# class, which advances a workspace held as a member rather than a
+# parameter — are the zero-steady-state-alloc hot paths (DESIGN.md §7);
+# allocation inside them defeats the contract.
 
 FUNC_BODY_OPEN_RE = re.compile(r"\)\s*(?:const\s*)?(?:noexcept\s*)?(?:->\s*[\w:<>,\s*&]+?\s*)?\{")
 CONTROL_KEYWORDS = {"if", "for", "while", "switch", "catch", "return", "sizeof",
@@ -512,7 +517,8 @@ PUSH_BACK_RE = re.compile(
 
 def _workspace_function_bodies(code: str):
     """Yields (body_start_index, body_text) for every function whose
-    parameter list mentions a *Workspace type."""
+    parameter list mentions a *Workspace type or whose qualified name
+    belongs to a *Stepper class (SnapshotStepper::Step and friends)."""
     pos = 0
     while True:
         m = FUNC_BODY_OPEN_RE.search(code, pos)
@@ -544,7 +550,9 @@ def _workspace_function_bodies(code: str):
         name = code[k + 1:name_end]
         if not name or name.split("::")[-1] in CONTROL_KEYWORDS:
             continue
-        if "Workspace" not in params:
+        stepper_method = any(
+            part.endswith("Stepper") for part in name.split("::")[:-1])
+        if "Workspace" not in params and not stepper_method:
             continue
         # Walk forward to the matching '}' of the body.
         depth, i = 1, m.end()
@@ -672,7 +680,7 @@ RULES: list[Rule] = [
          "no thread-safety-analysis suppressions in src/",
          check_tsa_suppression),
     Rule("hot-alloc",
-         "no allocation in workspace-taking hot-path functions",
+         "no allocation in workspace-taking or *Stepper hot-path functions",
          check_hot_alloc),
     Rule("self-contained",
          "every header compiles standalone", check_self_contained,

@@ -127,6 +127,17 @@ def diff_bench(base: dict, cur: dict, report: Report, threshold: float) -> None:
     base_medians = {r["name"]: r for r in base.get("results", [])}
     cur_medians = {r["name"]: r for r in cur.get("results", [])}
     report.section(f"bench medians (threshold {threshold:g}%)")
+    # Timings from different hardware or thread counts are not
+    # comparable; surface the mismatch instead of letting a "regression"
+    # row send someone hunting a phantom slowdown.
+    for key in ("host_cores", "threads"):
+        b = base.get("config", {}).get(key)
+        c = cur.get("config", {}).get(key)
+        if b is not None and c is not None and b != c:
+            report.note(
+                f"WARNING: cross-machine comparison ({key}: base {b}, "
+                f"now {c}) — timing deltas below are not meaningful"
+            )
     rows = []
     for name in sorted(set(base_medians) | set(cur_medians)):
         if name not in base_medians:
