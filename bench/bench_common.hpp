@@ -15,6 +15,11 @@
 //   --timeseries-out=F
 //                     enable per-snapshot timeseries recording, write the
 //                     sorted JSON export on exit
+//   --profile-out=F   run the sampling profiler, write collapsed-stack
+//                     text (flamegraph.pl/speedscope input) on exit
+//   --hw-counters=F   per-phase hardware counters (cycles, instructions,
+//                     cache/branch misses), written as JSON on exit;
+//                     degrades gracefully where perf_event_open is denied
 //   --progress[=SEC]  heartbeat progress lines every SEC seconds
 //                     (default 2; also via LEOSIM_PROGRESS)
 //
@@ -24,6 +29,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -38,6 +44,7 @@
 #include "data/city_catalog.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/progress.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
@@ -56,6 +63,8 @@ struct BenchConfig {
   std::string metrics_out;  // empty = no metrics export
   std::string trace_out;    // empty = tracing stays off
   std::string timeseries_out;  // empty = timeseries recording stays off
+  std::string profile_out;     // empty = sampling profiler stays off
+  std::string hw_counters_out;  // empty = hardware counters stay off
   double progress_interval_sec{0.0};  // <= 0 = leave LEOSIM_PROGRESS in charge
 };
 
@@ -87,6 +96,10 @@ inline BenchConfig ParseFlags(int argc, char** argv) {
       config.trace_out = v;
     } else if (const char* v = value_of("--timeseries-out=")) {
       config.timeseries_out = v;
+    } else if (const char* v = value_of("--profile-out=")) {
+      config.profile_out = v;
+    } else if (const char* v = value_of("--hw-counters=")) {
+      config.hw_counters_out = v;
     } else if (const char* v = value_of("--progress=")) {
       config.progress_interval_sec = std::atof(v);
     } else if (arg == "--progress") {
@@ -101,7 +114,8 @@ inline BenchConfig ParseFlags(int argc, char** argv) {
       std::printf(
           "flags: --pairs=N --cities=N --spacing=DEG --aircraft=SCALE "
           "--snapshots=N --step=SEC --full --log-level=L --metrics-out=F "
-          "--trace-out=F --timeseries-out=F --progress[=SEC]\n");
+          "--trace-out=F --timeseries-out=F --profile-out=F "
+          "--hw-counters=F --progress[=SEC]\n");
       std::exit(0);
     }
   }
@@ -119,6 +133,12 @@ inline void ApplyObsConfig(const BenchConfig& config) {
   }
   if (!config.timeseries_out.empty()) {
     obs::TimeseriesRecorder::Global().Enable(true);
+  }
+  if (!config.profile_out.empty()) {
+    obs::StartProfiling();
+  }
+  if (!config.hw_counters_out.empty()) {
+    obs::EnableHwCounters(true);
   }
   if (config.progress_interval_sec > 0.0) {
     obs::SetProgressInterval(config.progress_interval_sec);
@@ -147,6 +167,23 @@ inline void WriteObsOutputs(const BenchConfig& config) {
     } else {
       std::fprintf(stderr, "bench: cannot write %s\n",
                    config.timeseries_out.c_str());
+    }
+  }
+  if (!config.profile_out.empty()) {
+    obs::StopProfiling();
+    if (obs::WriteCollapsedStacks(config.profile_out)) {
+      std::printf("# wrote %s\n", config.profile_out.c_str());
+    } else {
+      std::fprintf(stderr, "bench: cannot write %s\n",
+                   config.profile_out.c_str());
+    }
+  }
+  if (!config.hw_counters_out.empty()) {
+    if (obs::WriteHwCountersJson(config.hw_counters_out)) {
+      std::printf("# wrote %s\n", config.hw_counters_out.c_str());
+    } else {
+      std::fprintf(stderr, "bench: cannot write %s\n",
+                   config.hw_counters_out.c_str());
     }
   }
 }
@@ -210,13 +247,18 @@ inline std::vector<core::CityPair> MakePairs(const BenchConfig& config,
 //     "results": [
 //       { "name": "<bench>", "reps": N, "iters_per_rep": M,
 //         "median_ns_per_op": X, "min_ns_per_op": Y, "max_ns_per_op": W,
-//         "ops_per_sec": Z },
+//         "mad_ns_per_op": D, "ops_per_sec": Z,
+//         "samples_ns": [S1, S2, ...] },
 //       ...
 //     ]
 //   }
 //
-// max_ns_per_op is schema-additive: older records without it stay valid,
-// and tooling keyed on median/min keeps working unchanged.
+// max_ns_per_op, mad_ns_per_op, and samples_ns are schema-additive:
+// older records without them stay valid, and tooling keyed on
+// median/min keeps working unchanged. samples_ns holds every rep's
+// ns/op in run order — the raw distribution obs_report.py feeds its
+// Mann-Whitney significance test; mad_ns_per_op is the median absolute
+// deviation, the matching robust spread estimate.
 struct BenchResult {
   std::string name;
   int reps{0};
@@ -224,7 +266,9 @@ struct BenchResult {
   double median_ns_per_op{0.0};
   double min_ns_per_op{0.0};
   double max_ns_per_op{0.0};
+  double mad_ns_per_op{0.0};
   double ops_per_sec{0.0};
+  std::vector<double> samples_ns;  // per-rep ns/op, run order
 };
 
 class BenchSuite {
@@ -249,18 +293,26 @@ class BenchSuite {
           std::chrono::duration<double, std::nano>(stop - start).count();
       ns_per_op[static_cast<size_t>(r)] = ns / static_cast<double>(iters_per_rep);
     }
-    std::sort(ns_per_op.begin(), ns_per_op.end());
     BenchResult result;
     result.name = bench_name;
     result.reps = reps;
     result.iters_per_rep = iters_per_rep;
+    result.samples_ns = ns_per_op;  // run order, before the stats sort
+    std::sort(ns_per_op.begin(), ns_per_op.end());
     result.min_ns_per_op = ns_per_op.front();
     result.max_ns_per_op = ns_per_op.back();
-    const size_t mid = ns_per_op.size() / 2;
-    result.median_ns_per_op =
-        ns_per_op.size() % 2 == 1
-            ? ns_per_op[mid]
-            : 0.5 * (ns_per_op[mid - 1] + ns_per_op[mid]);
+    const auto median_of = [](std::vector<double>& sorted) {
+      const size_t mid = sorted.size() / 2;
+      return sorted.size() % 2 == 1 ? sorted[mid]
+                                    : 0.5 * (sorted[mid - 1] + sorted[mid]);
+    };
+    result.median_ns_per_op = median_of(ns_per_op);
+    std::vector<double> deviations(ns_per_op.size());
+    for (size_t i = 0; i < ns_per_op.size(); ++i) {
+      deviations[i] = std::abs(ns_per_op[i] - result.median_ns_per_op);
+    }
+    std::sort(deviations.begin(), deviations.end());
+    result.mad_ns_per_op = median_of(deviations);
     result.ops_per_sec =
         result.median_ns_per_op > 0.0 ? 1e9 / result.median_ns_per_op : 0.0;
     std::printf(
@@ -291,10 +343,16 @@ class BenchSuite {
                    "%s\n    { \"name\": \"%s\", \"reps\": %d, "
                    "\"iters_per_rep\": %lld, \"median_ns_per_op\": %.1f, "
                    "\"min_ns_per_op\": %.1f, \"max_ns_per_op\": %.1f, "
-                   "\"ops_per_sec\": %.1f }",
+                   "\"mad_ns_per_op\": %.1f, \"ops_per_sec\": %.1f, "
+                   "\"samples_ns\": [",
                    i == 0 ? "" : ",", r.name.c_str(), r.reps,
                    static_cast<long long>(r.iters_per_rep), r.median_ns_per_op,
-                   r.min_ns_per_op, r.max_ns_per_op, r.ops_per_sec);
+                   r.min_ns_per_op, r.max_ns_per_op, r.mad_ns_per_op,
+                   r.ops_per_sec);
+      for (size_t s = 0; s < r.samples_ns.size(); ++s) {
+        std::fprintf(f, "%s%.1f", s == 0 ? "" : ", ", r.samples_ns[s]);
+      }
+      std::fprintf(f, "] }");
     }
     std::fprintf(f, "\n  ]\n}\n");
     std::fclose(f);

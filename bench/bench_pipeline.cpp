@@ -175,7 +175,7 @@ int main(int argc, char** argv) {
   //    and every pair's shortest path at every timestep.
   {
     const core::SnapshotSchedule schedule = bench::MakeSchedule(config);
-    suite.Run("latency_study_e2e", 3, 1, [&] {
+    suite.Run("latency_study_e2e", 5, 1, [&] {
       const core::LatencyStudyResult result =
           core::RunLatencyStudy(bent_pipe, hybrid, pairs, schedule);
       (void)result;
@@ -187,7 +187,7 @@ int main(int argc, char** argv) {
   //    reuse, and the one-to-many route batching in one number.
   {
     const core::SnapshotSchedule schedule = bench::MakeSchedule(config);
-    suite.Run("temporal_sweep", 3, 1, [&] {
+    suite.Run("temporal_sweep", 5, 1, [&] {
       const core::AggregateChurn churn =
           core::RunAggregateChurnStudy(hybrid, pairs, schedule);
       (void)churn;
@@ -202,7 +202,7 @@ int main(int argc, char** argv) {
     core::SnapshotSchedule fine;
     fine.step_sec = 10.0;
     fine.duration_sec = 10.0 * 60.0;  // 60 slots
-    suite.Run("temporal_sweep_fine", 3, 1, [&] {
+    suite.Run("temporal_sweep_fine", 5, 1, [&] {
       const core::AggregateChurn churn =
           core::RunAggregateChurnStudy(stepped_model, pairs, fine);
       (void)churn;

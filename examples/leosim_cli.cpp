@@ -30,8 +30,10 @@
 #include "graph/dijkstra.hpp"
 #include "itur/slant_path.hpp"
 #include "link/visibility.hpp"
+#include "obs/flight.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/progress.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
@@ -52,7 +54,8 @@ int Usage() {
       "                [--spacing=DEG] [--manifest-out=F]\n"
       "                                 run a small BP-vs-hybrid latency study\n"
       "global flags: --log-level=L --metrics-out=F --trace-out=F\n"
-      "              --timeseries-out=F --progress[=SEC]\n");
+      "              --timeseries-out=F --profile-out=F --hw-counters=F\n"
+      "              --flight-recorder[=F] --progress[=SEC]\n");
   return 2;
 }
 
@@ -280,6 +283,8 @@ int main(int argc, char** argv) {
   std::string metrics_out;
   std::string trace_out;
   std::string timeseries_out;
+  std::string profile_out;
+  std::string hw_counters_out;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -297,6 +302,18 @@ int main(int argc, char** argv) {
     } else if (const char* v = value_of("--timeseries-out=")) {
       timeseries_out = v;
       obs::TimeseriesRecorder::Global().Enable(true);
+    } else if (const char* v = value_of("--profile-out=")) {
+      profile_out = v;
+      obs::StartProfiling();
+    } else if (const char* v = value_of("--hw-counters=")) {
+      hw_counters_out = v;
+      obs::EnableHwCounters(true);
+    } else if (const char* v = value_of("--flight-recorder=")) {
+      obs::FlightRecorderOptions flight;
+      flight.dump_path = v;
+      obs::EnableFlightRecorder(flight);
+    } else if (arg == "--flight-recorder") {
+      obs::EnableFlightRecorder();
     } else if (const char* v = value_of("--progress=")) {
       obs::SetProgressInterval(std::atof(v));
     } else if (arg == "--progress") {
@@ -348,6 +365,23 @@ int main(int argc, char** argv) {
       std::printf("wrote %s\n", timeseries_out.c_str());
     } else {
       std::fprintf(stderr, "cannot write %s\n", timeseries_out.c_str());
+      rc = rc == 0 ? 1 : rc;
+    }
+  }
+  if (!profile_out.empty()) {
+    obs::StopProfiling();
+    if (obs::WriteCollapsedStacks(profile_out)) {
+      std::printf("wrote %s\n", profile_out.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", profile_out.c_str());
+      rc = rc == 0 ? 1 : rc;
+    }
+  }
+  if (!hw_counters_out.empty()) {
+    if (obs::WriteHwCountersJson(hw_counters_out)) {
+      std::printf("wrote %s\n", hw_counters_out.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", hw_counters_out.c_str());
       rc = rc == 0 ? 1 : rc;
     }
   }

@@ -92,6 +92,9 @@ void ParallelForWorkers(int count,
   if (workers == 1) {
     const obs::Span span("parallel.run");
     const obs::ScopedShard pin(0);
+    // Same root frame the threaded path gives each worker, so profiles
+    // look alike at every worker count.
+    const obs::Span worker_span("parallel.worker");
     for (int i = 0; i < count; ++i) {
       body(0, i);
     }
@@ -118,6 +121,10 @@ void ParallelForWorkers(int count,
       // hot-loop counter increments from distinct workers never share a
       // cache line.
       const obs::ScopedShard pin(w);
+      // Root frame for the sampling profiler: spans opened by `body`
+      // nest under it, so worker activity is attributable in collapsed
+      // stacks even when the body opens no span of its own.
+      const obs::Span worker_span("parallel.worker");
       const auto worker_start = std::chrono::steady_clock::now();
       while (!stop.load(std::memory_order_relaxed)) {
         const int i = next.fetch_add(1);

@@ -58,6 +58,14 @@ struct StepMetrics {
       obs::MetricsRegistry::Global().GetCounter("snapshot.step.pairs_retested");
   obs::Counter& recompact =
       obs::MetricsRegistry::Global().GetCounter("snapshot.step.recompact");
+  obs::Counter& windows_expired = obs::MetricsRegistry::Global().GetCounter(
+      "snapshot.step.windows_expired");
+  // Post-step population of the two tracking lists — the dormancy
+  // balance the windowing exists to maintain.
+  obs::Gauge& live_pairs =
+      obs::MetricsRegistry::Global().GetGauge("snapshot.step.live_pairs");
+  obs::Gauge& dormant_pairs =
+      obs::MetricsRegistry::Global().GetGauge("snapshot.step.dormant_pairs");
   obs::Histogram& step_us = PhaseHistogram("snapshot.step_us");
 
   static StepMetrics& Get() {
@@ -382,6 +390,7 @@ void SnapshotStepper::Step(double time_sec) {
   uint64_t tracked = 0;
   uint64_t added = 0;
   uint64_t removed = 0;
+  uint64_t expired = 0;
   // Same propagation call as the builder — positions are bit-identical.
   model.constellation_.PositionsEcefInto(time_sec, &ws_->sat_ecef);
   const std::vector<geo::Vec3>& sat_ecef = ws_->sat_ecef;
@@ -497,6 +506,7 @@ void SnapshotStepper::Step(double time_sec) {
         dorm_refresh_.push_back(dorm.back());
         dorm.pop_back();
       }
+      expired += dorm_refresh_.size();
       float lo = dorm_lo_[static_cast<size_t>(s)];
       for (const DormTrack dt : dorm_refresh_) {
         refresh(dt, lo, /*heaped=*/true);
@@ -653,6 +663,16 @@ void SnapshotStepper::Step(double time_sec) {
   metrics.edges_removed.Add(removed);
   metrics.pairs_retested.Add(retested);
   metrics.recompact.Add(graph.PatchRecompactions() - recompact_before);
+  metrics.windows_expired.Add(expired);
+  // Post-step list populations: O(num_sats) size sums, no allocation.
+  uint64_t live_pairs = 0;
+  uint64_t dormant_pairs = 0;
+  for (int s = 0; s < num_sats_; ++s) {
+    live_pairs += live_[static_cast<size_t>(s)].size();
+    dormant_pairs += dorm_[static_cast<size_t>(s)].size();
+  }
+  metrics.live_pairs.Set(static_cast<double>(live_pairs));
+  metrics.dormant_pairs.Set(static_cast<double>(dormant_pairs));
   obs::TimeseriesRecorder& timeseries = obs::TimeseriesRecorder::Global();
   if (timeseries.Enabled()) {
     timeseries.Record(time_sec, "snapshot.step.edges_added",
@@ -661,13 +681,18 @@ void SnapshotStepper::Step(double time_sec) {
                       static_cast<double>(removed));
     timeseries.Record(time_sec, "snapshot.step.pairs_retested",
                       static_cast<double>(retested));
+    timeseries.Record(time_sec, "snapshot.step.windows_expired",
+                      static_cast<double>(expired));
   }
   obs::LogDebug("snapshot.step")
       .Field("t_sec", time_sec)
       .Field("edges_added", added)
       .Field("edges_removed", removed)
       .Field("pairs_retested", retested)
-      .Field("pairs_tracked", tracked);
+      .Field("windows_expired", expired)
+      .Field("pairs_tracked", tracked)
+      .Field("live_pairs", live_pairs)
+      .Field("dormant_pairs", dormant_pairs);
 }
 
 void SnapshotStepper::CrossCheck(double time_sec) {

@@ -1,0 +1,243 @@
+#include "obs/flight.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "core/mutex.hpp"
+#include "core/thread_annotations.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+
+namespace leosim::obs {
+
+namespace detail {
+
+std::atomic<bool> g_flight_enabled{false};
+
+namespace {
+
+struct FlightEntry {
+  uint32_t len = 0;
+  char text[kFlightLineBytes];
+};
+
+// The ring proper. Writers (the logging path) serialize on `mutex`;
+// the crash handler reads `entries`/`capacity`/`next_seq` through the
+// atomics without locking. `next_seq` counts lines ever recorded; slot
+// = seq % capacity, so dropped = max(0, next_seq - capacity).
+struct FlightRing {
+  Mutex mutex;
+  std::atomic<FlightEntry*> entries{nullptr};
+  std::atomic<uint64_t> capacity{0};
+  std::atomic<uint64_t> next_seq{0};
+};
+
+FlightRing& Ring() {
+  static FlightRing* ring = new FlightRing();  // never destroyed: the
+  // crash handler may fire past static destruction order.
+  return *ring;
+}
+
+// Crash dump destination, opened at enable time. -1 = stderr.
+std::atomic<int> g_dump_fd{-1};
+
+struct HandlerState {
+  Mutex mutex;
+  bool installed LEOSIM_GUARDED_BY(mutex) = false;
+  struct sigaction old_segv LEOSIM_GUARDED_BY(mutex) = {};
+  struct sigaction old_abrt LEOSIM_GUARDED_BY(mutex) = {};
+};
+
+HandlerState& Handlers() {
+  static HandlerState* state = new HandlerState();  // never destroyed
+  return *state;
+}
+
+void CrashWrite(int fd, const char* data, size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n <= 0) {
+      return;
+    }
+    data += n;
+    len -= static_cast<size_t>(n);
+  }
+}
+
+void CrashWriteStr(int fd, const char* s) { CrashWrite(fd, s, std::strlen(s)); }
+
+void CrashHandler(int signo) {
+  int fd = g_dump_fd.load(std::memory_order_relaxed);
+  if (fd < 0) {
+    fd = 2;  // stderr
+  }
+  FlightCrashDump(fd, signo == SIGSEGV ? "SIGSEGV" : "SIGABRT");
+  // Restore the default disposition and re-raise so the process still
+  // dies the way it would have without the recorder. (The saved previous
+  // action is restored by DisableFlightRecorder on the non-crash path;
+  // here the process is over either way, and SIG_DFL is the one target
+  // that is safe to install from inside the handler.)
+  ::signal(signo, SIG_DFL);
+  ::raise(signo);
+}
+
+}  // namespace
+
+void FlightRecordLine(std::string_view line) {
+  FlightRing& ring = Ring();
+  const MutexLock lock(ring.mutex);
+  FlightEntry* entries = ring.entries.load(std::memory_order_relaxed);
+  const uint64_t capacity = ring.capacity.load(std::memory_order_relaxed);
+  if (entries == nullptr || capacity == 0) {
+    return;
+  }
+  const uint64_t seq = ring.next_seq.load(std::memory_order_relaxed);
+  FlightEntry& entry = entries[seq % capacity];
+  const size_t n = std::min(line.size(), kFlightLineBytes);
+  std::memcpy(entry.text, line.data(), n);
+  entry.len = static_cast<uint32_t>(n);
+  // Publish after the copy so the handler never sees len > written text.
+  ring.next_seq.store(seq + 1, std::memory_order_release);
+}
+
+void FlightCrashDump(int fd, const char* reason) {
+  CrashWriteStr(fd, "=== leosim flight recorder dump (");
+  CrashWriteStr(fd, reason);
+  CrashWriteStr(fd, ") ===\n-- recent log lines --\n");
+  const FlightRing& ring = Ring();
+  const FlightEntry* entries = ring.entries.load(std::memory_order_acquire);
+  const uint64_t capacity = ring.capacity.load(std::memory_order_relaxed);
+  if (entries != nullptr && capacity > 0) {
+    const uint64_t seq = ring.next_seq.load(std::memory_order_acquire);
+    const uint64_t start = seq > capacity ? seq - capacity : 0;
+    for (uint64_t s = start; s < seq; ++s) {
+      const FlightEntry& entry = entries[s % capacity];
+      const uint32_t len = std::min<uint32_t>(entry.len, kFlightLineBytes);
+      CrashWrite(fd, entry.text, len);
+      if (len == 0 || entry.text[len - 1] != '\n') {
+        CrashWrite(fd, "\n", 1);
+      }
+    }
+  }
+  CrashWriteStr(fd, "-- live span stacks --\n");
+  DumpSpanStacksToFd(fd);
+  CrashWriteStr(fd, "-- metrics --\n");
+  MetricsRegistry::Global().DumpForCrash(fd);
+  CrashWriteStr(fd, "=== end flight recorder dump ===\n");
+}
+
+}  // namespace detail
+
+void EnableFlightRecorder(const FlightRecorderOptions& options) {
+  detail::FlightRing& ring = detail::Ring();
+  {
+    const MutexLock lock(ring.mutex);
+    const uint64_t want = options.ring_lines == 0 ? 1 : options.ring_lines;
+    if (ring.capacity.load(std::memory_order_relaxed) != want) {
+      // The old ring (if any) is never freed: the crash handler may hold
+      // a stale pointer. Parked in a reachable graveyard rather than
+      // dropped so LeakSanitizer stays quiet; re-enables with a new size
+      // are rare one-offs.
+      static std::vector<detail::FlightEntry*>* graveyard =
+          new std::vector<detail::FlightEntry*>();
+      detail::FlightEntry* old =
+          ring.entries.load(std::memory_order_relaxed);
+      if (old != nullptr) {
+        graveyard->push_back(old);
+      }
+      detail::FlightEntry* entries = new detail::FlightEntry[want]();
+      ring.entries.store(entries, std::memory_order_release);
+      ring.capacity.store(want, std::memory_order_release);
+      ring.next_seq.store(0, std::memory_order_release);
+    }
+  }
+
+  int fd = -1;
+  if (!options.dump_path.empty()) {
+    fd = ::open(options.dump_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  }
+  const int previous = detail::g_dump_fd.exchange(fd,
+                                                  std::memory_order_release);
+  if (previous >= 0 && previous != fd) {
+    ::close(previous);
+  }
+
+  if (options.install_signal_handlers) {
+    detail::HandlerState& handlers = detail::Handlers();
+    const MutexLock lock(handlers.mutex);
+    if (!handlers.installed) {
+      struct sigaction action = {};
+      action.sa_handler = detail::CrashHandler;
+      ::sigemptyset(&action.sa_mask);
+      action.sa_flags = 0;
+      ::sigaction(SIGSEGV, &action, &handlers.old_segv);
+      ::sigaction(SIGABRT, &action, &handlers.old_abrt);
+      handlers.installed = true;
+    }
+  }
+
+  detail::EnableSpanHook(detail::kFlightHook, true);
+  detail::g_flight_enabled.store(true, std::memory_order_release);
+}
+
+void DisableFlightRecorder() {
+  detail::g_flight_enabled.store(false, std::memory_order_release);
+  detail::EnableSpanHook(detail::kFlightHook, false);
+  {
+    detail::HandlerState& handlers = detail::Handlers();
+    const MutexLock lock(handlers.mutex);
+    if (handlers.installed) {
+      ::sigaction(SIGSEGV, &handlers.old_segv, nullptr);
+      ::sigaction(SIGABRT, &handlers.old_abrt, nullptr);
+      handlers.installed = false;
+    }
+  }
+  const int fd = detail::g_dump_fd.exchange(-1, std::memory_order_release);
+  if (fd >= 0) {
+    ::close(fd);
+  }
+}
+
+std::string FlightRecorderDump() {
+  std::string out = "=== leosim flight recorder dump (live) ===\n";
+  out.append("-- recent log lines --\n");
+  {
+    detail::FlightRing& ring = detail::Ring();
+    const MutexLock lock(ring.mutex);
+    const detail::FlightEntry* entries =
+        ring.entries.load(std::memory_order_relaxed);
+    const uint64_t capacity = ring.capacity.load(std::memory_order_relaxed);
+    if (entries != nullptr && capacity > 0) {
+      const uint64_t seq = ring.next_seq.load(std::memory_order_relaxed);
+      const uint64_t start = seq > capacity ? seq - capacity : 0;
+      for (uint64_t s = start; s < seq; ++s) {
+        const detail::FlightEntry& entry = entries[s % capacity];
+        out.append(entry.text, std::min<uint32_t>(entry.len, kFlightLineBytes));
+        if (out.empty() || out.back() != '\n') {
+          out.push_back('\n');
+        }
+      }
+    }
+  }
+  out.append("-- live span stacks --\n");
+  AppendLiveSpanStacks(&out);
+  out.append("-- metrics --\n");
+  out.append(MetricsRegistry::Global().ToJson());
+  out.append("=== end flight recorder dump ===\n");
+  return out;
+}
+
+uint64_t FlightRecorderLinesDropped() {
+  detail::FlightRing& ring = detail::Ring();
+  const MutexLock lock(ring.mutex);
+  const uint64_t capacity = ring.capacity.load(std::memory_order_relaxed);
+  const uint64_t seq = ring.next_seq.load(std::memory_order_relaxed);
+  return seq > capacity ? seq - capacity : 0;
+}
+
+}  // namespace leosim::obs

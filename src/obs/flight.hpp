@@ -1,0 +1,83 @@
+// Crash flight recorder: a bounded ring of recent log lines plus the
+// live span stacks and a metrics snapshot, dumped when the process dies
+// on SIGSEGV or SIGABRT.
+//
+// Long sweeps and the future serve mode run for hours with logging
+// mostly off; when one crashes, the interesting evidence is the last
+// few seconds, not the aggregate. Enabling the recorder makes every
+// emitted log line (after its sink/stderr write) also land in a fixed
+// ring of truncated copies, and installs SIGSEGV/SIGABRT handlers that
+// write a structured dump — recent lines, each thread's live span stack,
+// counters and gauges — to a pre-opened file (or stderr), then restore
+// the previous handler and re-raise so the default crash behaviour
+// (core dump, nonzero exit) is preserved.
+//
+// The crash path is async-signal-safe by construction: the ring is a
+// fixed heap block published through atomics, entries hold inline char
+// copies (never pointers into caller memory), the dump fd is opened at
+// enable time, and the dump itself uses only write(2). Ring writes from
+// the logging path take a mutex (they are ordinary code); the handler
+// reads without it — a line being written at the instant of the crash
+// may appear torn, which is acceptable for a post-mortem artifact.
+//
+// Cost when disabled: the one relaxed load in the logging path's
+// FlightRecorderEnabled() check — and log lines that are filtered by
+// level never reach it at all.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace leosim::obs {
+
+// Bytes of each log line kept in the ring (longer lines truncate).
+inline constexpr std::size_t kFlightLineBytes = 240;
+
+struct FlightRecorderOptions {
+  // Log lines retained; older lines are evicted FIFO.
+  std::size_t ring_lines = 256;
+  // Crash dump destination; empty = stderr. Opened (created/truncated)
+  // at enable time so the handler never calls open().
+  std::string dump_path;
+  // When false, the ring records but no handlers are installed — for
+  // embedders with their own crash machinery (they call
+  // detail::FlightCrashDump from it) and for tests.
+  bool install_signal_handlers = true;
+};
+
+namespace detail {
+extern std::atomic<bool> g_flight_enabled;
+
+// Appends one already-emitted log line to the ring. Called by
+// EmitLogLine under no lock of its own; takes the ring mutex.
+void FlightRecordLine(std::string_view line);
+
+// Async-signal-safe: writes the full dump (reason, recent lines, live
+// span stacks, metrics) to `fd` using only write(2).
+void FlightCrashDump(int fd, const char* reason);
+}  // namespace detail
+
+inline bool FlightRecorderEnabled() {
+  return detail::g_flight_enabled.load(std::memory_order_relaxed);
+}
+
+// Starts recording (idempotent; re-enabling with a different ring size
+// replaces the ring). Also arms the span-stack hook so crash dumps can
+// show what every thread was doing.
+void EnableFlightRecorder(const FlightRecorderOptions& options = {});
+
+// Stops recording and uninstalls the signal handlers (restoring the
+// previous ones). Recorded lines are kept until the next enable.
+void DisableFlightRecorder();
+
+// The dump as a string (same sections as the crash output), for tests
+// and for logging a post-mortem from ordinary code.
+std::string FlightRecorderDump();
+
+// Lines evicted from the ring so far (total recorded minus retained).
+uint64_t FlightRecorderLinesDropped();
+
+}  // namespace leosim::obs

@@ -1,0 +1,673 @@
+#include "obs/profile.hpp"
+
+#include <unistd.h>  // write(): the async-signal-safe crash-dump path
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/mutex.hpp"
+#include "core/thread_annotations.hpp"
+#include "platform/perf_counters.hpp"
+
+namespace leosim::obs {
+
+namespace detail {
+
+std::atomic<int> g_span_hooks{0};
+
+namespace {
+
+// --- Per-thread span stacks --------------------------------------------
+//
+// Each thread owns one ProfileStack published in the fixed g_slots table.
+// Writers (the owning thread) store frame pointers relaxed then publish
+// with a release store of depth; readers (sampler, crash handler)
+// acquire depth and read at most that many frames. Frame pointers are
+// interned, never-freed strings, so a stale read is always a valid
+// pointer — never a use-after-free.
+
+struct ProfileStack {
+  std::array<std::atomic<const std::string*>, kMaxProfileDepth> frames{};
+  std::atomic<int32_t> depth{0};
+  // Written once before the stack is published, stable across pooled
+  // reuse (the slot index doubles as the tid).
+  int tid = 0;
+};
+
+std::atomic<ProfileStack*> g_slots[kMaxProfileThreads]{};
+std::atomic<int> g_slot_count{0};
+
+struct StackPool {
+  Mutex mutex;
+  std::vector<ProfileStack*> free_list LEOSIM_GUARDED_BY(mutex);
+};
+
+StackPool& Pool() {
+  static StackPool* pool = new StackPool();  // never destroyed: thread
+  // exits may return stacks past static destruction order.
+  return *pool;
+}
+
+ProfileStack* AcquireStack() {
+  {
+    StackPool& pool = Pool();
+    const MutexLock lock(pool.mutex);
+    if (!pool.free_list.empty()) {
+      ProfileStack* stack = pool.free_list.back();
+      pool.free_list.pop_back();
+      return stack;
+    }
+  }
+  const int slot = g_slot_count.fetch_add(1, std::memory_order_acq_rel);
+  if (slot >= kMaxProfileThreads) {
+    return nullptr;  // over the table: this thread just isn't sampled
+  }
+  ProfileStack* stack = new ProfileStack();  // owned by the slot table
+  stack->tid = slot;
+  g_slots[slot].store(stack, std::memory_order_release);
+  return stack;
+}
+
+// Returns the stack to the pool at thread exit so the next spawned
+// worker reuses it — ParallelFor creates fresh threads per run, and
+// without pooling every run would burn slots until the table filled.
+struct StackHolder {
+  ProfileStack* stack = nullptr;
+  bool tried = false;
+  ~StackHolder() {
+    if (stack == nullptr) {
+      return;
+    }
+    stack->depth.store(0, std::memory_order_release);
+    StackPool& pool = Pool();
+    const MutexLock lock(pool.mutex);
+    pool.free_list.push_back(stack);
+  }
+};
+
+ProfileStack* ThreadStack() {
+  thread_local StackHolder holder;
+  if (!holder.tried) {
+    holder.tried = true;
+    holder.stack = AcquireStack();
+  }
+  return holder.stack;
+}
+
+// Nesting depth of hooked spans on this thread. Plain (non-atomic):
+// only the owning thread touches it; the shared mirror is
+// ProfileStack::depth.
+thread_local int32_t t_depth = 0;
+
+// --- Frame-name interning ----------------------------------------------
+//
+// Span names are string_views that may die with their owner; the
+// sampler and the crash handler need pointers that never dangle. Each
+// distinct name is copied once into a leaked std::string, sanitized so
+// it can never corrupt collapsed-stack output (';' joins frames, ' '
+// separates stack from count, control/non-ASCII bytes would break
+// downstream tools).
+
+struct InternTable {
+  Mutex mutex;
+  std::map<std::string, const std::string*, std::less<>> names
+      LEOSIM_GUARDED_BY(mutex);
+};
+
+InternTable& Interns() {
+  static InternTable* table = new InternTable();  // never destroyed
+  return *table;
+}
+
+const std::string* InternSlow(std::string_view name) {
+  InternTable& table = Interns();
+  const MutexLock lock(table.mutex);
+  const auto it = table.names.find(name);
+  if (it != table.names.end()) {
+    return it->second;
+  }
+  std::string sanitized(name);
+  for (char& c : sanitized) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (c == ';' || u <= 0x20 || u > 0x7e) {
+      c = '_';
+    }
+  }
+  if (sanitized.empty()) {
+    sanitized = "_";
+  }
+  const std::string* interned = new std::string(std::move(sanitized));
+  table.names.emplace(std::string(name), interned);
+  return interned;
+}
+
+// Span names are string literals in practice, so a tiny cache keyed by
+// the view's (data, size) identity skips the table lock on the hot path.
+const std::string* InternName(std::string_view name) {
+  struct CacheEntry {
+    const char* data = nullptr;
+    size_t size = 0;
+    const std::string* interned = nullptr;
+  };
+  thread_local std::array<CacheEntry, 4> cache{};
+  thread_local size_t next = 0;
+  for (const CacheEntry& entry : cache) {
+    if (entry.data == name.data() && entry.size == name.size()) {
+      return entry.interned;
+    }
+  }
+  const std::string* interned = InternSlow(name);
+  cache[next] = CacheEntry{name.data(), name.size(), interned};
+  next = (next + 1) % cache.size();
+  return interned;
+}
+
+// --- Per-phase hardware counters ---------------------------------------
+
+struct HwPhaseTotals {
+  uint64_t spans = 0;
+  uint64_t cycles = 0;
+  uint64_t instructions = 0;
+  uint64_t cache_misses = 0;
+  uint64_t branch_misses = 0;
+};
+
+struct HwTable {
+  Mutex mutex;
+  std::map<std::string, HwPhaseTotals> phases LEOSIM_GUARDED_BY(mutex);
+  // Availability is recorded from the first group probe (one answer per
+  // process: either the syscall works here or it doesn't).
+  bool probed LEOSIM_GUARDED_BY(mutex) = false;
+  bool available LEOSIM_GUARDED_BY(mutex) = false;
+  std::string reason LEOSIM_GUARDED_BY(mutex);
+};
+
+HwTable& HwCountersTable() {
+  static HwTable* table = new HwTable();  // never destroyed
+  return *table;
+}
+
+void RecordHwProbe(const platform::HwCounterGroup& group) {
+  HwTable& table = HwCountersTable();
+  const MutexLock lock(table.mutex);
+  if (!table.probed) {
+    table.probed = true;
+    table.available = group.available();
+    table.reason = group.error();
+  }
+}
+
+// The counter group measures the constructing thread, so it lives in a
+// plain thread_local (destroyed at thread exit, closing the perf fds) —
+// NOT in the pooled ProfileStack, which outlives threads and migrates.
+struct HwThreadState {
+  std::unique_ptr<platform::HwCounterGroup> group;
+  platform::HwCounterSample begin;
+  const std::string* phase = nullptr;
+};
+
+HwThreadState& HwState() {
+  thread_local HwThreadState state;
+  return state;
+}
+
+void HwPhaseBegin(std::string_view name) {
+  HwThreadState& state = HwState();
+  if (state.phase != nullptr) {
+    return;  // already inside a phase (enable raced a nested span)
+  }
+  if (state.group == nullptr) {
+    state.group = std::make_unique<platform::HwCounterGroup>();
+    RecordHwProbe(*state.group);
+  }
+  state.phase = InternName(name);
+  state.begin = state.group->Read();
+}
+
+void HwPhaseEnd() {
+  HwThreadState& state = HwState();
+  if (state.phase == nullptr) {
+    return;  // counters were enabled mid-span: no begin sample to pair
+  }
+  const platform::HwCounterSample end = state.group->Read();
+  HwTable& table = HwCountersTable();
+  const MutexLock lock(table.mutex);
+  HwPhaseTotals& totals = table.phases[*state.phase];
+  ++totals.spans;
+  if (state.begin.valid && end.valid) {
+    totals.cycles += end.cycles - state.begin.cycles;
+    totals.instructions += end.instructions - state.begin.instructions;
+    totals.cache_misses += end.cache_misses - state.begin.cache_misses;
+    totals.branch_misses += end.branch_misses - state.begin.branch_misses;
+  }
+  state.phase = nullptr;
+}
+
+// --- The sampler --------------------------------------------------------
+
+struct Sampler {
+  Mutex mutex;
+  std::map<std::string, uint64_t> counts LEOSIM_GUARDED_BY(mutex);
+  std::atomic<uint64_t> samples{0};
+  std::atomic<bool> stop{false};
+};
+
+Sampler& TheSampler() {
+  static Sampler* sampler = new Sampler();  // never destroyed
+  return *sampler;
+}
+
+// One walk over the slot table. `key` is caller-owned scratch so the
+// steady-state loop does not allocate once stacks have been seen.
+void SampleOnce(std::string* key) {
+  const int slot_count = std::min(
+      g_slot_count.load(std::memory_order_acquire), kMaxProfileThreads);
+  bool saw_stack = false;
+  for (int i = 0; i < slot_count; ++i) {
+    const ProfileStack* stack = g_slots[i].load(std::memory_order_acquire);
+    if (stack == nullptr) {
+      continue;
+    }
+    int32_t depth = stack->depth.load(std::memory_order_acquire);
+    if (depth <= 0) {
+      continue;
+    }
+    depth = std::min(depth, kMaxProfileDepth);
+    key->clear();
+    bool torn = false;
+    for (int32_t f = 0; f < depth; ++f) {
+      const std::string* frame =
+          stack->frames[f].load(std::memory_order_relaxed);
+      if (frame == nullptr) {
+        torn = true;  // raced a concurrent pop/push; drop this stack
+        break;
+      }
+      if (f > 0) {
+        key->push_back(';');
+      }
+      key->append(*frame);
+    }
+    if (torn || key->empty()) {
+      continue;
+    }
+    saw_stack = true;
+    Sampler& sampler = TheSampler();
+    const MutexLock lock(sampler.mutex);
+    ++sampler.counts[*key];
+  }
+  if (saw_stack) {
+    TheSampler().samples.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void SamplerLoop(int64_t interval_us) {
+  Sampler& sampler = TheSampler();
+  std::string key;
+  key.reserve(256);
+  while (!sampler.stop.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::microseconds(interval_us));
+    SampleOnce(&key);
+  }
+}
+
+// Start/stop serialization. The std::thread handle lives here, not in
+// Sampler, so the sampler loop itself never touches the control lock.
+struct SamplerControl {
+  Mutex mutex;
+  bool running LEOSIM_GUARDED_BY(mutex) = false;
+  std::thread thread LEOSIM_GUARDED_BY(mutex);
+};
+
+SamplerControl& Control() {
+  static SamplerControl* control = new SamplerControl();  // never destroyed
+  return *control;
+}
+
+// Async-signal-safe write helpers for the crash-dump path: no locks, no
+// allocation, no stdio.
+void WriteRaw(int fd, const char* data, size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n <= 0) {
+      return;
+    }
+    data += n;
+    len -= static_cast<size_t>(n);
+  }
+}
+
+void WriteDec(int fd, uint64_t value) {
+  char buf[24];
+  size_t i = sizeof(buf);
+  do {
+    buf[--i] = static_cast<char>('0' + value % 10);
+    value /= 10;
+  } while (value != 0);
+  WriteRaw(fd, buf + i, sizeof(buf) - i);
+}
+
+}  // namespace
+
+void PushSpanFrame(std::string_view name) {
+  const int32_t depth = t_depth++;
+  ProfileStack* stack = ThreadStack();
+  if (stack != nullptr) {
+    if (depth < kMaxProfileDepth) {
+      stack->frames[depth].store(InternName(name), std::memory_order_relaxed);
+    }
+    stack->depth.store(depth + 1, std::memory_order_release);
+  }
+  if (depth == 0 &&
+      (g_span_hooks.load(std::memory_order_relaxed) & kHwHook) != 0) {
+    HwPhaseBegin(name);
+  }
+}
+
+void PopSpanFrame() {
+  const int32_t depth = t_depth > 0 ? --t_depth : 0;
+  ProfileStack* stack = ThreadStack();
+  if (stack != nullptr) {
+    stack->depth.store(depth, std::memory_order_release);
+  }
+  if (depth == 0) {
+    HwPhaseEnd();
+  }
+}
+
+void EnableSpanHook(int bit, bool enabled) {
+  if (enabled) {
+    g_span_hooks.fetch_or(bit, std::memory_order_relaxed);
+  } else {
+    g_span_hooks.fetch_and(~bit, std::memory_order_relaxed);
+  }
+}
+
+void DumpSpanStacksToFd(int fd) {
+  const int slot_count = std::min(
+      g_slot_count.load(std::memory_order_acquire), kMaxProfileThreads);
+  for (int i = 0; i < slot_count; ++i) {
+    const ProfileStack* stack = g_slots[i].load(std::memory_order_acquire);
+    if (stack == nullptr) {
+      continue;
+    }
+    int32_t depth = stack->depth.load(std::memory_order_acquire);
+    if (depth <= 0) {
+      continue;
+    }
+    depth = std::min(depth, kMaxProfileDepth);
+    WriteRaw(fd, "tid=", 4);
+    WriteDec(fd, static_cast<uint64_t>(stack->tid));
+    WriteRaw(fd, " depth=", 7);
+    WriteDec(fd, static_cast<uint64_t>(depth));
+    WriteRaw(fd, " ", 1);
+    for (int32_t f = 0; f < depth; ++f) {
+      const std::string* frame =
+          stack->frames[f].load(std::memory_order_relaxed);
+      if (f > 0) {
+        WriteRaw(fd, ";", 1);
+      }
+      if (frame != nullptr) {
+        WriteRaw(fd, frame->data(), frame->size());
+      } else {
+        WriteRaw(fd, "?", 1);
+      }
+    }
+    WriteRaw(fd, "\n", 1);
+  }
+}
+
+}  // namespace detail
+
+void StartProfiling(int64_t interval_us) {
+  if (interval_us <= 0) {
+    interval_us = kDefaultProfileIntervalUs;
+    if (const char* env = std::getenv("LEOSIM_PROFILE_INTERVAL_US")) {
+      const long long parsed = std::atoll(env);
+      if (parsed > 0) {
+        interval_us = parsed;
+      }
+    }
+  }
+  detail::SamplerControl& control = detail::Control();
+  const MutexLock lock(control.mutex);
+  if (control.running) {
+    return;
+  }
+  detail::TheSampler().stop.store(false, std::memory_order_release);
+  detail::EnableSpanHook(detail::kSampleHook, true);
+  control.thread = std::thread(detail::SamplerLoop, interval_us);
+  control.running = true;
+}
+
+void StopProfiling() {
+  detail::SamplerControl& control = detail::Control();
+  const MutexLock lock(control.mutex);
+  if (!control.running) {
+    return;
+  }
+  detail::EnableSpanHook(detail::kSampleHook, false);
+  detail::TheSampler().stop.store(true, std::memory_order_release);
+  control.thread.join();
+  control.running = false;
+}
+
+bool ProfilingActive() {
+  detail::SamplerControl& control = detail::Control();
+  const MutexLock lock(control.mutex);
+  return control.running;
+}
+
+uint64_t ProfileSamplesTaken() {
+  return detail::TheSampler().samples.load(std::memory_order_relaxed);
+}
+
+std::string CollapsedStacks() {
+  std::string out;
+  detail::Sampler& sampler = detail::TheSampler();
+  const MutexLock lock(sampler.mutex);
+  for (const auto& [stack, count] : sampler.counts) {
+    out.append(stack);
+    char tmp[32];
+    std::snprintf(tmp, sizeof(tmp), " %llu\n",
+                  static_cast<unsigned long long>(count));
+    out.append(tmp);
+  }
+  return out;
+}
+
+bool WriteCollapsedStacks(const std::string& path) {
+  const std::string text = CollapsedStacks();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  return written == text.size();
+}
+
+void ResetProfile() {
+  detail::Sampler& sampler = detail::TheSampler();
+  const MutexLock lock(sampler.mutex);
+  sampler.counts.clear();
+  sampler.samples.store(0, std::memory_order_relaxed);
+}
+
+bool ValidateCollapsedStacks(std::string_view text, std::string* why) {
+  const auto fail = [why](size_t line_no, const char* what) {
+    if (why != nullptr) {
+      char tmp[160];
+      std::snprintf(tmp, sizeof(tmp), "line %zu: %s", line_no, what);
+      *why = tmp;
+    }
+    return false;
+  };
+  if (text.empty()) {
+    return true;  // zero samples is a valid profile
+  }
+  if (text.back() != '\n') {
+    return fail(1 + std::count(text.begin(), text.end(), '\n'),
+                "missing trailing newline");
+  }
+  std::string_view prev_stack;
+  size_t line_no = 0;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    ++line_no;
+    const size_t eol = text.find('\n', pos);
+    const std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    const size_t space = line.rfind(' ');
+    if (space == std::string_view::npos) {
+      return fail(line_no, "no space between stack and count");
+    }
+    const std::string_view stack = line.substr(0, space);
+    const std::string_view count = line.substr(space + 1);
+    if (stack.empty()) {
+      return fail(line_no, "empty stack");
+    }
+    bool frame_empty = true;
+    for (const char c : stack) {
+      if (c == ';') {
+        if (frame_empty) {
+          return fail(line_no, "empty frame");
+        }
+        frame_empty = true;
+        continue;
+      }
+      const unsigned char u = static_cast<unsigned char>(c);
+      if (u <= 0x20 || u > 0x7e) {
+        return fail(line_no, "non-printable or space character in frame");
+      }
+      frame_empty = false;
+    }
+    if (frame_empty) {
+      return fail(line_no, "empty frame");
+    }
+    if (count.empty() || count.front() == '0') {
+      return fail(line_no, "count must be a positive decimal integer");
+    }
+    for (const char c : count) {
+      if (c < '0' || c > '9') {
+        return fail(line_no, "count must be a positive decimal integer");
+      }
+    }
+    if (line_no > 1 && !(prev_stack < stack)) {
+      return fail(line_no, "stacks not in strictly ascending order");
+    }
+    prev_stack = stack;
+  }
+  return true;
+}
+
+void EnableHwCounters(bool enabled) {
+  detail::EnableSpanHook(detail::kHwHook, enabled);
+}
+
+bool HwCountersEnabled() {
+  return (detail::g_span_hooks.load(std::memory_order_relaxed) &
+          detail::kHwHook) != 0;
+}
+
+std::string HwCountersToJson() {
+  detail::HwTable& table = detail::HwCountersTable();
+  const MutexLock lock(table.mutex);
+  if (!table.probed) {
+    // Counters were never exercised by a span; probe here so the export
+    // still answers "would they work on this host".
+    const platform::HwCounterGroup probe;
+    table.probed = true;
+    table.available = probe.available();
+    table.reason = probe.error();
+  }
+  std::string out = "{\n  \"schema\": \"leosim.hwcounters/1\",\n";
+  out.append("  \"available\": ");
+  out.append(table.available ? "true" : "false");
+  out.append(",\n  \"reason\": \"");
+  for (const char c : table.reason) {  // strerror text: escape minimally
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+    }
+    const unsigned char u = static_cast<unsigned char>(c);
+    out.push_back((u < 0x20 || u > 0x7e) ? '?' : c);
+  }
+  out.append("\",\n  \"phases\": {");
+  bool first = true;
+  for (const auto& [phase, totals] : table.phases) {
+    out.append(first ? "\n" : ",\n");
+    first = false;
+    out.append("    \"");
+    out.append(phase);  // interned names are sanitized printable ASCII
+    char tmp[256];
+    std::snprintf(tmp, sizeof(tmp),
+                  "\": {\"spans\": %llu, \"cycles\": %llu, "
+                  "\"instructions\": %llu, \"cache_misses\": %llu, "
+                  "\"branch_misses\": %llu}",
+                  static_cast<unsigned long long>(totals.spans),
+                  static_cast<unsigned long long>(totals.cycles),
+                  static_cast<unsigned long long>(totals.instructions),
+                  static_cast<unsigned long long>(totals.cache_misses),
+                  static_cast<unsigned long long>(totals.branch_misses));
+    out.append(tmp);
+  }
+  out.append(first ? "}\n}\n" : "\n  }\n}\n");
+  return out;
+}
+
+bool WriteHwCountersJson(const std::string& path) {
+  const std::string json = HwCountersToJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return written == json.size();
+}
+
+void ResetHwCounters() {
+  detail::HwTable& table = detail::HwCountersTable();
+  const MutexLock lock(table.mutex);
+  table.phases.clear();
+}
+
+void AppendLiveSpanStacks(std::string* out) {
+  const int slot_count =
+      std::min(detail::g_slot_count.load(std::memory_order_acquire),
+               kMaxProfileThreads);
+  for (int i = 0; i < slot_count; ++i) {
+    const detail::ProfileStack* stack =
+        detail::g_slots[i].load(std::memory_order_acquire);
+    if (stack == nullptr) {
+      continue;
+    }
+    int32_t depth = stack->depth.load(std::memory_order_acquire);
+    if (depth <= 0) {
+      continue;
+    }
+    depth = std::min(depth, kMaxProfileDepth);
+    char tmp[48];
+    std::snprintf(tmp, sizeof(tmp), "tid=%d depth=%d ", stack->tid,
+                  static_cast<int>(depth));
+    out->append(tmp);
+    for (int32_t f = 0; f < depth; ++f) {
+      const std::string* frame =
+          stack->frames[f].load(std::memory_order_relaxed);
+      if (f > 0) {
+        out->push_back(';');
+      }
+      out->append(frame != nullptr ? frame->c_str() : "?");
+    }
+    out->push_back('\n');
+  }
+}
+
+}  // namespace leosim::obs

@@ -1,0 +1,137 @@
+// In-process profiling for the span pipeline: a background sampling
+// profiler over the live Span stacks, and per-phase hardware counters.
+//
+// Span-stack sampling
+//   Every armed hook makes Span construction push its name onto a
+//   per-thread lock-free stack (fixed depth, atomic slots) and pop it on
+//   destruction. A background sampler thread started by StartProfiling
+//   wakes at a configurable interval, walks every registered thread's
+//   live stack, and increments a count for the collapsed stack it saw
+//   ("parallel.worker;snapshot.step"). CollapsedStacks() exports the
+//   counts as standard collapsed-stack text — one "frame;frame;... N"
+//   line per distinct stack — which flamegraph.pl and speedscope ingest
+//   directly.
+//
+// Cost model: with every hook off (the default), the Span-side check is
+// one relaxed atomic load and a branch — no push, no interning, no
+// clock. With a hook armed, a push is an intern-cache probe plus two
+// relaxed stores and one release store; the sampler's walk costs the
+// workers nothing (it reads their stacks through atomics).
+//
+// Sampling is statistical by construction: counts depend on scheduling
+// and are NOT deterministic across runs. The export is still stable for
+// a given set of counts (sorted by stack), and ValidateCollapsedStacks
+// is the strict in-tree format checker used by tests and CI.
+//
+// Hardware counters
+//   EnableHwCounters(true) arms a per-top-level-span accounting built on
+//   platform::HwCounterGroup (the narrow perf_event_open shim): when a
+//   thread's span stack goes empty -> non-empty the thread's counter
+//   group is read, and on the matching pop the delta (cycles,
+//   instructions, cache misses, branch misses) is charged to that
+//   top-level span's name. Where the syscall is unavailable (containers,
+//   CI, non-Linux) the accounting still tracks span counts and the JSON
+//   export says available=false plus why — callers never need to probe
+//   first.
+//
+// Thread lifecycle: stacks are pooled. A thread's stack returns to a
+// free pool at thread exit and is handed to the next new thread, so
+// studies that spawn ParallelFor workers per run do not grow the
+// registry without bound (the sampler's registry walk stays O(live
+// threads), and the crash flight recorder can walk the same fixed slot
+// table lock-free from a signal handler).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace leosim::obs {
+
+// Frames beyond this depth are counted but not recorded (the stack
+// stays balanced; the sampler sees a truncated stack).
+inline constexpr int kMaxProfileDepth = 64;
+// Concurrent threads beyond this many are not sampled. Pooling keeps
+// the slot count at the peak concurrent thread count, not the
+// historical total.
+inline constexpr int kMaxProfileThreads = 256;
+inline constexpr int64_t kDefaultProfileIntervalUs = 1000;  // 1 kHz
+
+namespace detail {
+// Bitmask of consumers that need Span push/pop notifications: the
+// sampler, the hardware-counter accounting, and the flight recorder's
+// live-stack capture. Span reads this once (relaxed) per construction.
+inline constexpr int kSampleHook = 1;
+inline constexpr int kHwHook = 2;
+inline constexpr int kFlightHook = 4;
+extern std::atomic<int> g_span_hooks;
+
+void PushSpanFrame(std::string_view name);
+void PopSpanFrame();
+void EnableSpanHook(int bit, bool enabled);
+
+// Async-signal-safe: writes every live span stack to `fd` using only
+// write(2) and the lock-free slot table. Used by the crash handler.
+void DumpSpanStacksToFd(int fd);
+}  // namespace detail
+
+// The single relaxed load that gates the Span-side hooks.
+inline bool SpanHooksEnabled() {
+  return detail::g_span_hooks.load(std::memory_order_relaxed) != 0;
+}
+
+// --- Sampling profiler -------------------------------------------------
+
+// Starts the background sampler at `interval_us` microseconds between
+// samples; interval_us <= 0 means LEOSIM_PROFILE_INTERVAL_US when set,
+// else kDefaultProfileIntervalUs. No-op if already running.
+void StartProfiling(int64_t interval_us = 0);
+// Stops and joins the sampler (counts are kept until ResetProfile).
+// No-op if not running.
+void StopProfiling();
+bool ProfilingActive();
+
+// Samples taken that observed at least one non-empty stack.
+uint64_t ProfileSamplesTaken();
+
+// Collapsed-stack text: one "frame;frame;... COUNT\n" line per distinct
+// sampled stack, sorted by stack so output is diff-stable. Empty string
+// when nothing was sampled.
+std::string CollapsedStacks();
+bool WriteCollapsedStacks(const std::string& path);
+
+// Discards sampled counts and the samples-taken total.
+void ResetProfile();
+
+// Strict format check for collapsed-stack text: every line is
+// `stack SPACE count` where stack is one or more ';'-separated frames of
+// printable non-space non-semicolon characters and count is a positive
+// decimal integer; lines are strictly ascending by stack (sorted, no
+// duplicates). The empty string is valid (zero samples). On failure
+// returns false and, when `why` is non-null, describes the first
+// offence.
+bool ValidateCollapsedStacks(std::string_view text, std::string* why);
+
+// --- Per-phase hardware counters ---------------------------------------
+
+void EnableHwCounters(bool enabled);
+bool HwCountersEnabled();
+
+// {"schema": "leosim.hwcounters/1", "available": bool, "reason": "...",
+//  "phases": {"<top-level span>": {"spans": N, "cycles": C, ...}, ...}}
+// with phases sorted by name. Phases are recorded (span counts) even
+// when the counters themselves are unavailable, so the fallback path
+// produces the same shape.
+std::string HwCountersToJson();
+bool WriteHwCountersJson(const std::string& path);
+void ResetHwCounters();
+
+// --- Live stack snapshot ------------------------------------------------
+
+// Appends one "tid=N depth=D frame;frame;...\n" line per thread whose
+// span stack is non-empty right now. Best-effort (stacks move while
+// being read); used by the flight recorder's dump and by tests.
+void AppendLiveSpanStacks(std::string* out);
+
+}  // namespace leosim::obs

@@ -1,9 +1,10 @@
 // Trace spans for the snapshot pipeline, exported as Chrome trace_event
 // JSON (loadable in chrome://tracing and Perfetto).
 //
-// A Span is an RAII scoped timer. Cost model: when tracing is disabled
-// and no histogram is attached, constructing a Span is one relaxed
-// atomic load and a branch — no clock read. When armed, the span reads
+// A Span is an RAII scoped timer. Cost model: when tracing and the
+// profiling hooks (obs/profile.hpp) are disabled and no histogram is
+// attached, constructing a Span is two relaxed atomic loads and two
+// branches — no clock read. When armed, the span reads
 // the steady clock twice and, on destruction, records a completed
 // ("ph":"X") event into the calling thread's buffer (one uncontended
 // mutex, no allocation once the buffer has grown) and/or observes the
@@ -22,6 +23,7 @@
 #include <string_view>
 
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 
 namespace leosim::obs {
 
@@ -69,6 +71,12 @@ class Span {
   explicit Span(std::string_view name, Histogram* histogram = nullptr,
                 double* elapsed_us_out = nullptr)
       : name_(name), histogram_(histogram), elapsed_us_out_(elapsed_us_out) {
+    // The profiler hook runs before the clock read so sampled stacks
+    // cover the whole timed region.
+    hooked_ = SpanHooksEnabled();
+    if (hooked_) {
+      detail::PushSpanFrame(name);
+    }
     armed_ = (histogram_ != nullptr) || (elapsed_us_out_ != nullptr) ||
              TracingEnabled();
     if (armed_) {
@@ -78,6 +86,12 @@ class Span {
   ~Span() {
     if (armed_) {
       Finish();
+    }
+    // Popped after Finish so the frame is live for the span's full
+    // duration; hooked_ (not the current hook mask) keeps push/pop
+    // balanced when profiling starts or stops mid-span.
+    if (hooked_) {
+      detail::PopSpanFrame();
     }
   }
   Span(const Span&) = delete;
@@ -91,6 +105,7 @@ class Span {
   double* elapsed_us_out_;
   int64_t start_ns_{0};
   bool armed_;
+  bool hooked_;
 };
 
 }  // namespace leosim::obs

@@ -1,0 +1,109 @@
+#include "platform/perf_counters.hpp"
+
+#if defined(__linux__)
+
+#include <linux/perf_event.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace leosim::platform {
+
+namespace {
+
+// pid = 0, cpu = -1: count this thread on any CPU. Kernel and
+// hypervisor cycles are excluded so the group opens at
+// perf_event_paranoid <= 2 (the common unprivileged ceiling) instead of
+// requiring CAP_PERFMON.
+int OpenEvent(uint32_t type, uint64_t config, int group_fd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = type;
+  attr.config = config;
+  attr.disabled = 0;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  return static_cast<int>(::syscall(SYS_perf_event_open, &attr, 0, -1,
+                                    group_fd, 0));
+}
+
+struct EventSpec {
+  uint64_t config;
+  const char* name;
+};
+
+constexpr EventSpec kEvents[4] = {
+    {PERF_COUNT_HW_CPU_CYCLES, "cycles"},
+    {PERF_COUNT_HW_INSTRUCTIONS, "instructions"},
+    {PERF_COUNT_HW_CACHE_MISSES, "cache_misses"},
+    {PERF_COUNT_HW_BRANCH_MISSES, "branch_misses"},
+};
+
+}  // namespace
+
+HwCounterGroup::HwCounterGroup() {
+  for (int i = 0; i < 4; ++i) {
+    fds_[i] = OpenEvent(PERF_TYPE_HARDWARE, kEvents[i].config,
+                        i == 0 ? -1 : fds_[0]);
+    if (fds_[i] < 0) {
+      error_ = std::string("perf_event_open(") + kEvents[i].name +
+               "): " + std::strerror(errno);
+      for (int j = 0; j < i; ++j) {
+        ::close(fds_[j]);
+        fds_[j] = -1;
+      }
+      fds_[i] = -1;
+      return;
+    }
+  }
+  available_ = true;
+}
+
+HwCounterGroup::~HwCounterGroup() {
+  for (const int fd : fds_) {
+    if (fd >= 0) {
+      ::close(fd);
+    }
+  }
+}
+
+HwCounterSample HwCounterGroup::Read() const {
+  HwCounterSample sample;
+  if (!available_) {
+    return sample;
+  }
+  uint64_t values[4];
+  for (int i = 0; i < 4; ++i) {
+    if (::read(fds_[i], &values[i], sizeof(values[i])) !=
+        static_cast<ssize_t>(sizeof(values[i]))) {
+      return HwCounterSample{};
+    }
+  }
+  sample.valid = true;
+  sample.cycles = values[0];
+  sample.instructions = values[1];
+  sample.cache_misses = values[2];
+  sample.branch_misses = values[3];
+  return sample;
+}
+
+}  // namespace leosim::platform
+
+#else  // !defined(__linux__)
+
+namespace leosim::platform {
+
+HwCounterGroup::HwCounterGroup()
+    : error_("perf_event_open is Linux-only; hardware counters "
+             "unavailable on this platform") {}
+
+HwCounterGroup::~HwCounterGroup() = default;
+
+HwCounterSample HwCounterGroup::Read() const { return HwCounterSample{}; }
+
+}  // namespace leosim::platform
+
+#endif

@@ -1,0 +1,60 @@
+// Narrow OS shim over Linux perf_event_open: one fixed group of four
+// hardware counters (cycles, instructions, cache misses, branch misses)
+// attached to the calling thread.
+//
+// This is the only file pair in the tree that talks to the perf syscall,
+// and the interface is deliberately tiny — open, read, close — so the
+// obs layer can consume hardware counters without inheriting a platform
+// dependency surface (the layering lint allows obs -> platform and
+// nothing else outside std). Everything Linux-specific stays in the
+// .cpp; this header is plain C++.
+//
+// Availability is a property of the environment, not the build:
+// containers and CI runners commonly deny the syscall
+// (perf_event_paranoid, seccomp), and non-Linux hosts lack it entirely.
+// Construction never throws — it either yields an available() group or
+// records why not — so callers always have a graceful fallback path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace leosim::platform {
+
+// One reading of the fixed event set. `valid` is false when the group
+// is unavailable or a read failed; the counts are then all zero.
+struct HwCounterSample {
+  bool valid{false};
+  uint64_t cycles{0};
+  uint64_t instructions{0};
+  uint64_t cache_misses{0};
+  uint64_t branch_misses{0};
+};
+
+// A per-thread counter group. The counters measure the thread that
+// constructed the group (pid = 0, cpu = -1 in perf terms), run from
+// construction, and are released on destruction. Reads are cheap (four
+// 8-byte read(2) calls) but not free — intended cadence is per span
+// phase, not per inner-loop iteration.
+class HwCounterGroup {
+ public:
+  HwCounterGroup();
+  ~HwCounterGroup();
+  HwCounterGroup(const HwCounterGroup&) = delete;
+  HwCounterGroup& operator=(const HwCounterGroup&) = delete;
+
+  // True when all four events opened; false means Read() returns
+  // invalid samples and error() says why the first open failed.
+  bool available() const { return available_; }
+  const std::string& error() const { return error_; }
+
+  // Current cumulative counts for the owning thread since construction.
+  HwCounterSample Read() const;
+
+ private:
+  bool available_{false};
+  std::string error_;
+  int fds_[4]{-1, -1, -1, -1};
+};
+
+}  // namespace leosim::platform

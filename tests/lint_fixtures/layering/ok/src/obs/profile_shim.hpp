@@ -1,0 +1,5 @@
+#pragma once
+
+// obs is allowed to reach down into the platform shims (and nothing
+// above them): this include must NOT be flagged.
+#include "platform/perf_counters.hpp"

@@ -1,0 +1,6 @@
+#pragma once
+
+// graph may include obs but not the OS shims underneath it; platform/
+// is reserved for the obs layer so OS-specific code never leaks into
+// the simulation modules.
+#include "platform/perf_counters.hpp"

@@ -6,14 +6,19 @@
 
 #include <atomic>
 #include <cctype>
+#include <chrono>
 #include <cstddef>
+#include <cstdio>
 #include <limits>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "core/parallel.hpp"
+#include "obs/flight.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/progress.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
@@ -701,6 +706,180 @@ TEST(ObsProgressTest, StepsFromManyThreadsSumExactly) {
     EXPECT_NE(last.find("done=8000"), std::string::npos) << last;
   }
   SetProgressInterval(0.0);
+}
+
+TEST(ObsProfileTest, DisabledProfilerRecordsNothing) {
+  ResetProfile();
+  ASSERT_FALSE(ProfilingActive());
+  // With no hook armed, Span construction must not touch the profiler:
+  // the gate is the single relaxed load in SpanHooksEnabled().
+  EXPECT_FALSE(SpanHooksEnabled());
+  {
+    const Span outer("profile.unsampled");
+    const Span inner("profile.unsampled_inner");
+  }
+  EXPECT_EQ(ProfileSamplesTaken(), 0u);
+  const std::string collapsed = CollapsedStacks();
+  EXPECT_TRUE(collapsed.empty()) << collapsed;
+  // The empty export is itself a valid collapsed-stack document.
+  std::string why;
+  EXPECT_TRUE(ValidateCollapsedStacks(collapsed, &why)) << why;
+}
+
+TEST(ObsProfileTest, CollapsedStacksUnderParallelForWorkers) {
+  ResetProfile();
+  StartProfiling(100);  // 100us: fast enough to catch short-lived workers
+  ASSERT_TRUE(ProfilingActive());
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  // Workers hold a nested span and spin until the sampler has provably
+  // walked stacks WHILE this worker's span was live — a sample taken
+  // during the spin walks every registered stack, so it must have seen
+  // this one. The deadline turns a wedged sampler into an assertion
+  // failure instead of a hung CI job.
+  core::ParallelForWorkers(
+      8,
+      [&deadline](int /*worker*/, int /*index*/) {
+        const Span body("profile.test_body");
+        const uint64_t before = ProfileSamplesTaken();
+        while (ProfileSamplesTaken() < before + 3 &&
+               std::chrono::steady_clock::now() < deadline) {
+          std::this_thread::yield();
+        }
+      },
+      /*num_threads=*/4);
+  StopProfiling();
+  EXPECT_FALSE(ProfilingActive());
+  EXPECT_GE(ProfileSamplesTaken(), 5u);
+  const std::string collapsed = CollapsedStacks();
+  std::string why;
+  ASSERT_TRUE(ValidateCollapsedStacks(collapsed, &why)) << why << "\n"
+                                                        << collapsed;
+  // Worker activity must be attributable: the worker root frame and the
+  // body's span both appear in some sampled stack.
+  EXPECT_NE(collapsed.find("parallel.worker"), std::string::npos) << collapsed;
+  EXPECT_NE(collapsed.find("profile.test_body"), std::string::npos)
+      << collapsed;
+  ResetProfile();
+  EXPECT_EQ(ProfileSamplesTaken(), 0u);
+  EXPECT_TRUE(CollapsedStacks().empty());
+}
+
+TEST(ObsProfileTest, CollapsedValidatorAcceptsAndRejects) {
+  std::string why;
+  EXPECT_TRUE(ValidateCollapsedStacks("", &why)) << why;
+  EXPECT_TRUE(ValidateCollapsedStacks("a;b 3\nc 1\n", &why)) << why;
+  EXPECT_FALSE(ValidateCollapsedStacks("a;b 3", nullptr));  // no newline
+  EXPECT_FALSE(ValidateCollapsedStacks("a;b\n", nullptr));  // no count
+  EXPECT_FALSE(ValidateCollapsedStacks("a;b 0\n", nullptr));
+  EXPECT_FALSE(ValidateCollapsedStacks("a;b 01\n", nullptr));
+  EXPECT_FALSE(ValidateCollapsedStacks("a;;b 1\n", nullptr));  // empty frame
+  EXPECT_FALSE(ValidateCollapsedStacks(";a 1\n", nullptr));
+  EXPECT_FALSE(ValidateCollapsedStacks("b 1\na 1\n", nullptr));  // unsorted
+  EXPECT_FALSE(ValidateCollapsedStacks("a 1\na 2\n", nullptr));  // duplicate
+  EXPECT_FALSE(ValidateCollapsedStacks("a b;c 1\n", nullptr));  // space frame
+  EXPECT_FALSE(ValidateCollapsedStacks("a\tb 1\n", nullptr));
+  // The why-string names the offending line.
+  EXPECT_FALSE(ValidateCollapsedStacks("a 1\nb 0\n", &why));
+  EXPECT_NE(why.find("line 2"), std::string::npos) << why;
+}
+
+TEST(ObsHwCountersTest, FallbackProducesStructuredJson) {
+  ResetHwCounters();
+  EnableHwCounters(true);
+  EXPECT_TRUE(HwCountersEnabled());
+  for (int i = 0; i < 3; ++i) {
+    const Span phase("hwtest.phase");
+    const Span nested("hwtest.nested");  // nested: charged to the phase
+    volatile double sink = 0.0;
+    for (int j = 0; j < 1000; ++j) {
+      sink = sink + j;
+    }
+  }
+  EnableHwCounters(false);
+  EXPECT_FALSE(HwCountersEnabled());
+  const std::string json = HwCountersToJson();
+  EXPECT_TRUE(JsonScanner(json).Valid()) << json;
+  // Same shape whether or not perf_event_open worked here: availability
+  // is reported, and span counts are tracked regardless.
+  EXPECT_NE(json.find("\"schema\": \"leosim.hwcounters/1\""),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"available\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"hwtest.phase\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"spans\": 3"), std::string::npos) << json;
+  // Only top-level spans open a phase; the nested span must not.
+  EXPECT_EQ(json.find("\"hwtest.nested\""), std::string::npos) << json;
+  ResetHwCounters();
+}
+
+TEST(ObsFlightTest, RingOverflowKeepsMostRecentLines) {
+  FlightRecorderOptions options;
+  options.ring_lines = 4;
+  options.install_signal_handlers = false;
+  EnableFlightRecorder(options);
+  EXPECT_TRUE(FlightRecorderEnabled());
+  {
+    LogCapture capture(LogLevel::kInfo);
+    for (int i = 0; i < 10; ++i) {
+      LogInfo("flight.test").Field("seq", i);
+    }
+  }
+  EXPECT_EQ(FlightRecorderLinesDropped(), 6u);
+  const std::string dump = FlightRecorderDump();
+  // FIFO eviction: the last four lines survive, everything older is gone.
+  EXPECT_NE(dump.find("seq=9"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("seq=6"), std::string::npos) << dump;
+  EXPECT_EQ(dump.find("seq=5"), std::string::npos) << dump;
+  // All four dump sections present, in order.
+  const size_t header = dump.find("=== leosim flight recorder dump");
+  const size_t lines = dump.find("-- recent log lines --");
+  const size_t stacks = dump.find("-- live span stacks --");
+  const size_t metrics = dump.find("-- metrics --");
+  const size_t footer = dump.find("=== end flight recorder dump ===");
+  ASSERT_NE(header, std::string::npos) << dump;
+  ASSERT_NE(footer, std::string::npos) << dump;
+  EXPECT_LT(header, lines);
+  EXPECT_LT(lines, stacks);
+  EXPECT_LT(stacks, metrics);
+  EXPECT_LT(metrics, footer);
+  DisableFlightRecorder();
+  EXPECT_FALSE(FlightRecorderEnabled());
+}
+
+TEST(ObsFlightTest, CrashDumpWritesSectionsToFd) {
+  FlightRecorderOptions options;
+  options.ring_lines = 8;
+  options.install_signal_handlers = false;
+  EnableFlightRecorder(options);
+  {
+    LogCapture capture(LogLevel::kInfo);
+    LogInfo("flight.crash_test").Field("marker", "present");
+    // A live span so the stack section has something to show; the flight
+    // hook is armed, so this thread's stack is registered.
+    const Span span("flight.active_span");
+    std::FILE* file = std::tmpfile();
+    ASSERT_NE(file, nullptr);
+    detail::FlightCrashDump(fileno(file), "test");
+    std::fflush(file);
+    std::rewind(file);
+    std::string dump;
+    char buf[4096];
+    size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), file)) > 0) {
+      dump.append(buf, n);
+    }
+    std::fclose(file);
+    EXPECT_NE(dump.find("flight recorder dump (test)"), std::string::npos)
+        << dump;
+    EXPECT_NE(dump.find("marker=present"), std::string::npos) << dump;
+    EXPECT_NE(dump.find("flight.active_span"), std::string::npos) << dump;
+    EXPECT_NE(dump.find("-- metrics --"), std::string::npos) << dump;
+    EXPECT_NE(dump.find("=== end flight recorder dump ===\n"),
+              std::string::npos)
+        << dump;
+  }
+  DisableFlightRecorder();
 }
 
 }  // namespace

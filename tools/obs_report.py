@@ -8,7 +8,13 @@ when anything regressed. Artifact kinds are auto-detected from the JSON
 shape:
 
   bench       BenchSuite records (BENCH_pipeline.json): per-benchmark
-              median deltas, gated by --threshold.
+              median deltas. A row gates only when the delta exceeds
+              --threshold AND a one-sided Mann-Whitney U test on the
+              per-rep samples_ns arrays finds the slowdown significant
+              at --alpha; legacy records without samples keep the
+              median-only gate. Cross-machine comparisons (differing
+              host_cores/threads in the config) annotate every row and
+              never gate.
   metrics     MetricsRegistry exports: counter/gauge deltas plus
               histogram shifts (count, mean, bucket total-variation
               distance). Informational — counts depend on workload
@@ -20,21 +26,121 @@ shape:
               recursive diff of the embedded metrics object.
 
 Usage:
-  obs_report.py BASELINE CURRENT [--threshold PCT] [--markdown]
+  obs_report.py BASELINE CURRENT [--threshold PCT] [--alpha P] [--markdown]
   obs_report.py --baseline BASELINE CURRENT [CURRENT...]
+  obs_report.py --validate-collapsed PROFILE.collapsed
+
+--validate-collapsed checks a collapsed-stack profile (the
+--profile-out output) against the same strict grammar the in-tree C++
+validator enforces, and exits 0 (valid) / 1 (malformed).
 
 Exit status: 0 = no regressions, 1 = at least one gated metric beyond
-the threshold, 2 = usage or input error.
+the threshold (or an invalid collapsed profile), 2 = usage or input
+error.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
+from functools import lru_cache
 from pathlib import Path
 
 EPS = 1e-12
+
+
+# ---------------------------------------------------------------------------
+# Mann-Whitney U significance on per-rep bench samples.
+
+
+@lru_cache(maxsize=None)
+def _u_count(m: int, n: int, u: int) -> int:
+    """Arrangements of m+n ranks giving U statistic exactly u (no ties)."""
+    if u < 0:
+        return 0
+    if m == 0 or n == 0:
+        return 1 if u == 0 else 0
+    return _u_count(m - 1, n, u - n) + _u_count(m, n - 1, u)
+
+
+def mann_whitney_p(base: list[float], cur: list[float]) -> float | None:
+    """One-sided p-value for H1: `cur` is stochastically greater than `base`.
+
+    Small samples without ties use the exact U distribution (the only
+    defensible choice at bench-sized reps); ties or larger samples fall
+    back to the normal approximation with midranks, tie-corrected
+    variance, and continuity correction. All-tied data (a self-diff) has
+    zero variance and returns 0.5 — never significant.
+    """
+    m, n = len(base), len(cur)
+    if m == 0 or n == 0:
+        return None
+    combined = sorted([(v, 0) for v in base] + [(v, 1) for v in cur])
+    ranks = [0.0] * len(combined)
+    tie_groups = []
+    i = 0
+    while i < len(combined):
+        j = i
+        while j < len(combined) and combined[j][0] == combined[i][0]:
+            j += 1
+        midrank = (i + j + 1) / 2.0  # 1-based average rank of the group
+        for k in range(i, j):
+            ranks[k] = midrank
+        tie_groups.append(j - i)
+        i = j
+    rank_sum_cur = sum(r for r, (_, who) in zip(ranks, combined) if who == 1)
+    u_cur = rank_sum_cur - n * (n + 1) / 2.0
+
+    has_ties = any(t > 1 for t in tie_groups)
+    if not has_ties and m + n <= 40:
+        u_int = int(math.ceil(u_cur - 1e-9))
+        total = math.comb(m + n, n)
+        tail = sum(_u_count(m, n, u) for u in range(u_int, m * n + 1))
+        return tail / total
+    big_n = m + n
+    mean_u = m * n / 2.0
+    tie_term = sum(t**3 - t for t in tie_groups)
+    var_u = m * n / 12.0 * ((big_n + 1) - tie_term / (big_n * (big_n - 1)))
+    if var_u <= EPS:
+        return 0.5  # every observation tied: no evidence either way
+    z = (u_cur - mean_u - 0.5) / math.sqrt(var_u)
+    return 0.5 * math.erfc(z / math.sqrt(2.0))
+
+
+# ---------------------------------------------------------------------------
+# Collapsed-stack validation (mirror of obs::ValidateCollapsedStacks).
+
+
+def validate_collapsed_text(text: str) -> tuple[bool, str]:
+    """Strict collapsed-stack grammar check; returns (ok, why)."""
+    if text == "":
+        return True, "empty profile (zero samples) is valid"
+    if not text.endswith("\n"):
+        return False, "missing trailing newline"
+    prev_stack = None
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        stack, sep, count = line.rpartition(" ")
+        if not sep:
+            return False, f"line {line_no}: no space between stack and count"
+        if not stack:
+            return False, f"line {line_no}: empty stack"
+        for frame in stack.split(";"):
+            if not frame:
+                return False, f"line {line_no}: empty frame"
+            if any(not (0x21 <= ord(c) <= 0x7E) or c == " " for c in frame):
+                return False, (
+                    f"line {line_no}: non-printable or space character in frame"
+                )
+        if not count.isdigit() or count.startswith("0"):
+            return False, (
+                f"line {line_no}: count must be a positive decimal integer"
+            )
+        if prev_stack is not None and not prev_stack < stack:
+            return False, f"line {line_no}: stacks not in strictly ascending order"
+        prev_stack = stack
+    return True, "ok"
 
 
 def detect_kind(doc: dict) -> str:
@@ -123,40 +229,84 @@ def fmt_pct(p: float) -> str:
     return f"{p:+.1f}%"
 
 
-def diff_bench(base: dict, cur: dict, report: Report, threshold: float) -> None:
+def machine_desc(doc: dict) -> str:
+    cfg = doc.get("config", {})
+    return (
+        f"host_cores={cfg.get('host_cores', '?')} "
+        f"threads={cfg.get('threads', '?')}"
+    )
+
+
+def diff_bench(
+    base: dict, cur: dict, report: Report, threshold: float, alpha: float
+) -> None:
     base_medians = {r["name"]: r for r in base.get("results", [])}
     cur_medians = {r["name"]: r for r in cur.get("results", [])}
-    report.section(f"bench medians (threshold {threshold:g}%)")
+    report.section(f"bench medians (threshold {threshold:g}%, alpha {alpha:g})")
+    report.note(
+        f"machine: base [{machine_desc(base)}] vs now [{machine_desc(cur)}]"
+    )
     # Timings from different hardware or thread counts are not
-    # comparable; surface the mismatch instead of letting a "regression"
-    # row send someone hunting a phantom slowdown.
+    # comparable; annotate every row and gate nothing, so a "regression"
+    # never sends someone hunting a phantom slowdown.
+    cross_machine = []
     for key in ("host_cores", "threads"):
         b = base.get("config", {}).get(key)
         c = cur.get("config", {}).get(key)
         if b is not None and c is not None and b != c:
-            report.note(
-                f"WARNING: cross-machine comparison ({key}: base {b}, "
-                f"now {c}) — timing deltas below are not meaningful"
-            )
+            cross_machine.append(f"{key}: base {b}, now {c}")
+    if cross_machine:
+        report.note(
+            f"WARNING: cross-machine comparison ({'; '.join(cross_machine)}) "
+            "— rows below are annotated, none gate"
+        )
     rows = []
     for name in sorted(set(base_medians) | set(cur_medians)):
         if name not in base_medians:
-            rows.append([name, "-", fmt(cur_medians[name]["median_ns_per_op"]), "new", ""])
+            rows.append(
+                [name, "-", fmt(cur_medians[name]["median_ns_per_op"]), "new", "-", ""]
+            )
             continue
         if name not in cur_medians:
-            rows.append([name, fmt(base_medians[name]["median_ns_per_op"]), "-", "gone", ""])
+            rows.append(
+                [name, fmt(base_medians[name]["median_ns_per_op"]), "-", "gone", "-", ""]
+            )
             continue
         b = base_medians[name]["median_ns_per_op"]
         c = cur_medians[name]["median_ns_per_op"]
         change = pct_change(b, c)
+        base_samples = base_medians[name].get("samples_ns")
+        cur_samples = cur_medians[name].get("samples_ns")
+        p = None
+        if isinstance(base_samples, list) and isinstance(cur_samples, list):
+            p = mann_whitney_p(base_samples, cur_samples)
         marker = ""
-        if change > threshold:
-            marker = "REGRESSED"
-            report.regression(f"bench:{name}")
+        if cross_machine:
+            marker = "cross-machine"
+        elif change > threshold:
+            if p is None:
+                # Legacy record without per-rep samples: the median delta
+                # is the only evidence there is, so it gates alone.
+                marker = "REGRESSED"
+                report.regression(f"bench:{name}")
+            elif p < alpha:
+                marker = "REGRESSED"
+                report.regression(f"bench:{name} (p={p:.3g})")
+            else:
+                marker = "noise? (not significant)"
         elif change < -threshold:
             marker = "improved"
-        rows.append([name, f"{b:.1f}", f"{c:.1f}", fmt_pct(change), marker])
-    report.table(["benchmark", "base ns/op", "now ns/op", "delta", ""], rows)
+        rows.append(
+            [
+                name,
+                f"{b:.1f}",
+                f"{c:.1f}",
+                fmt_pct(change),
+                "-" if p is None else f"{p:.3g}",
+                marker,
+            ]
+        )
+    report.table(["benchmark", "base ns/op", "now ns/op", "delta", "p", ""], rows)
 
 
 def hist_mean(h: dict) -> float:
@@ -332,7 +482,7 @@ def main() -> int:
     parser = argparse.ArgumentParser(
         description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
     )
-    parser.add_argument("files", nargs="+", help="artifacts to compare")
+    parser.add_argument("files", nargs="*", help="artifacts to compare")
     parser.add_argument(
         "--baseline",
         help="baseline artifact; every positional file is diffed against it "
@@ -345,9 +495,36 @@ def main() -> int:
         help="regression threshold in percent (default: 10)",
     )
     parser.add_argument(
+        "--alpha",
+        type=float,
+        default=0.05,
+        help="significance level for the Mann-Whitney gate on bench "
+        "samples (default: 0.05)",
+    )
+    parser.add_argument(
         "--markdown", action="store_true", help="emit GitHub-flavoured markdown tables"
     )
+    parser.add_argument(
+        "--validate-collapsed",
+        metavar="FILE",
+        help="validate a collapsed-stack profile instead of diffing "
+        "artifacts; exits 0 (valid) / 1 (malformed)",
+    )
     args = parser.parse_args()
+
+    if args.validate_collapsed is not None:
+        try:
+            text = Path(args.validate_collapsed).read_text()
+        except OSError as err:
+            print(f"obs_report: {err}", file=sys.stderr)
+            return 2
+        ok, why = validate_collapsed_text(text)
+        if ok:
+            stacks = text.count("\n")
+            print(f"{args.validate_collapsed}: valid collapsed stacks ({stacks} stacks)")
+            return 0
+        print(f"obs_report: {args.validate_collapsed}: {why}", file=sys.stderr)
+        return 1
 
     if args.baseline is not None:
         baseline_path, current_paths = args.baseline, args.files
@@ -384,7 +561,7 @@ def main() -> int:
             )
             return 2
         if base_kind == "bench":
-            diff_bench(base, cur, report, args.threshold)
+            diff_bench(base, cur, report, args.threshold, args.alpha)
         elif base_kind == "metrics":
             diff_metrics(base, cur, report)
         elif base_kind == "timeseries":

@@ -92,7 +92,13 @@ def test_layering_acceptance_fixture() -> None:
           "layer violation")
     check(any("not declared in the layer DAG" in f.message for f in hits),
           "layering: undeclared-module fixture not flagged")
-    print("ok: layering acceptance fixture (graph -> core rejected)")
+    # The platform shim layer: obs -> platform is legal (exercised by the
+    # ok/ tree), but graph reaching past obs into platform/ is not.
+    check(any("layer violation" in f.message
+              and f.path == "src/graph/hwprobe.hpp" for f in hits),
+          "layering: graph-includes-platform fixture not flagged as a "
+          "layer violation")
+    print("ok: layering acceptance fixture (graph -> core/platform rejected)")
 
 
 def test_fingerprint_line_independence() -> None:

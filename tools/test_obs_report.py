@@ -1,0 +1,258 @@
+#!/usr/bin/env python3
+"""Self-test for obs_report.py's statistical gate and collapsed validator.
+
+Encodes the PR's acceptance criteria directly:
+  * a bench record with medians inflated 1.5x over the baseline must make
+    obs_report exit nonzero with a significance verdict in the output;
+  * a self-diff must exit 0;
+  * --validate-collapsed must accept the profiler's output grammar and
+    reject malformed variants.
+
+Run directly (python3 tools/test_obs_report.py) or via ctest
+(obs_report_selftest). Uses only the standard library.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import subprocess
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+TOOLS_DIR = Path(__file__).resolve().parent
+sys.path.insert(0, str(TOOLS_DIR))
+
+import obs_report  # noqa: E402
+
+
+def bench_doc(samples_by_name: dict[str, list[float]], config: dict | None = None) -> dict:
+    results = []
+    for name, samples in sorted(samples_by_name.items()):
+        ordered = sorted(samples)
+        mid = len(ordered) // 2
+        median = (
+            ordered[mid]
+            if len(ordered) % 2
+            else (ordered[mid - 1] + ordered[mid]) / 2.0
+        )
+        results.append(
+            {
+                "name": name,
+                "reps": len(samples),
+                "median_ns_per_op": median,
+                "samples_ns": samples,
+            }
+        )
+    return {"suite": "selftest", "config": config or {}, "results": results}
+
+
+def run_report(args: list[str]) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(TOOLS_DIR / "obs_report.py"), *args],
+        capture_output=True,
+        text=True,
+    )
+
+
+class MannWhitneyTest(unittest.TestCase):
+    def test_fully_separated_samples_are_significant(self) -> None:
+        base = [100.0, 101.0, 102.0, 103.0, 104.0]
+        cur = [150.0, 151.0, 152.0, 153.0, 154.0]
+        p = obs_report.mann_whitney_p(base, cur)
+        # Exact one-sided p for complete separation at 5v5 is 1/C(10,5).
+        self.assertAlmostEqual(p, 1.0 / 252.0, places=9)
+
+    def test_identical_samples_are_not_significant(self) -> None:
+        samples = [100.0] * 5
+        p = obs_report.mann_whitney_p(samples, list(samples))
+        self.assertEqual(p, 0.5)
+
+    def test_interleaved_samples_are_not_significant(self) -> None:
+        base = [100.0, 110.0, 120.0, 130.0, 140.0]
+        cur = [105.0, 115.0, 125.0, 135.0, 145.0]
+        p = obs_report.mann_whitney_p(base, cur)
+        self.assertGreater(p, 0.05)
+
+    def test_improvement_has_large_p(self) -> None:
+        base = [150.0, 151.0, 152.0, 153.0, 154.0]
+        cur = [100.0, 101.0, 102.0, 103.0, 104.0]
+        p = obs_report.mann_whitney_p(base, cur)
+        self.assertGreater(p, 0.99)
+
+    def test_empty_samples_return_none(self) -> None:
+        self.assertIsNone(obs_report.mann_whitney_p([], [1.0]))
+        self.assertIsNone(obs_report.mann_whitney_p([1.0], []))
+
+    def test_exact_matches_normal_approximation_direction(self) -> None:
+        # Large no-tie samples take the normal path; a clear shift must
+        # still come out significant there.
+        base = [100.0 + 0.1 * i for i in range(25)]
+        cur = [130.0 + 0.1 * i for i in range(25)]
+        p = obs_report.mann_whitney_p(base, cur)
+        self.assertLess(p, 1e-6)
+        self.assertGreaterEqual(p, 0.0)
+        self.assertFalse(math.isnan(p))
+
+
+class GatingTest(unittest.TestCase):
+    """End-to-end exit-code behaviour through the CLI."""
+
+    def setUp(self) -> None:
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+        self.dir = Path(self.tmp.name)
+
+    def write(self, name: str, doc: dict) -> Path:
+        path = self.dir / name
+        path.write_text(json.dumps(doc))
+        return path
+
+    def test_inflated_record_gates_with_significance_verdict(self) -> None:
+        base_samples = {
+            "snapshot_build": [1000.0, 1010.0, 990.0, 1005.0, 995.0],
+            "dijkstra_pair": [500.0, 505.0, 495.0, 502.0, 498.0],
+        }
+        inflated = {
+            name: [s * 1.5 for s in samples]
+            for name, samples in base_samples.items()
+        }
+        base = self.write("base.json", bench_doc(base_samples))
+        cur = self.write("cur.json", bench_doc(inflated))
+        proc = run_report([str(base), str(cur)])
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("REGRESSED", proc.stdout)
+        self.assertIn("p=", proc.stdout)  # significance verdict in the summary
+
+    def test_self_diff_exits_zero(self) -> None:
+        doc = bench_doc({"snapshot_build": [1000.0, 1010.0, 990.0, 1005.0, 995.0]})
+        base = self.write("base.json", doc)
+        proc = run_report([str(base), str(base)])
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("no regressions", proc.stdout)
+
+    def test_large_but_insignificant_delta_does_not_gate(self) -> None:
+        # Median is 30% up but the distributions overlap heavily: one
+        # wild outlier rep should not fail CI.
+        base = self.write(
+            "base.json",
+            bench_doc({"noisy": [100.0, 400.0, 90.0, 410.0, 95.0]}),
+        )
+        cur = self.write(
+            "cur.json",
+            bench_doc({"noisy": [130.0, 95.0, 405.0, 100.0, 415.0]}),
+        )
+        proc = run_report([str(base), str(cur)])
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("noise?", proc.stdout)
+
+    def test_legacy_records_gate_on_median_alone(self) -> None:
+        base_doc = bench_doc({"bench": [100.0] * 5})
+        cur_doc = bench_doc({"bench": [150.0] * 5})
+        for doc in (base_doc, cur_doc):
+            for result in doc["results"]:
+                del result["samples_ns"]
+        base = self.write("base.json", base_doc)
+        cur = self.write("cur.json", cur_doc)
+        proc = run_report([str(base), str(cur)])
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("REGRESSED", proc.stdout)
+
+    def test_cross_machine_annotates_and_never_gates(self) -> None:
+        base = self.write(
+            "base.json",
+            bench_doc(
+                {"bench": [100.0, 101.0, 102.0, 103.0, 104.0]},
+                config={"host_cores": "8", "threads": "8"},
+            ),
+        )
+        cur = self.write(
+            "cur.json",
+            bench_doc(
+                {"bench": [150.0, 151.0, 152.0, 153.0, 154.0]},
+                config={"host_cores": "1", "threads": "1"},
+            ),
+        )
+        proc = run_report([str(base), str(cur)])
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("cross-machine", proc.stdout)
+        self.assertNotIn("REGRESSED", proc.stdout)
+
+    def test_machine_header_present(self) -> None:
+        doc = bench_doc(
+            {"bench": [100.0] * 5}, config={"host_cores": "4", "threads": "2"}
+        )
+        base = self.write("base.json", doc)
+        proc = run_report(["--markdown", str(base), str(base)])
+        self.assertEqual(proc.returncode, 0)
+        self.assertIn("host_cores=4", proc.stdout)
+        self.assertIn("threads=2", proc.stdout)
+
+    def test_alpha_flag_tightens_the_gate(self) -> None:
+        base = self.write(
+            "base.json",
+            bench_doc({"bench": [100.0, 101.0, 102.0, 103.0, 104.0]}),
+        )
+        cur = self.write(
+            "cur.json",
+            bench_doc({"bench": [150.0, 151.0, 152.0, 153.0, 154.0]}),
+        )
+        # p ~= 0.004: gates at the default alpha, passes at alpha=0.001.
+        self.assertEqual(run_report([str(base), str(cur)]).returncode, 1)
+        proc = run_report(["--alpha", "0.001", str(base), str(cur)])
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+
+class ValidateCollapsedTest(unittest.TestCase):
+    def check(self, text: str) -> tuple[bool, str]:
+        return obs_report.validate_collapsed_text(text)
+
+    def test_valid_profile(self) -> None:
+        ok, why = self.check(
+            "parallel.run;parallel.worker;snapshot.build 19\n"
+            "parallel.run;parallel.worker;snapshot.step 1582\n"
+        )
+        self.assertTrue(ok, why)
+
+    def test_empty_profile_is_valid(self) -> None:
+        self.assertTrue(self.check("")[0])
+
+    def test_rejects_missing_trailing_newline(self) -> None:
+        self.assertFalse(self.check("a;b 3")[0])
+
+    def test_rejects_missing_count(self) -> None:
+        self.assertFalse(self.check("a;b\n")[0])
+
+    def test_rejects_zero_and_padded_counts(self) -> None:
+        self.assertFalse(self.check("a;b 0\n")[0])
+        self.assertFalse(self.check("a;b 01\n")[0])
+
+    def test_rejects_empty_frame(self) -> None:
+        self.assertFalse(self.check("a;;b 3\n")[0])
+        self.assertFalse(self.check(";a 3\n")[0])
+
+    def test_rejects_unsorted_and_duplicate_stacks(self) -> None:
+        self.assertFalse(self.check("b 1\na 2\n")[0])
+        self.assertFalse(self.check("a 1\na 2\n")[0])
+
+    def test_rejects_space_in_frame(self) -> None:
+        self.assertFalse(self.check("a b;c 3\n")[0])
+
+    def test_cli_mode(self) -> None:
+        with tempfile.TemporaryDirectory() as tmp:
+            good = Path(tmp) / "good.collapsed"
+            good.write_text("main;work 7\n")
+            bad = Path(tmp) / "bad.collapsed"
+            bad.write_text("main;work zero\n")
+            self.assertEqual(
+                run_report(["--validate-collapsed", str(good)]).returncode, 0
+            )
+            self.assertEqual(
+                run_report(["--validate-collapsed", str(bad)]).returncode, 1
+            )
+
+
+if __name__ == "__main__":
+    unittest.main()
