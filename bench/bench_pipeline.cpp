@@ -17,6 +17,7 @@
 #include "bench_common.hpp"
 #include "core/churn_study.hpp"
 #include "core/latency_study.hpp"
+#include "core/net_trace.hpp"
 #include "core/parallel.hpp"
 #include "core/scenario.hpp"
 #include "core/snapshot_stepper.hpp"
@@ -207,6 +208,30 @@ int main(int argc, char** argv) {
           core::RunAggregateChurnStudy(stepped_model, pairs, fine);
       (void)churn;
     });
+  }
+
+  // 5c. The fine sweep with network-state trace capture + serialization
+  //     on: the delta against temporal_sweep_fine is the all-in cost of
+  //     producing an emulation-grade trace (per-slot captures from the
+  //     parallel workers, diffing, and JSONL encoding of both streams).
+  {
+    core::SnapshotSchedule fine;
+    fine.step_sec = 10.0;
+    fine.duration_sec = 10.0 * 60.0;  // 60 slots
+    core::NetTraceRecorder& net_trace = core::NetTraceRecorder::Global();
+    size_t trace_bytes = 0;
+    suite.Run("nettrace_sweep_fine", 5, 1, [&] {
+      net_trace.Reset();
+      net_trace.Enable(true);
+      const core::AggregateChurn churn =
+          core::RunAggregateChurnStudy(stepped_model, pairs, fine);
+      (void)churn;
+      trace_bytes =
+          net_trace.NetStateJsonl().size() + net_trace.NetEventsJsonl().size();
+    });
+    net_trace.Enable(false);
+    net_trace.Reset();
+    std::printf("# nettrace checksum: %zu bytes serialized\n", trace_bytes);
   }
 
   // 6. Max-min fair allocation on a synthetic slot-sized flow network

@@ -21,7 +21,9 @@
 #include <vector>
 
 #include "core/attenuation_study.hpp"
+#include "core/churn_study.hpp"
 #include "core/latency_study.hpp"
+#include "core/net_trace.hpp"
 #include "core/network_builder.hpp"
 #include "core/report.hpp"
 #include "core/traffic_matrix.hpp"
@@ -53,9 +55,15 @@ int Usage() {
       "  study latency [--pairs=N] [--snapshots=N] [--step=SEC]\n"
       "                [--spacing=DEG] [--manifest-out=F]\n"
       "                                 run a small BP-vs-hybrid latency study\n"
+      "  trace [--bp] [--pairs=N] [--snapshots=N] [--step=SEC]\n"
+      "        [--spacing=DEG] [--out=DIR]\n"
+      "                                 export + validate a netstate/netevents\n"
+      "                                 trace (route-churn sweep)\n"
       "global flags: --log-level=L --metrics-out=F --trace-out=F\n"
       "              --timeseries-out=F --profile-out=F --hw-counters=F\n"
-      "              --flight-recorder[=F] --progress[=SEC]\n");
+      "              --flight-recorder[=F] --progress[=SEC]\n"
+      "              --trace-net-out=DIR (netstate/netevents export from any\n"
+      "              study command)\n");
   return 2;
 }
 
@@ -261,6 +269,77 @@ int CmdStudyLatency(const std::vector<std::string>& args) {
   return 0;
 }
 
+// Exports a network-state trace from a route-churn sweep and proves the
+// replay invariant before reporting success: slot 0's full state plus
+// the per-slot event stream must reproduce every later slot bit for
+// bit. The files land as DIR/netstate.jsonl and DIR/netevents.jsonl,
+// ready for tools/trace_check.py or a downstream emulator.
+int CmdTrace(const std::vector<std::string>& args) {
+  bool bent_pipe = false;
+  int num_pairs = 5;
+  int num_snapshots = 10;
+  double step_sec = 10.0;
+  double spacing_deg = 3.0;
+  std::string out_dir = "nettrace";
+  for (const std::string& arg : args) {
+    const auto value_of = [&arg](const char* prefix) -> const char* {
+      const size_t len = std::strlen(prefix);
+      return arg.compare(0, len, prefix) == 0 ? arg.c_str() + len : nullptr;
+    };
+    if (arg == "--bp") {
+      bent_pipe = true;
+    } else if (const char* v = value_of("--pairs=")) {
+      num_pairs = std::atoi(v);
+    } else if (const char* v = value_of("--snapshots=")) {
+      num_snapshots = std::atoi(v);
+    } else if (const char* v = value_of("--step=")) {
+      step_sec = std::atof(v);
+    } else if (const char* v = value_of("--spacing=")) {
+      spacing_deg = std::atof(v);
+    } else if (const char* v = value_of("--out=")) {
+      out_dir = v;
+    } else {
+      std::printf("trace: unknown flag %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  const core::Scenario scenario = core::Scenario::Starlink();
+  const std::vector<data::City>& cities = data::AnchorCities();
+  core::NetworkOptions options;
+  options.relay_spacing_deg = spacing_deg;
+  options.mode = bent_pipe ? core::ConnectivityMode::kBentPipe
+                           : core::ConnectivityMode::kHybrid;
+  const core::NetworkModel model(scenario, options, cities);
+
+  core::TrafficMatrixOptions traffic;
+  traffic.num_pairs = num_pairs;
+  const std::vector<core::CityPair> pairs = core::SampleCityPairs(cities, traffic);
+
+  core::SnapshotSchedule schedule;
+  schedule.step_sec = step_sec;
+  schedule.duration_sec = step_sec * num_snapshots;
+
+  core::NetTraceRecorder& recorder = core::NetTraceRecorder::Global();
+  recorder.Enable(true);
+  core::RunAggregateChurnStudy(model, pairs, schedule);
+
+  std::string why;
+  if (!recorder.ValidateReplay(&why)) {
+    std::fprintf(stderr, "trace replay validation FAILED: %s\n", why.c_str());
+    return 1;
+  }
+  if (!recorder.WriteTo(out_dir)) {
+    std::fprintf(stderr, "cannot write trace files under %s\n", out_dir.c_str());
+    return 1;
+  }
+  std::printf("trace: %d slots (%s), replay validated, wrote %s/netstate.jsonl"
+              " and %s/netevents.jsonl\n",
+              recorder.NumSlots(), bent_pipe ? "bent-pipe" : "hybrid",
+              out_dir.c_str(), out_dir.c_str());
+  return 0;
+}
+
 int CmdCities(const std::string& filter) {
   int shown = 0;
   for (const data::City& c : data::AnchorCities()) {
@@ -285,6 +364,7 @@ int main(int argc, char** argv) {
   std::string timeseries_out;
   std::string profile_out;
   std::string hw_counters_out;
+  std::string trace_net_out;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -308,6 +388,9 @@ int main(int argc, char** argv) {
     } else if (const char* v = value_of("--hw-counters=")) {
       hw_counters_out = v;
       obs::EnableHwCounters(true);
+    } else if (const char* v = value_of("--trace-net-out=")) {
+      trace_net_out = v;
+      core::NetTraceRecorder::Global().Enable(true);
     } else if (const char* v = value_of("--flight-recorder=")) {
       obs::FlightRecorderOptions flight;
       flight.dump_path = v;
@@ -340,6 +423,8 @@ int main(int argc, char** argv) {
     rc = CmdCities(args.size() >= 2 ? args[1] : "");
   } else if (command == "study" && args.size() >= 2 && args[1] == "latency") {
     rc = CmdStudyLatency({args.begin() + 2, args.end()});
+  } else if (command == "trace") {
+    rc = CmdTrace({args.begin() + 1, args.end()});
   } else {
     rc = Usage();
   }
@@ -374,6 +459,16 @@ int main(int argc, char** argv) {
       std::printf("wrote %s\n", profile_out.c_str());
     } else {
       std::fprintf(stderr, "cannot write %s\n", profile_out.c_str());
+      rc = rc == 0 ? 1 : rc;
+    }
+  }
+  if (!trace_net_out.empty()) {
+    if (core::NetTraceRecorder::Global().WriteTo(trace_net_out)) {
+      std::printf("wrote %s/netstate.jsonl and %s/netevents.jsonl\n",
+                  trace_net_out.c_str(), trace_net_out.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write trace files under %s\n",
+                   trace_net_out.c_str());
       rc = rc == 0 ? 1 : rc;
     }
   }

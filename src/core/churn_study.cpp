@@ -7,6 +7,7 @@
 #include <span>
 #include <stdexcept>
 
+#include "core/net_trace.hpp"
 #include "core/report.hpp"
 #include "core/snapshot_stepper.hpp"
 #include "core/temporal_sweep.hpp"
@@ -125,10 +126,17 @@ std::vector<SlotRoutes> SweepRoutes(const NetworkModel& model,
                                     const std::string& label) {
   const std::vector<SourceGroup> groups = GroupPairsBySource(pairs);
   std::vector<SlotRoutes> slots(times.size());
+  NetTraceRecorder& net_trace = NetTraceRecorder::Global();
+  if (net_trace.Enabled()) {
+    net_trace.SetTimeline(times);
+  }
   const TemporalSweep sweep(times);
   sweep.Run(label, [&](const SweepItem& item, SweepWorkspace& ws) {
     const NetworkModel::Snapshot& snap =
         BuildOrStepSnapshot(model, item.time_sec, &ws.snapshot, &ws.stepper);
+    if (net_trace.Enabled()) {
+      net_trace.CaptureSlot(item.slot, item.time_sec, snap);
+    }
     RouteSlotPaths(snap, pairs, groups, &slots[static_cast<size_t>(item.slot)],
                    &ws);
   });
@@ -161,6 +169,7 @@ ChurnStats RunChurnStudy(const NetworkModel& model, const std::string& city_a,
   double jaccard_sum = 0.0;
   double jitter_sum = 0.0;
   obs::TimeseriesRecorder& recorder = obs::TimeseriesRecorder::Global();
+  NetTraceRecorder& net_trace = NetTraceRecorder::Global();
   for (size_t s = 0; s < slots.size(); ++s) {
     const double rtt = slots[s].rtt[0];
     if (rtt == kInf) {
@@ -176,6 +185,10 @@ ChurnStats RunChurnStudy(const NetworkModel& model, const std::string& city_a,
                                        prev.end());
       if (changed) {
         ++stats.path_changes;
+        if (net_trace.Enabled()) {
+          net_trace.AddRouteChange(static_cast<int>(s), 0, rtt,
+                                   {cur.begin(), cur.end()});
+        }
       }
       recorder.Record(times[s], "churn.pair.changed", changed ? 1.0 : 0.0);
       jaccard_sum += JaccardSorted(prev, cur);
@@ -213,6 +226,7 @@ AggregateChurn RunAggregateChurnStudy(const NetworkModel& model,
   // Serial diff pass, slot-major with pairs inner — the historical
   // accumulation order, so per-pair float sums are bit-identical.
   obs::TimeseriesRecorder& recorder = obs::TimeseriesRecorder::Global();
+  NetTraceRecorder& net_trace = NetTraceRecorder::Global();
   for (size_t s = 0; s < slots.size(); ++s) {
     int step_changes = 0;
     int step_routed = 0;
@@ -233,6 +247,10 @@ AggregateChurn RunAggregateChurnStudy(const NetworkModel& model,
         if (!std::equal(cur.begin(), cur.end(), prev.begin(), prev.end())) {
           ++pt.changes;
           ++step_changes;
+          if (net_trace.Enabled()) {
+            net_trace.AddRouteChange(static_cast<int>(s), static_cast<int>(i),
+                                     rtt, {cur.begin(), cur.end()});
+          }
         }
         pt.jaccard_sum += JaccardSorted(prev, cur);
         pt.jitter_sum += std::fabs(rtt - slots[s - 1].rtt[i]);

@@ -5,6 +5,7 @@
 #include <map>
 #include <vector>
 
+#include "core/net_trace.hpp"
 #include "core/report.hpp"
 #include "geo/geodesic.hpp"
 #include "link/visibility.hpp"
@@ -30,10 +31,25 @@ HandoverStats RunHandoverStudy(const Scenario& scenario,
   int outage_samples = 0;
   int endings = 0;
 
+  // This study samples visibility directly (no snapshots), so any trace
+  // it leaves is event-only: handover events per slot, no netstate
+  // keyframes. The timeline matches the sampling loop below exactly.
+  NetTraceRecorder& net_trace = NetTraceRecorder::Global();
+  if (net_trace.Enabled()) {
+    std::vector<double> times;
+    for (double t = 0.0; t <= options.duration_sec; t += options.step_sec) {
+      times.push_back(t);
+    }
+    net_trace.SetTimeline(times);
+  }
+
   std::vector<int> previous;
   std::vector<geo::Vec3> sats;
   link::SatelliteIndex index;
   std::vector<int> visible;
+  std::vector<int32_t> gained;
+  std::vector<int32_t> lost;
+  int slot = 0;
   for (double t = 0.0; t <= options.duration_sec; t += options.step_sec) {
     constellation.PositionsEcefInto(t, &sats);
     index.Rebuild(sats, coverage + 100.0);
@@ -45,16 +61,20 @@ HandoverStats RunHandoverStudy(const Scenario& scenario,
       ++outage_samples;
     }
 
+    gained.clear();
+    lost.clear();
     // Risers: in `visible` but not in `previous`.
     for (const int sat : visible) {
       if (!std::binary_search(previous.begin(), previous.end(), sat)) {
         pass_start.emplace(sat, t);
+        gained.push_back(sat);
       }
     }
     // Setters: in `previous` but not in `visible`.
     for (const int sat : previous) {
       if (!std::binary_search(visible.begin(), visible.end(), sat)) {
         ++endings;
+        lost.push_back(sat);
         const auto it = pass_start.find(sat);
         if (it != pass_start.end()) {
           completed_durations.push_back(t - it->second);
@@ -62,7 +82,11 @@ HandoverStats RunHandoverStudy(const Scenario& scenario,
         }
       }
     }
+    if (net_trace.Enabled() && (!lost.empty() || !gained.empty())) {
+      net_trace.AddHandover(slot, lost, gained);
+    }
     previous = visible;
+    ++slot;
   }
 
   HandoverStats stats;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/net_trace.hpp"
 #include "core/report.hpp"
 #include "core/snapshot_stepper.hpp"
 #include "core/stats.hpp"
@@ -143,6 +144,33 @@ void RecordLatencyTimeseries(const std::string& prefix,
   recorder.RecordSeries(prefix + ".rtt_p95_ms", times, p95);
 }
 
+// Emits reachability *transitions* for every pair of the hybrid series
+// into the network trace: a pair that routes at slot s after failing at
+// s-1 raises `reachable`, the reverse raises `unreachable`. Serial and
+// slot-major, so the event order inside each slot is the pair order —
+// deterministic regardless of how the sweep scheduled the routing.
+void RecordReachabilityTransitions(const std::vector<PairRttSeries>& series) {
+  NetTraceRecorder& recorder = NetTraceRecorder::Global();
+  if (!recorder.Enabled()) {
+    return;
+  }
+  if (series.empty()) {
+    return;
+  }
+  const size_t slots = series.front().rtt_ms.size();
+  for (size_t slot = 1; slot < slots; ++slot) {
+    for (size_t i = 0; i < series.size(); ++i) {
+      const double prev = series[i].rtt_ms[slot - 1];
+      const double cur = series[i].rtt_ms[slot];
+      if (prev == kInf && cur != kInf) {
+        recorder.AddReachable(static_cast<int>(slot), static_cast<int>(i), cur);
+      } else if (prev != kInf && cur == kInf) {
+        recorder.AddUnreachable(static_cast<int>(slot), static_cast<int>(i));
+      }
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<double> SnapshotSchedule::Times() const {
@@ -227,6 +255,10 @@ LatencyStudyResult RunLatencyStudy(const NetworkModel& bp_model,
   // the construction cost. Otherwise the two models are independent
   // streams of the sweep.
   const bool shared_build = CanDeriveBentPipeByMasking(bp_model, hybrid_model);
+  NetTraceRecorder& net_trace = NetTraceRecorder::Global();
+  if (net_trace.Enabled()) {
+    net_trace.SetTimeline(result.snapshot_times);
+  }
   uint64_t snapshots_built = 0;
   if (shared_build) {
     const TemporalSweep sweep(result.snapshot_times, 1);
@@ -238,6 +270,11 @@ LatencyStudyResult RunLatencyStudy(const NetworkModel& bp_model,
       NetworkModel::Snapshot& snap = BuildOrStepSnapshot(
           hybrid_model, item.time_sec, &ws.snapshot, &ws.stepper);
       const size_t slot = static_cast<size_t>(item.slot);
+      // Capture before the ISL masking below: the traced network is the
+      // hybrid topology as built, and distinct slots never race.
+      if (net_trace.Enabled()) {
+        net_trace.CaptureSlot(item.slot, item.time_sec, snap);
+      }
       RouteSlotRtts(snap, slot, pairs, groups, &result.hybrid, &ws);
       for (const graph::EdgeId e : snap.isl_edges) {
         snap.graph.SetEnabled(e, false);
@@ -259,6 +296,11 @@ LatencyStudyResult RunLatencyStudy(const NetworkModel& bp_model,
       // and never get to step.
       const NetworkModel::Snapshot& snap =
           model.BuildSnapshot(item.time_sec, &ws.snapshot);
+      // Two distinct models flow through this sweep; the trace records
+      // one network, so only the hybrid stream is captured.
+      if (item.stream == 1 && net_trace.Enabled()) {
+        net_trace.CaptureSlot(item.slot, item.time_sec, snap);
+      }
       RouteSlotRtts(snap, static_cast<size_t>(item.slot), pairs, groups, series,
                     &ws);
     });
@@ -268,6 +310,7 @@ LatencyStudyResult RunLatencyStudy(const NetworkModel& bp_model,
   RecordLatencyTimeseries("latency.bp", result.snapshot_times, result.bp);
   RecordLatencyTimeseries("latency.hybrid", result.snapshot_times,
                           result.hybrid);
+  RecordReachabilityTransitions(result.hybrid);
   StudySummary summary;
   summary.study = "latency";
   summary.snapshots_built = snapshots_built;

@@ -60,6 +60,19 @@ struct StepMetrics {
       obs::MetricsRegistry::Global().GetCounter("snapshot.step.recompact");
   obs::Counter& windows_expired = obs::MetricsRegistry::Global().GetCounter(
       "snapshot.step.windows_expired");
+  // Topology-event view of the same step: how many link_up / link_down /
+  // weight-change events this step would contribute to a
+  // leosim.netevents/1 stream. Kept distinct from edges_added/removed —
+  // events_down also counts rescan removals attributed to the step that
+  // triggered the rescan, and events_reweight counts every live-edge
+  // weight rewrite (radio survivors + all ISLs), which no other counter
+  // sees. Visible in obs_report.py diffs even when trace export is off.
+  obs::Counter& events_up =
+      obs::MetricsRegistry::Global().GetCounter("snapshot.step.events_up");
+  obs::Counter& events_down =
+      obs::MetricsRegistry::Global().GetCounter("snapshot.step.events_down");
+  obs::Counter& events_reweight = obs::MetricsRegistry::Global().GetCounter(
+      "snapshot.step.events_reweight");
   // Post-step population of the two tracking lists — the dormancy
   // balance the windowing exists to maintain.
   obs::Gauge& live_pairs =
@@ -343,6 +356,7 @@ void SnapshotStepper::Rescan(int sat, const geo::Vec3& pos) {
       // provably invisible — remove the edge.
       snap.graph.PatchRemoveEdge(live[li].edge);
       StepMetrics::Get().edges_removed.Increment();
+      ++rescan_removed_;
       ++li;
     }
     while (di < rescan_sorted_.size() && rescan_sorted_[di].terminal < terminal) {
@@ -366,6 +380,7 @@ void SnapshotStepper::Rescan(int sat, const geo::Vec3& pos) {
   for (; li < live.size(); ++li) {
     snap.graph.PatchRemoveEdge(live[li].edge);
     StepMetrics::Get().edges_removed.Increment();
+    ++rescan_removed_;
   }
   live.assign(rescan_live_.begin(), rescan_live_.end());
   dorm.assign(rescan_dorm_.begin(), rescan_dorm_.end());
@@ -391,6 +406,8 @@ void SnapshotStepper::Step(double time_sec) {
   uint64_t added = 0;
   uint64_t removed = 0;
   uint64_t expired = 0;
+  uint64_t reweighted = 0;
+  rescan_removed_ = 0;
   // Same propagation call as the builder — positions are bit-identical.
   model.constellation_.PositionsEcefInto(time_sec, &ws_->sat_ecef);
   const std::vector<geo::Vec3>& sat_ecef = ws_->sat_ecef;
@@ -569,6 +586,7 @@ void SnapshotStepper::Step(double time_sec) {
           // Deferred: the terminal-row half copy would be a scattered
           // write per pair; the flush below streams them row-clustered.
           graph.PatchEdgeWeightDeferred(lt.edge, link::PropagationLatencyMs(dn));
+          ++reweighted;
           snap.radio_edges.push_back(lt.edge);
           live[lw++] = lt;
         } else {
@@ -613,6 +631,7 @@ void SnapshotStepper::Step(double time_sec) {
         const double gd = td.g.Dot(d);
         if (gd >= td.thr * dn) {
           graph.PatchEdgeWeightDeferred(lt.edge, link::PropagationLatencyMs(dn));
+          ++reweighted;
           snap.radio_edges.push_back(lt.edge);
           live_merge_.push_back(lt);
         } else {
@@ -655,6 +674,8 @@ void SnapshotStepper::Step(double time_sec) {
                                       sat_ecef[static_cast<size_t>(rec.b)]));
   }
 
+  reweighted += snap.isl_edges.size();
+
   // Apply the live passes' queued terminal-side weight copies in one
   // row-clustered sweep (see PatchEdgeWeightDeferred).
   graph.FlushPatchWeights();
@@ -664,6 +685,9 @@ void SnapshotStepper::Step(double time_sec) {
   metrics.pairs_retested.Add(retested);
   metrics.recompact.Add(graph.PatchRecompactions() - recompact_before);
   metrics.windows_expired.Add(expired);
+  metrics.events_up.Add(added);
+  metrics.events_down.Add(removed + rescan_removed_);
+  metrics.events_reweight.Add(reweighted);
   // Post-step list populations: O(num_sats) size sums, no allocation.
   uint64_t live_pairs = 0;
   uint64_t dormant_pairs = 0;
@@ -683,6 +707,12 @@ void SnapshotStepper::Step(double time_sec) {
                       static_cast<double>(retested));
     timeseries.Record(time_sec, "snapshot.step.windows_expired",
                       static_cast<double>(expired));
+    timeseries.Record(time_sec, "snapshot.step.events_up",
+                      static_cast<double>(added));
+    timeseries.Record(time_sec, "snapshot.step.events_down",
+                      static_cast<double>(removed + rescan_removed_));
+    timeseries.Record(time_sec, "snapshot.step.events_reweight",
+                      static_cast<double>(reweighted));
   }
   obs::LogDebug("snapshot.step")
       .Field("t_sec", time_sec)

@@ -208,6 +208,10 @@ class SnapshotStepper {
   std::vector<LiveTrack> rescan_live_;
   std::vector<DormTrack> rescan_dorm_;
   std::vector<DormTrack> rescan_sorted_;
+  // Edge removals performed by Rescan during the current Step — they
+  // bypass Step's own removal count but are link_down events of the
+  // step that triggered the rescan. Reset at the top of every Step.
+  uint64_t rescan_removed_{0};
   std::unique_ptr<NetworkModel::SnapshotWorkspace> check_ws_;
 };
 

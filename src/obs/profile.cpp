@@ -15,6 +15,7 @@
 
 #include "core/mutex.hpp"
 #include "core/thread_annotations.hpp"
+#include "obs/schemas.hpp"
 #include "platform/perf_counters.hpp"
 
 namespace leosim::obs {
@@ -588,7 +589,9 @@ std::string HwCountersToJson() {
     table.available = probe.available();
     table.reason = probe.error();
   }
-  std::string out = "{\n  \"schema\": \"leosim.hwcounters/1\",\n";
+  std::string out = "{\n  \"schema\": \"";
+  out.append(kHwCountersSchema);
+  out.append("\",\n");
   out.append("  \"available\": ");
   out.append(table.available ? "true" : "false");
   out.append(",\n  \"reason\": \"");

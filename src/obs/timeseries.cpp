@@ -10,6 +10,7 @@
 
 #include "core/mutex.hpp"
 #include "core/thread_annotations.hpp"
+#include "obs/schemas.hpp"
 
 namespace leosim::obs {
 
@@ -144,7 +145,9 @@ std::string TimeseriesRecorder::ToJson() const {
     return std::tie(a.key, a.t, a.value) < std::tie(b.key, b.t, b.value);
   });
 
-  std::string out = "{\n  \"schema\": \"leosim.timeseries/1\",\n";
+  std::string out = "{\n  \"schema\": \"";
+  out.append(kTimeseriesSchema);
+  out.append("\",\n");
   out.append("  \"dropped_samples\": ");
   char tmp[24];
   std::snprintf(tmp, sizeof(tmp), "%" PRIu64, dropped);

@@ -1,0 +1,17 @@
+// Fixture: references the named schema constant instead of minting a
+// literal; a comment mentioning "a schema like leosim.nettrace/2" in
+// prose must not trigger either.
+#include <string>
+
+#include "obs/schemas.hpp"
+
+namespace leosim {
+
+std::string TraceHeader() {
+  std::string out = "{\"schema\":\"";
+  out += obs::kNetTraceSchema;
+  out += "\"}";
+  return out;
+}
+
+}  // namespace leosim

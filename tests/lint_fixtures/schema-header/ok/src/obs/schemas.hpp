@@ -1,0 +1,8 @@
+#pragma once
+// Fixture: the one place a versioned schema string may be minted.
+
+namespace leosim::obs {
+
+inline constexpr const char kNetTraceSchema[] = "leosim.nettrace/2";
+
+}  // namespace leosim::obs

@@ -1,0 +1,13 @@
+// Fixture: mints a versioned schema string outside src/obs/schemas.hpp.
+#include <string>
+
+namespace leosim {
+
+std::string TraceHeader() {
+  std::string out = "{\"schema\":";
+  out += "\"leosim.nettrace/2\"";  // must be a named constant in schemas.hpp
+  out += "}";
+  return out;
+}
+
+}  // namespace leosim

@@ -1,0 +1,168 @@
+// Determinism and replay guarantees of the network-state trace export.
+//
+// The headline claims under test:
+//   * the serialized netstate/netevents streams are byte-identical at
+//     any thread count (LEOSIM_THREADS=1/4/13) and whether snapshots
+//     are stepped or rebuilt (LEOSIM_STEP=1 vs 0) — traces are stable
+//     artifacts, diffable across machines and configurations;
+//   * ValidateReplay() holds on a >= 60-slot, 10 s-spacing sweep for
+//     both the bent-pipe and the +Grid hybrid network (the acceptance
+//     scenario, proven here in-process and again from the files alone
+//     by tools/trace_check.py via the trace_replay ctest target).
+#include "core/net_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/churn_study.hpp"
+#include "core/latency_study.hpp"
+#include "core/network_builder.hpp"
+#include "core/traffic_matrix.hpp"
+#include "data/cities.hpp"
+
+namespace leosim::core {
+namespace {
+
+NetworkOptions FastOptions(ConnectivityMode mode, double relay_spacing_deg) {
+  NetworkOptions options;
+  options.mode = mode;
+  options.relay_spacing_deg = relay_spacing_deg;
+  options.aircraft_scale = 1.0;
+  return options;
+}
+
+std::vector<CityPair> SamplePairs(int num_pairs) {
+  TrafficMatrixOptions traffic;
+  traffic.num_pairs = num_pairs;
+  return SampleCityPairs(data::AnchorCities(), traffic);
+}
+
+// Runs the aggregate churn study with tracing on and returns the two
+// serialized streams. Env knobs are set for the duration of the run.
+std::pair<std::string, std::string> TraceChurnRun(const char* threads,
+                                                  const char* step) {
+  setenv("LEOSIM_THREADS", threads, 1);
+  setenv("LEOSIM_STEP", step, 1);
+  NetTraceRecorder& net_trace = NetTraceRecorder::Global();
+  net_trace.Reset();
+  net_trace.Enable(true);
+
+  const NetworkModel hybrid(Scenario::Starlink(),
+                            FastOptions(ConnectivityMode::kHybrid, 6.0),
+                            data::AnchorCities());
+  SnapshotSchedule schedule;
+  schedule.step_sec = 10.0;
+  schedule.duration_sec = 120.0;
+  RunAggregateChurnStudy(hybrid, SamplePairs(6), schedule);
+
+  std::pair<std::string, std::string> out{net_trace.NetStateJsonl(),
+                                          net_trace.NetEventsJsonl()};
+  net_trace.Enable(false);
+  net_trace.Reset();
+  unsetenv("LEOSIM_THREADS");
+  unsetenv("LEOSIM_STEP");
+  return out;
+}
+
+TEST(TraceDeterminismTest, StreamsIdenticalAtAnyThreadCount) {
+  const auto at1 = TraceChurnRun("1", "1");
+  const auto at4 = TraceChurnRun("4", "1");
+  const auto at13 = TraceChurnRun("13", "1");
+  EXPECT_FALSE(at1.first.empty());
+  EXPECT_FALSE(at1.second.empty());
+  EXPECT_EQ(at1.first, at4.first);
+  EXPECT_EQ(at1.second, at4.second);
+  EXPECT_EQ(at1.first, at13.first);
+  EXPECT_EQ(at1.second, at13.second);
+}
+
+TEST(TraceDeterminismTest, SteppedAndRebuiltSnapshotsTraceIdentically) {
+  const auto stepped = TraceChurnRun("4", "1");
+  const auto rebuilt = TraceChurnRun("4", "0");
+  EXPECT_FALSE(stepped.first.empty());
+  EXPECT_EQ(stepped.first, rebuilt.first);
+  EXPECT_EQ(stepped.second, rebuilt.second);
+}
+
+// The acceptance sweep: 60 slots at 10 s spacing (the schedule's
+// endpoint is exclusive), replay must hold bit-exactly from the slot-0
+// keyframe through every later capture.
+void ValidateSixtySlotSweep(ConnectivityMode mode) {
+  NetTraceRecorder& net_trace = NetTraceRecorder::Global();
+  net_trace.Reset();
+  net_trace.Enable(true);
+
+  const NetworkModel model(Scenario::Starlink(), FastOptions(mode, 6.0),
+                           data::AnchorCities());
+  SnapshotSchedule schedule;
+  schedule.step_sec = 10.0;
+  schedule.duration_sec = 600.0;
+  RunAggregateChurnStudy(model, SamplePairs(5), schedule);
+
+  EXPECT_GE(net_trace.NumSlots(), 60);
+  std::string why;
+  EXPECT_TRUE(net_trace.ValidateReplay(&why)) << why;
+
+  net_trace.Enable(false);
+  net_trace.Reset();
+}
+
+TEST(TraceReplayTest, SixtySlotBentPipeSweepReplays) {
+  ValidateSixtySlotSweep(ConnectivityMode::kBentPipe);
+}
+
+TEST(TraceReplayTest, SixtySlotHybridSweepReplays) {
+  ValidateSixtySlotSweep(ConnectivityMode::kHybrid);
+}
+
+TEST(TraceReplayTest, LatencyStudySharedSweepReplays) {
+  // The latency study traces through the shared-build path (one capture
+  // per slot, taken before the bent-pipe ISL masking) and is the one
+  // that emits reachable/unreachable transitions.
+  NetTraceRecorder& net_trace = NetTraceRecorder::Global();
+  net_trace.Reset();
+  net_trace.Enable(true);
+
+  const NetworkModel bp(Scenario::Starlink(),
+                        FastOptions(ConnectivityMode::kBentPipe, 6.0),
+                        data::AnchorCities());
+  const NetworkModel hybrid(Scenario::Starlink(),
+                            FastOptions(ConnectivityMode::kHybrid, 6.0),
+                            data::AnchorCities());
+  SnapshotSchedule schedule;
+  schedule.step_sec = 10.0;
+  schedule.duration_sec = 100.0;
+  RunLatencyStudy(bp, hybrid, SamplePairs(6), schedule);
+
+  EXPECT_EQ(net_trace.NumSlots(), 10);
+  std::string why;
+  EXPECT_TRUE(net_trace.ValidateReplay(&why)) << why;
+
+  net_trace.Enable(false);
+  net_trace.Reset();
+}
+
+TEST(TraceRecorderTest, DisabledRecorderCapturesNothing) {
+  NetTraceRecorder& net_trace = NetTraceRecorder::Global();
+  net_trace.Reset();
+  net_trace.Enable(false);
+
+  const NetworkModel hybrid(Scenario::Starlink(),
+                            FastOptions(ConnectivityMode::kHybrid, 6.0),
+                            data::AnchorCities());
+  SnapshotSchedule schedule;
+  schedule.step_sec = 10.0;
+  schedule.duration_sec = 30.0;
+  RunAggregateChurnStudy(hybrid, SamplePairs(3), schedule);
+
+  EXPECT_EQ(net_trace.NumSlots(), 0);
+  EXPECT_TRUE(net_trace.NetStateJsonl().empty());
+  EXPECT_TRUE(net_trace.NetEventsJsonl().empty());
+}
+
+}  // namespace
+}  // namespace leosim::core

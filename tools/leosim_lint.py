@@ -56,6 +56,12 @@ Rules (each maps to a repo invariant documented in DESIGN.md):
   tsa-suppression No LEOSIM_NO_THREAD_SAFETY_ANALYSIS in src/ outside
                    the annotation/wrapper headers: the -Werror gate is
                    only meaningful if src/ carries zero suppressions.
+  schema-header   Every versioned artifact schema string ("leosim.*/N")
+                   in src/ lives in src/obs/schemas.hpp and nowhere
+                   else. Writers reference the named constant, so a
+                   schema bump is one diff line and the Python tooling
+                   (obs_report.py, trace_check.py) has a single place
+                   to stay in sync with.
   hot-alloc       Functions taking a *Workspace parameter, and every
                    method of a *Stepper class (steppers advance a
                    workspace held as a member, so their whole surface
@@ -503,6 +509,35 @@ def check_tsa_suppression(ctx: LintContext) -> list[Finding]:
 
 
 # ---------------------------------------------------------------------------
+# schema-header: versioned artifact schema strings are minted in exactly
+# one place.
+
+# Matches a quoted schema name like "leosim.netstate/1" — a dotted
+# artifact name plus a version. The quotes may be escaped (`\"...\"`)
+# because writers typically mint schemas inside a larger JSON literal.
+# Runs over uncommented() (strings kept), so commentary about a schema
+# does not trigger it but minting one does.
+SCHEMA_STRING_RE = re.compile(r'\\?"(leosim\.[A-Za-z0-9_.]+/\d+)\\?"')
+SCHEMA_HEADER = "src/obs/schemas.hpp"
+
+
+def check_schema_header(ctx: LintContext) -> list[Finding]:
+    findings = []
+    for rel in ctx.files("src/"):
+        if rel == SCHEMA_HEADER:
+            continue
+        for lineno, line in enumerate(ctx.uncommented(rel).splitlines(), start=1):
+            m = SCHEMA_STRING_RE.search(line)
+            if m:
+                findings.append(Finding(
+                    rel, lineno, "schema-header",
+                    f"schema string \"{m.group(1)}\" minted outside "
+                    f"{SCHEMA_HEADER}; declare it there and reference the "
+                    "named constant so every schema lives in one header"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
 # hot-alloc: workspace-taking functions — and every method of a *Stepper
 # class, which advances a workspace held as a member rather than a
 # parameter — are the zero-steady-state-alloc hot paths (DESIGN.md §7);
@@ -682,6 +717,9 @@ RULES: list[Rule] = [
     Rule("tsa-suppression",
          "no thread-safety-analysis suppressions in src/",
          check_tsa_suppression),
+    Rule("schema-header",
+         "versioned schema strings live only in src/obs/schemas.hpp",
+         check_schema_header),
     Rule("hot-alloc",
          "no allocation in workspace-taking or *Stepper hot-path functions",
          check_hot_alloc),

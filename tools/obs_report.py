@@ -24,6 +24,12 @@ shape:
               deviation), gated by --threshold on relative drift.
   manifest    RunReport manifests: params, per-study summaries, and a
               recursive diff of the embedded metrics object.
+  netstate    Network-state traces (leosim.netstate/1 JSONL): per-slot
+              node/link counts and the first slot where the two runs'
+              full states diverge. Informational.
+  netevents   Network event streams (leosim.netevents/1 JSONL): per-slot
+              edge-churn counts (link_up/link_down/weight) side by
+              side. Informational.
 
 Usage:
   obs_report.py BASELINE CURRENT [--threshold PCT] [--alpha P] [--markdown]
@@ -49,6 +55,9 @@ from functools import lru_cache
 from pathlib import Path
 
 EPS = 1e-12
+# Kept importable for selftests and downstream scripts.
+NETSTATE_SCHEMA_PREFIX = "leosim.netstate/"
+NETEVENTS_SCHEMA_PREFIX = "leosim.netevents/"
 
 
 # ---------------------------------------------------------------------------
@@ -470,12 +479,162 @@ def diff_manifest(base: dict, cur: dict, report: Report) -> None:
         diff_metrics(base["metrics"], cur["metrics"], report)
 
 
-def load(path: str) -> tuple[dict, str]:
+def diff_netstate(base: dict, cur: dict, report: Report) -> None:
+    """Per-slot full-state comparison of two netstate traces.
+
+    Reports node/link counts side by side and the first slot where the
+    two runs' parsed states differ at all. Informational — two traces of
+    different scenarios are *expected* to diverge.
+    """
+    report.section("netstate trace")
+    slots = sorted(set(base) | set(cur))
+    first_divergence = None
+    rows = []
+    for slot in slots:
+        b = base.get(slot)
+        c = cur.get(slot)
+        if b is None or c is None:
+            if first_divergence is None:
+                first_divergence = slot
+            rows.append(
+                [
+                    str(slot),
+                    "-" if b is None else str(len(b.get("nodes", []))),
+                    "-" if c is None else str(len(c.get("nodes", []))),
+                    "-" if b is None else str(len(b.get("links", []))),
+                    "-" if c is None else str(len(c.get("links", []))),
+                    "only in " + ("current" if b is None else "baseline"),
+                ]
+            )
+            continue
+        same = (
+            b.get("counts") == c.get("counts")
+            and b.get("nodes") == c.get("nodes")
+            and b.get("links") == c.get("links")
+        )
+        if not same and first_divergence is None:
+            first_divergence = slot
+        rows.append(
+            [
+                str(slot),
+                str(len(b.get("nodes", []))),
+                str(len(c.get("nodes", []))),
+                str(len(b.get("links", []))),
+                str(len(c.get("links", []))),
+                "==" if same else "DIFF",
+            ]
+        )
+    report.table(
+        ["slot", "nodes b", "nodes n", "links b", "links n", "state"], rows
+    )
+    if first_divergence is None:
+        report.note(f"all {len(slots)} slots bit-identical across the two runs")
+    else:
+        report.note(f"first divergence at slot {first_divergence}")
+
+
+def _churn_counts(doc: dict) -> tuple[int, int, int]:
+    ups = downs = weights = 0
+    for event in doc.get("events", []):
+        kind = event[0] if isinstance(event, list) and event else None
+        if kind == "link_up":
+            ups += 1
+        elif kind == "link_down":
+            downs += 1
+        elif kind == "weight":
+            weights += 1
+    return ups, downs, weights
+
+
+def diff_netevents(base: dict, cur: dict, report: Report) -> None:
+    """Per-slot edge-churn counts of two netevents streams, side by side."""
+    report.section("netevents trace (edge churn per slot)")
+    slots = sorted(set(base) | set(cur))
+    rows = []
+    totals_b = [0, 0, 0]
+    totals_c = [0, 0, 0]
+    mismatched = 0
+    for slot in slots:
+        b = _churn_counts(base[slot]) if slot in base else None
+        c = _churn_counts(cur[slot]) if slot in cur else None
+        if b is not None:
+            totals_b = [x + y for x, y in zip(totals_b, b)]
+        if c is not None:
+            totals_c = [x + y for x, y in zip(totals_c, c)]
+        if b != c:
+            mismatched += 1
+        fmt = lambda t: "-" if t is None else f"{t[0]}/{t[1]}/{t[2]}"  # noqa: E731
+        rows.append([str(slot), fmt(b), fmt(c), "==" if b == c else "DIFF"])
+    report.table(["slot", "up/down/wt b", "up/down/wt n", "churn"], rows)
+    report.note(
+        f"totals up/down/weight: baseline {totals_b[0]}/{totals_b[1]}/"
+        f"{totals_b[2]}, current {totals_c[0]}/{totals_c[1]}/{totals_c[2]}, "
+        f"{mismatched} slot(s) with differing churn"
+    )
+
+
+_TRACE_SCHEMA_KINDS = {
+    "leosim.netstate/": "netstate",
+    "leosim.netevents/": "netevents",
+}
+
+
+def _detect_trace_kind(first_line: str) -> str | None:
+    """Kind of a JSONL trace artifact, from its first line; None if not one."""
     try:
-        doc = json.loads(Path(path).read_text())
-    except (OSError, json.JSONDecodeError) as err:
+        doc = json.loads(first_line)
+    except json.JSONDecodeError:
+        return None
+    if not isinstance(doc, dict) or not isinstance(doc.get("schema"), str):
+        return None
+    for prefix, kind in _TRACE_SCHEMA_KINDS.items():
+        if doc["schema"].startswith(prefix):
+            return kind
+    return None
+
+
+def load(path: str) -> tuple[dict, str]:
+    """Reads an artifact and detects its kind.
+
+    Every failure mode raises ValueError carrying the filename and the
+    first bytes of the offending content, so a garbled or mislabeled
+    file is attributable from the error alone.
+    """
+    try:
+        text = Path(path).read_text()
+    except OSError as err:
         raise ValueError(f"{path}: {err}") from err
-    return doc, detect_kind(doc)
+    snippet = text[:80]
+    first_line = text.lstrip().split("\n", 1)[0]
+    trace_kind = _detect_trace_kind(first_line)
+    if trace_kind is not None:
+        by_slot: dict = {}
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            if not line.strip():
+                continue
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError as err:
+                raise ValueError(
+                    f"{path}:{lineno}: {err}: first bytes {line[:80]!r}"
+                ) from err
+            if not isinstance(doc, dict) or "slot" not in doc:
+                raise ValueError(
+                    f"{path}:{lineno}: trace line without a slot: "
+                    f"first bytes {line[:80]!r}"
+                )
+            by_slot[doc["slot"]] = doc
+        return by_slot, trace_kind
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as err:
+        raise ValueError(
+            f"{path}: not valid JSON ({err}): first bytes {snippet!r}"
+        ) from err
+    try:
+        return doc, detect_kind(doc)
+    except ValueError as err:
+        raise ValueError(f"{path}: {err}: first bytes {snippet!r}") from err
 
 
 def main() -> int:
@@ -560,14 +719,29 @@ def main() -> int:
                 file=sys.stderr,
             )
             return 2
-        if base_kind == "bench":
-            diff_bench(base, cur, report, args.threshold, args.alpha)
-        elif base_kind == "metrics":
-            diff_metrics(base, cur, report)
-        elif base_kind == "timeseries":
-            diff_timeseries(base, cur, report, args.threshold)
-        else:
-            diff_manifest(base, cur, report)
+        try:
+            if base_kind == "bench":
+                diff_bench(base, cur, report, args.threshold, args.alpha)
+            elif base_kind == "metrics":
+                diff_metrics(base, cur, report)
+            elif base_kind == "timeseries":
+                diff_timeseries(base, cur, report, args.threshold)
+            elif base_kind == "netstate":
+                diff_netstate(base, cur, report)
+            elif base_kind == "netevents":
+                diff_netevents(base, cur, report)
+            else:
+                diff_manifest(base, cur, report)
+        except (KeyError, TypeError) as err:
+            # A well-shaped root with malformed entries (detect_kind
+            # only sniffs top-level keys): attribute it to the file
+            # instead of dying with a bare traceback.
+            print(
+                f"obs_report: {path}: malformed {base_kind} artifact "
+                f"({type(err).__name__}: {err})",
+                file=sys.stderr,
+            )
+            return 2
 
     sys.stdout.write(report.render())
     return 1 if report.regressions else 0

@@ -254,5 +254,156 @@ class ValidateCollapsedTest(unittest.TestCase):
             )
 
 
+def netstate_line(slot: int, links: list) -> str:
+    return json.dumps(
+        {
+            "schema": "leosim.netstate/1",
+            "slot": slot,
+            "t": slot * 10.0,
+            "counts": [2, 1, 0, 0],
+            "nodes": [
+                ["sat", 7000.0, 0.0, float(slot)],
+                ["sat", 0.0, 7000.0, 0.0],
+                ["city", 6371.0, 0.0, 0.0],
+            ],
+            "links": links,
+        }
+    )
+
+
+def netevents_line(slot: int, events: list) -> str:
+    return json.dumps(
+        {
+            "schema": "leosim.netevents/1",
+            "slot": slot,
+            "t": slot * 10.0,
+            "events": events,
+        }
+    )
+
+
+class TraceKindTest(unittest.TestCase):
+    """load() sniffing and diffing of netstate/netevents JSONL traces."""
+
+    def setUp(self) -> None:
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+        self.dir = Path(self.tmp.name)
+
+    def write(self, name: str, text: str) -> Path:
+        path = self.dir / name
+        path.write_text(text)
+        return path
+
+    def test_load_detects_netstate_jsonl(self) -> None:
+        path = self.write(
+            "netstate.jsonl",
+            netstate_line(0, [[0, 2, 2.1, 20.0, "radio"]]) + "\n"
+            + netstate_line(1, [[1, 2, 2.5, 20.0, "radio"]]) + "\n",
+        )
+        by_slot, kind = obs_report.load(str(path))
+        self.assertEqual(kind, "netstate")
+        self.assertEqual(sorted(by_slot), [0, 1])
+        self.assertEqual(by_slot[1]["links"][0][2], 2.5)
+
+    def test_load_detects_netevents_jsonl(self) -> None:
+        path = self.write(
+            "netevents.jsonl",
+            netevents_line(0, []) + "\n"
+            + netevents_line(1, [["link_down", 0, 2]]) + "\n",
+        )
+        by_slot, kind = obs_report.load(str(path))
+        self.assertEqual(kind, "netevents")
+        self.assertEqual(by_slot[1]["events"], [["link_down", 0, 2]])
+
+    def test_netstate_self_diff_is_identical_and_exits_zero(self) -> None:
+        path = self.write(
+            "netstate.jsonl",
+            netstate_line(0, [[0, 2, 2.1, 20.0, "radio"]]) + "\n"
+            + netstate_line(1, [[1, 2, 2.5, 20.0, "radio"]]) + "\n",
+        )
+        proc = run_report([str(path), str(path)])
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("all 2 slots bit-identical", proc.stdout)
+
+    def test_netstate_diff_reports_first_divergence(self) -> None:
+        base = self.write(
+            "base.jsonl",
+            netstate_line(0, [[0, 2, 2.1, 20.0, "radio"]]) + "\n"
+            + netstate_line(1, [[1, 2, 2.5, 20.0, "radio"]]) + "\n",
+        )
+        cur = self.write(
+            "cur.jsonl",
+            netstate_line(0, [[0, 2, 2.1, 20.0, "radio"]]) + "\n"
+            + netstate_line(1, [[1, 2, 9.9, 20.0, "radio"]]) + "\n",
+        )
+        proc = run_report([str(base), str(cur)])
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("first divergence at slot 1", proc.stdout)
+
+    def test_netevents_diff_reports_per_slot_churn(self) -> None:
+        base = self.write(
+            "base.jsonl",
+            netevents_line(0, []) + "\n"
+            + netevents_line(1, [["link_down", 0, 2],
+                                ["link_up", 1, 2, 2.5, 20.0, "radio"],
+                                ["weight", 0, 1, 33.5]]) + "\n",
+        )
+        cur = self.write(
+            "cur.jsonl",
+            netevents_line(0, []) + "\n"
+            + netevents_line(1, [["weight", 0, 1, 34.0]]) + "\n",
+        )
+        proc = run_report([str(base), str(cur)])
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("1/1/1", proc.stdout)  # baseline slot-1 up/down/weight
+        self.assertIn("0/0/1", proc.stdout)  # current slot-1 churn
+        self.assertIn("DIFF", proc.stdout)
+
+    def test_mixed_trace_kinds_are_an_input_error(self) -> None:
+        state = self.write("netstate.jsonl", netstate_line(0, []) + "\n")
+        events = self.write("netevents.jsonl", netevents_line(0, []) + "\n")
+        proc = run_report([str(state), str(events)])
+        self.assertEqual(proc.returncode, 2, proc.stdout + proc.stderr)
+        self.assertIn("netevents artifact", proc.stderr)
+
+    def test_garbled_file_error_names_file_and_snippet(self) -> None:
+        path = self.write("garbled.json", "garbage{{{ not json at all")
+        proc = run_report([str(path), str(path)])
+        self.assertEqual(proc.returncode, 2, proc.stdout + proc.stderr)
+        self.assertIn("garbled.json", proc.stderr)
+        self.assertIn("garbage{{{", proc.stderr)
+
+    def test_unknown_shape_error_names_file_and_snippet(self) -> None:
+        path = self.write("odd.json", '{"foo": 1}')
+        proc = run_report([str(path), str(path)])
+        self.assertEqual(proc.returncode, 2, proc.stdout + proc.stderr)
+        self.assertIn("odd.json", proc.stderr)
+        self.assertIn("foo", proc.stderr)
+
+    def test_trace_line_without_slot_is_an_input_error(self) -> None:
+        path = self.write(
+            "netstate.jsonl",
+            netstate_line(0, []) + "\n" + '{"schema": "leosim.netstate/1"}\n',
+        )
+        proc = run_report([str(path), str(path)])
+        self.assertEqual(proc.returncode, 2, proc.stdout + proc.stderr)
+        self.assertIn("without a slot", proc.stderr)
+        self.assertIn(":2:", proc.stderr)
+
+    def test_malformed_entries_in_wellshaped_root_exit_two(self) -> None:
+        # detect_kind only sniffs top-level keys; a bench artifact whose
+        # results rows are garbage must fail with an attributed error,
+        # not a bare traceback.
+        base = self.write(
+            "base.json",
+            json.dumps({"suite": "s", "results": [{"name": "x"}]}),
+        )
+        proc = run_report([str(base), str(base)])
+        self.assertEqual(proc.returncode, 2, proc.stdout + proc.stderr)
+        self.assertIn("malformed bench artifact", proc.stderr)
+        self.assertNotIn("Traceback", proc.stderr)
+
+
 if __name__ == "__main__":
     unittest.main()

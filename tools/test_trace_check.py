@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""Self-test for trace_check.py; wired into ctest as `trace_check_selftest`.
+
+Builds tiny synthetic netstate/netevents traces in a temp dir and
+asserts the replayer's full exit-code contract:
+
+  * a consistent trace (hand-computed deltas) replays clean → exit 0;
+  * a tampered full-state slot is reported as a divergence → exit 1;
+  * a gap in the event stream is a divergence → exit 1;
+  * garbled input (broken JSON, wrong schema, duplicate slots) is a
+    format error → exit 2, with the filename in the message;
+  * an empty netstate (event-only trace, e.g. the handover study) is
+    vacuously consistent → exit 0.
+
+Run directly (python3 tools/test_trace_check.py) or via ctest. Uses
+only the standard library.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+TOOLS_DIR = Path(__file__).resolve().parent
+sys.path.insert(0, str(TOOLS_DIR))
+
+import trace_check  # noqa: E402
+
+
+def netstate_line(slot, t, counts, nodes, links):
+    return json.dumps({
+        "schema": trace_check.NETSTATE_SCHEMA,
+        "slot": slot,
+        "t": t,
+        "counts": counts,
+        "nodes": nodes,
+        "links": links,
+    })
+
+
+def netevents_line(slot, t, events, sat_ecef=None, air_ecef=None):
+    doc = {"schema": trace_check.NETEVENTS_SCHEMA, "slot": slot, "t": t}
+    if sat_ecef is not None:
+        doc["sat_ecef"] = sat_ecef
+        doc["air_ecef"] = air_ecef if air_ecef is not None else []
+    doc["events"] = events
+    return json.dumps(doc)
+
+
+def valid_trace():
+    """Two sats, one city, one relay, one aircraft; two slots.
+
+    Between slots: sat positions move, radio link (0,2) drops, (1,2)
+    rises, ISL (0,1) is reweighted, and the aircraft set is replaced —
+    every delta class the format defines, computed by hand.
+    """
+    counts = [2, 1, 1, 1]
+    nodes0 = [
+        ["sat", 7000.0, 0.0, 0.0],
+        ["sat", 0.0, 7000.0, 0.0],
+        ["city", 6371.0, 0.0, 0.0],
+        ["relay", 0.0, 6371.0, 0.0],
+        ["air", 4000.0, 4000.0, 1000.0],
+    ]
+    links0 = [
+        [0, 2, 2.1, 20.0, "radio"],
+        [0, 1, 33.0, 100.0, "isl"],
+    ]
+    nodes1 = [
+        ["sat", 6999.0, 100.0, 0.0],
+        ["sat", -100.0, 6999.0, 0.0],
+        ["city", 6371.0, 0.0, 0.0],
+        ["relay", 0.0, 6371.0, 0.0],
+        ["air", 4010.0, 3990.0, 1000.0],
+    ]
+    links1 = [
+        [1, 2, 2.5, 20.0, "radio"],
+        [0, 1, 33.5, 100.0, "isl"],
+    ]
+    netstate = "\n".join([
+        netstate_line(0, 0.0, counts, nodes0, links0),
+        netstate_line(1, 10.0, counts, nodes1, links1),
+    ]) + "\n"
+    netevents = "\n".join([
+        netevents_line(0, 0.0, []),
+        netevents_line(
+            1, 10.0,
+            [["link_down", 0, 2],
+             ["link_up", 1, 2, 2.5, 20.0, "radio"],
+             ["weight", 0, 1, 33.5],
+             ["route_change", 0, 5.0, [0, 1, 2]]],
+            sat_ecef=[[6999.0, 100.0, 0.0], [-100.0, 6999.0, 0.0]],
+            air_ecef=[[4010.0, 3990.0, 1000.0]]),
+    ]) + "\n"
+    return netstate, netevents
+
+
+class TraceCheckTest(unittest.TestCase):
+    def run_check(self, netstate, netevents):
+        with tempfile.TemporaryDirectory() as tmp:
+            d = Path(tmp)
+            (d / "netstate.jsonl").write_text(netstate)
+            (d / "netevents.jsonl").write_text(netevents)
+            return trace_check.main(["trace_check.py", str(d)])
+
+    def test_consistent_trace_passes(self):
+        netstate, netevents = valid_trace()
+        self.assertEqual(self.run_check(netstate, netevents), 0)
+
+    def test_tampered_state_is_divergence(self):
+        netstate, netevents = valid_trace()
+        # Corrupt slot 1's radio delay in the full-state record only;
+        # the events still describe the original topology.
+        netstate = netstate.replace("2.5", "2.6")
+        self.assertEqual(self.run_check(netstate, netevents), 1)
+
+    def test_tampered_position_is_divergence(self):
+        netstate, netevents = valid_trace()
+        netevents = netevents.replace("6999.0, 100.0", "6999.0, 101.0")
+        self.assertEqual(self.run_check(netstate, netevents), 1)
+
+    def test_event_gap_is_divergence(self):
+        netstate, netevents = valid_trace()
+        # Strip the delta arrays off slot 1 → the replayer has nothing
+        # to advance with.
+        lines = netevents.strip().split("\n")
+        lines[1] = netevents_line(1, 10.0, [])
+        self.assertEqual(self.run_check(netstate, "\n".join(lines) + "\n"), 1)
+
+    def test_missing_state_slot_is_divergence(self):
+        netstate, netevents = valid_trace()
+        three = netstate.strip().split("\n")
+        extra = json.loads(three[1])
+        extra["slot"] = 3  # slots 0, 1, 3 — slot 2 has no state or delta
+        netstate = "\n".join(three + [json.dumps(extra)]) + "\n"
+        self.assertEqual(self.run_check(netstate, netevents), 1)
+
+    def test_broken_json_is_format_error(self):
+        netstate, netevents = valid_trace()
+        self.assertEqual(self.run_check(netstate + "{not json\n", netevents), 2)
+
+    def test_wrong_schema_is_format_error(self):
+        netstate, netevents = valid_trace()
+        netstate = netstate.replace(trace_check.NETSTATE_SCHEMA, "leosim.bogus/9")
+        self.assertEqual(self.run_check(netstate, netevents), 2)
+
+    def test_duplicate_slot_is_format_error(self):
+        netstate, netevents = valid_trace()
+        first = netstate.strip().split("\n")[0]
+        self.assertEqual(self.run_check(netstate + first + "\n", netevents), 2)
+
+    def test_missing_file_is_format_error(self):
+        self.assertEqual(
+            trace_check.main(["trace_check.py", "/nonexistent/trace/dir"]), 2)
+
+    def test_empty_netstate_is_vacuous_pass(self):
+        _, netevents = valid_trace()
+        # Event-only trace (the handover study's shape): no keyframes at
+        # all, only study events.
+        handover_only = netevents_line(
+            0, 0.0, [["handover", [], [4, 7]]]) + "\n"
+        self.assertEqual(self.run_check("", handover_only), 0)
+
+    def test_single_keyframe_is_vacuous_pass(self):
+        netstate, netevents = valid_trace()
+        first_state = netstate.strip().split("\n")[0] + "\n"
+        first_events = netevents.strip().split("\n")[0] + "\n"
+        self.assertEqual(self.run_check(first_state, first_events), 0)
+
+    def test_format_error_names_the_file(self):
+        netstate, netevents = valid_trace()
+        with tempfile.TemporaryDirectory() as tmp:
+            d = Path(tmp)
+            (d / "netstate.jsonl").write_text(netstate + "{broken\n")
+            (d / "netevents.jsonl").write_text(netevents)
+            with self.assertRaises(trace_check.TraceFormatError) as ctx:
+                trace_check.check_trace(
+                    str(d / "netstate.jsonl"), str(d / "netevents.jsonl"))
+            self.assertIn("netstate.jsonl", str(ctx.exception))
+            self.assertIn("{broken", str(ctx.exception))
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)
