@@ -9,6 +9,7 @@
 
 #include "core/net_trace.hpp"
 #include "core/report.hpp"
+#include "core/routing_tiers.hpp"
 #include "core/snapshot_stepper.hpp"
 #include "core/temporal_sweep.hpp"
 #include "graph/components.hpp"
@@ -73,12 +74,20 @@ struct SlotRoutes {
   }
 };
 
-// Routes every pair against one snapshot. Cross-component pairs are
-// answered by the component precheck without any search (a plain
-// Dijkstra that fails settles the source's whole component — the most
-// expensive query shape there is); the rest run as one multi-target
-// Dijkstra per source group, which is bit-identical to per-pair
-// graph::ShortestPath from the same source (see sssp_tree.hpp).
+// Routes every pair against one snapshot with the shared tier policy
+// (core/routing_tiers.hpp). Cross-component pairs are answered by the
+// component precheck without any search (a plain Dijkstra that fails
+// settles the source's whole component — the most expensive query shape
+// there is); sources with >= kTreeBatchThreshold surviving destinations
+// run one multi-target Dijkstra — through the workspace's
+// TreeReuseCache, a plain Build unless the snapshot's graph records
+// patch deltas — which is bit-identical to per-pair graph::ShortestPath
+// from the same source (see sssp_tree.hpp); the remaining pairs run
+// goal-directed A* with the straight-line latency bound, which settles
+// only the corridor around the path and agrees with Dijkstra on the
+// path whenever the shortest path is unique (an exact floating-point
+// tie between distinct paths could break differently, but both report
+// the same distance; the churn property test checks node chains too).
 void RouteSlotPaths(const NetworkModel::Snapshot& snap,
                     const std::vector<CityPair>& pairs,
                     const std::vector<SourceGroup>& groups, SlotRoutes* out,
@@ -88,6 +97,14 @@ void RouteSlotPaths(const NetworkModel::Snapshot& snap,
   out->begin.assign(n, 0);
   out->end.assign(n, 0);
   out->nodes.clear();
+  // Appends one routed pair's answer: sorted node run + round-trip time.
+  const auto emit = [out](size_t pair, const graph::Path& path) {
+    out->rtt[pair] = 2.0 * path.distance;
+    out->begin[pair] = static_cast<uint32_t>(out->nodes.size());
+    out->nodes.insert(out->nodes.end(), path.nodes.begin(), path.nodes.end());
+    out->end[pair] = static_cast<uint32_t>(out->nodes.size());
+    std::sort(out->nodes.begin() + out->begin[pair], out->nodes.end());
+  };
   graph::ConnectedComponentsInto(snap.graph, &ws->labels, &ws->stack);
   for (const SourceGroup& group : groups) {
     const graph::NodeId src = snap.CityNode(group.src_city);
@@ -104,16 +121,26 @@ void RouteSlotPaths(const NetworkModel::Snapshot& snap,
     if (ws->targets.empty()) {
       continue;
     }
-    ws->tree.Build(snap.graph, src, ws->targets, ws->dijkstra);
-    for (size_t j = 0; j < ws->targets.size(); ++j) {
-      const auto path = ws->tree.PathTo(ws->targets[j]);
-      const size_t i = static_cast<size_t>(ws->target_pairs[j]);
-      out->rtt[i] = 2.0 * path->distance;
-      out->begin[i] = static_cast<uint32_t>(out->nodes.size());
-      out->nodes.insert(out->nodes.end(), path->nodes.begin(),
-                        path->nodes.end());
-      out->end[i] = static_cast<uint32_t>(out->nodes.size());
-      std::sort(out->nodes.begin() + out->begin[i], out->nodes.end());
+    if (ws->targets.size() >= kTreeBatchThreshold) {
+      const graph::TreeReuseCache::RouteView view = ws->tree_cache.Route(
+          snap.graph, src, ws->targets, ws->dijkstra, ws->tree);
+      for (size_t j = 0; j < ws->targets.size(); ++j) {
+        const auto path = view.PathTo(ws->targets[j]);
+        emit(static_cast<size_t>(ws->target_pairs[j]), *path);
+      }
+    } else {
+      for (size_t j = 0; j < ws->targets.size(); ++j) {
+        const graph::NodeId dst = ws->targets[j];
+        const geo::Vec3 dst_pos = snap.node_ecef[static_cast<size_t>(dst)];
+        // Plain lambda (not graph::PotentialFn) so it inlines into the
+        // A* relax loop.
+        const auto potential = [&snap, &dst_pos](graph::NodeId n) {
+          return EuclideanLatencyPotential(snap.node_ecef, n, dst_pos);
+        };
+        const auto path = graph::ShortestPathAStar(snap.graph, src, dst,
+                                                   ws->dijkstra, potential);
+        emit(static_cast<size_t>(ws->target_pairs[j]), *path);
+      }
     }
   }
 }

@@ -7,6 +7,7 @@
 
 #include "core/net_trace.hpp"
 #include "core/report.hpp"
+#include "core/routing_tiers.hpp"
 #include "core/snapshot_stepper.hpp"
 #include "core/stats.hpp"
 #include "core/temporal_sweep.hpp"
@@ -21,20 +22,6 @@ namespace leosim::core {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
-
-// A* potential safety factor. The straight-line propagation latency to
-// the destination is an exact lower bound in real arithmetic; shaving
-// one part in 1e12 keeps it admissible under floating-point rounding
-// (per-edge rounding errors are ~1e-16 relative) without measurably
-// loosening the bound.
-constexpr double kPotentialSlack = 1.0 - 1e-12;
-
-// A source's destinations are batched into one multi-target Dijkstra
-// once there are at least this many of them; below the threshold,
-// per-pair goal-directed A* wins because its settled corridor is
-// roughly half the size of the Dijkstra ball the batched search grows.
-// Either route reports the same shortest-path latency.
-constexpr size_t kTreeBatchThreshold = 3;
 
 std::vector<PairRttSeries> InitSeries(const std::vector<CityPair>& pairs,
                                       size_t num_snapshots) {
@@ -94,9 +81,7 @@ void RouteSlotRtts(const NetworkModel::Snapshot& snap, size_t slot,
         // Plain lambda (not graph::PotentialFn) so it inlines into the
         // A* relax loop.
         const auto potential = [&snap, &dst_pos](graph::NodeId n) {
-          return kPotentialSlack *
-                 link::PropagationLatencyMs(
-                     snap.node_ecef[static_cast<size_t>(n)], dst_pos);
+          return EuclideanLatencyPotential(snap.node_ecef, n, dst_pos);
         };
         const auto path = graph::ShortestPathAStar(snap.graph, src, dst,
                                                    ws->dijkstra, potential);

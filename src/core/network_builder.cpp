@@ -147,7 +147,13 @@ NetworkModel::Snapshot& NetworkModel::BuildSnapshot(
   {
     const obs::Span span("snapshot.propagate", &metrics.propagate_us,
                          &propagate_us);
-    constellation_.PositionsEcefInto(time_sec, &workspace->sat_ecef);
+    // Batch propagation into the SoA block, frame rotation applied
+    // array-wise, then one pack into the Vec3 copy the downstream
+    // pipeline reads. Bit-identical to PositionsEcefInto (see soa.hpp).
+    constellation_.PropagateBatch(time_sec, &workspace->sat_soa,
+                                  &workspace->sat_phase);
+    geo::EciToEcefBatch(time_sec, &workspace->sat_soa);
+    geo::PackInto(workspace->sat_soa, &workspace->sat_ecef);
 
     snap.aircraft_coords.clear();
     if (air_.has_value()) {
@@ -179,7 +185,7 @@ NetworkModel::Snapshot& NetworkModel::BuildSnapshot(
     }
     const double coverage =
         geo::CoverageRadiusKm(max_altitude, scenario_.radio.min_elevation_deg);
-    workspace->sat_index.Rebuild(sat_ecef, coverage + 100.0);
+    workspace->sat_index.Rebuild(workspace->sat_soa, coverage + 100.0);
   }
 
   const double gt_capacity = GtCapacityGbps();
@@ -199,16 +205,23 @@ NetworkModel::Snapshot& NetworkModel::BuildSnapshot(
                          &visibility_us);
     for (int g = first_ground; g < total_nodes; ++g) {
       const geo::Vec3& ground = snap.node_ecef[static_cast<size_t>(g)];
-      workspace->sat_index.VisibleInto(ground, scenario_.radio.min_elevation_deg,
-                                       &workspace->visible);
-      for (const int sat : workspace->visible) {
+      // Fused batch query: the elevation test already computes each
+      // passing link's slant range, and PropagationLatencyMs(range) is
+      // bit-identical to the two-vector form it replaces. Per-terminal
+      // candidate order is cell-scan order, which the stable
+      // satellite-major counting sort below is insensitive to.
+      workspace->sat_index.VisibleWithRangeInto(
+          ground, scenario_.radio.min_elevation_deg, &workspace->visible,
+          &workspace->visible_range_km);
+      for (size_t k = 0; k < workspace->visible.size(); ++k) {
+        const int sat = workspace->visible[k];
         if (options_.apply_gso_exclusion &&
             link::ViolatesGsoExclusion(ground, sat_ecef[static_cast<size_t>(sat)],
                                        gso_config)) {
           continue;
         }
-        const double latency_ms = link::PropagationLatencyMs(
-            ground, sat_ecef[static_cast<size_t>(sat)]);
+        const double latency_ms =
+            link::PropagationLatencyMs(workspace->visible_range_km[k]);
         candidates.push_back({sat, g, latency_ms});
       }
     }

@@ -20,6 +20,7 @@
 #include "air/traffic_model.hpp"
 #include "core/scenario.hpp"
 #include "data/cities.hpp"
+#include "geo/soa.hpp"
 #include "geo/vec3.hpp"
 #include "graph/graph.hpp"
 #include "link/visibility.hpp"
@@ -112,9 +113,16 @@ class NetworkModel {
       double latency_ms;
     };
     Snapshot snapshot;
+    // SoA satellite-state block (see geo/soa.hpp): PropagateBatch fills
+    // it with inertial positions, EciToEcefBatch rotates it in place,
+    // and sat_ecef is the packed Vec3 copy the rest of the pipeline
+    // consumes. sat_phase is each satellite's argument of latitude.
+    geo::Soa3 sat_soa;
+    std::vector<double> sat_phase;
     std::vector<geo::Vec3> sat_ecef;
     link::SatelliteIndex sat_index;
     std::vector<int> visible;                  // per-terminal query buffer
+    std::vector<double> visible_range_km;      // slant ranges, parallel
     std::vector<RadioCandidate> candidates;    // terminal-major staging
     std::vector<RadioCandidate> by_satellite;  // satellite-major (sorted)
     std::vector<int32_t> candidate_offsets;    // per-satellite CSR offsets

@@ -408,12 +408,18 @@ void SnapshotStepper::Step(double time_sec) {
   uint64_t expired = 0;
   uint64_t reweighted = 0;
   rescan_removed_ = 0;
-  // Same propagation call as the builder — positions are bit-identical.
-  model.constellation_.PositionsEcefInto(time_sec, &ws_->sat_ecef);
+  // Same batch propagation as the builder — positions are bit-identical.
+  // The velocity kernel consumes the inertial SoA block (before the
+  // in-place frame rotation), saving its PositionEci recomputation;
+  // velocities feed the invisibility windows only — never the snapshot.
+  model.constellation_.PropagateBatch(time_sec, &ws_->sat_soa,
+                                      &ws_->sat_phase);
+  model.constellation_.VelocitiesEcefBatchInto(time_sec, ws_->sat_soa,
+                                               &sat_vel_);
+  geo::EciToEcefBatch(time_sec, &ws_->sat_soa);
+  geo::PackInto(ws_->sat_soa, &ws_->sat_ecef);
   const std::vector<geo::Vec3>& sat_ecef = ws_->sat_ecef;
   std::copy(sat_ecef.begin(), sat_ecef.end(), snap.node_ecef.begin());
-  // Velocities feed the invisibility windows only — never the snapshot.
-  model.constellation_.VelocitiesEcefInto(time_sec, &sat_vel_);
 
   const double gt_capacity = model.GtCapacityGbps();
   snap.radio_edges.clear();

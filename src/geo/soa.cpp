@@ -1,0 +1,35 @@
+#include "geo/soa.hpp"
+
+#include <cmath>
+
+#include "geo/coordinates.hpp"
+
+namespace leosim::geo {
+
+void EciToEcefBatch(double seconds_since_epoch, Soa3* xyz) {
+  const double theta = kEarthRotationRadPerSec * seconds_since_epoch;
+  const double c = std::cos(theta);
+  const double s = std::sin(theta);
+  const size_t n = xyz->size();
+  double* px = xyz->x.data();
+  double* py = xyz->y.data();
+  // Same expression as EciToEcef with the trig hoisted; z is unchanged by
+  // the rotation. The loop carries no dependence, so it vectorizes.
+  for (size_t i = 0; i < n; ++i) {
+    const double xe = c * px[i] + s * py[i];
+    const double ye = -s * px[i] + c * py[i];
+    px[i] = xe;
+    py[i] = ye;
+  }
+}
+
+void PackInto(const Soa3& xyz, std::vector<Vec3>* out) {
+  const size_t n = xyz.size();
+  out->resize(n);
+  Vec3* po = out->data();
+  for (size_t i = 0; i < n; ++i) {
+    po[i] = {xyz.x[i], xyz.y[i], xyz.z[i]};
+  }
+}
+
+}  // namespace leosim::geo

@@ -1,0 +1,52 @@
+// Structure-of-arrays storage for batch geometry kernels.
+//
+// The snapshot pipeline advances ~1.6K satellites per timestep. Keeping
+// the per-satellite state in separate contiguous x/y/z arrays (instead of
+// an array of Vec3) lets the frame-rotation and elevation-test loops be
+// plain order-preserving per-satellite loops over contiguous doubles that
+// the compiler auto-vectorizes. Bit-identity contract: batch kernels may
+// change storage layout and loop structure, but each satellite's
+// arithmetic chain is kept verbatim from the scalar path, so results are
+// exact, not approximate (see DESIGN.md §7).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geo/vec3.hpp"
+
+namespace leosim::geo {
+
+// Three parallel coordinate arrays; element i of x/y/z is one vector.
+struct Soa3 {
+  std::vector<double> x;
+  std::vector<double> y;
+  std::vector<double> z;
+
+  size_t size() const { return x.size(); }
+
+  void Resize(size_t n) {
+    x.resize(n);
+    y.resize(n);
+    z.resize(n);
+  }
+
+  Vec3 At(size_t i) const { return {x[i], y[i], z[i]}; }
+
+  void Set(size_t i, const Vec3& v) {
+    x[i] = v.x;
+    y[i] = v.y;
+    z[i] = v.z;
+  }
+};
+
+// Rotates every vector from the inertial to the Earth-fixed frame in
+// place: one hoisted sincos for the whole array, then the same affine map
+// as EciToEcef applied element-wise (bit-identical to rotating each Vec3
+// individually).
+void EciToEcefBatch(double seconds_since_epoch, Soa3* xyz);
+
+// Packs the SoA block back into an array-of-Vec3 (pure layout copy).
+void PackInto(const Soa3& xyz, std::vector<Vec3>* out);
+
+}  // namespace leosim::geo

@@ -50,6 +50,7 @@ void Graph::Reset(int num_nodes) {
   edge_key_.clear();
   free_ids_.clear();
   deferred_weights_.clear();
+  NoteUntrackedMutation();
 }
 
 EdgeId Graph::AddEdge(NodeId a, NodeId b, double weight, double capacity) {
@@ -60,6 +61,7 @@ EdgeId Graph::AddEdge(NodeId a, NodeId b, double weight, double capacity) {
   const EdgeId id = static_cast<EdgeId>(edges_.size());
   edges_.push_back({a, b, weight, capacity, true});
   adjacency_current_ = false;
+  NoteUntrackedMutation();
   return id;
 }
 
@@ -74,6 +76,7 @@ void Graph::SetEnabled(EdgeId e, bool enabled) {
     half_edges_[static_cast<size_t>(half_pos_a_[static_cast<size_t>(e)])].weight = w;
     half_edges_[static_cast<size_t>(half_pos_b_[static_cast<size_t>(e)])].weight = w;
   }
+  NoteTouch(e, rec.a, rec.b);
 }
 
 void Graph::EnableAllEdges() {
@@ -88,6 +91,7 @@ void Graph::EnableAllEdges() {
       half_edges_[static_cast<size_t>(half_pos_b_[i])].weight = rec.weight;
     }
   }
+  NoteUntrackedMutation();
 }
 
 void Graph::EnsureAdjacency() const {
@@ -163,6 +167,7 @@ void Graph::BeginPatchMode(std::span<const uint64_t> edge_order_keys,
   deferred_weights_.clear();
   edge_key_.assign(edge_order_keys.begin(), edge_order_keys.end());
   RebuildPatchedRows();
+  NoteUntrackedMutation();
 }
 
 void Graph::FlushPatchWeights() {
@@ -322,10 +327,12 @@ EdgeId Graph::PatchAddEdge(NodeId a, NodeId b, double weight, double capacity,
     // too (its record is already live), so nothing more to do.
     ++patch_recompactions_;
     RebuildPatchedRows();
+    NoteTouch(id, a, b);
     return id;
   }
   RowInsert(a, id, /*is_a_half=*/true);
   RowInsert(b, id, /*is_a_half=*/false);
+  NoteTouch(id, a, b);
   return id;
 }
 
@@ -345,6 +352,7 @@ void Graph::PatchRemoveEdge(EdgeId e) {
   edges_[i].enabled = false;
   free_ids_.push_back(e);
   ++num_tombstones_;
+  NoteTouch(e, rec.a, rec.b);
 }
 
 }  // namespace leosim::graph

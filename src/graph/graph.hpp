@@ -47,6 +47,16 @@ namespace leosim::graph {
 using NodeId = int32_t;
 using EdgeId = int32_t;
 
+// One patch-delta entry: an edge whose weight/enabled state or row
+// membership changed since the delta was last cleared. Endpoints are
+// captured at touch time because PatchAddEdge recycles tombstoned
+// EdgeIds — a later lookup through the id could name a different edge.
+struct TouchedEdge {
+  EdgeId edge{0};
+  NodeId a{0};
+  NodeId b{0};
+};
+
 // One directed half of an undirected edge, stored in the CSR adjacency
 // array. `weight` mirrors the owning EdgeRecord (+infinity when the edge
 // is disabled) so traversal needs no indirection; `edge` links back for
@@ -166,6 +176,7 @@ class Graph {
     rec.enabled = true;
     half_edges_[static_cast<size_t>(pa)].weight = weight;
     half_edges_[static_cast<size_t>(half_pos_b_[i])].weight = weight;
+    NoteTouch(e, rec.a, rec.b);
   }
 
   // Deferred variant of PatchEdgeWeight for bulk refresh loops that walk
@@ -196,6 +207,7 @@ class Graph {
     rec.enabled = true;
     half_edges_[static_cast<size_t>(pa)].weight = weight;
     deferred_weights_.push_back({rec.b, e, weight});
+    NoteTouch(e, rec.a, rec.b);
   }
 
   // Applies every queued PatchEdgeWeightDeferred b-half rewrite, in
@@ -213,7 +225,70 @@ class Graph {
   // was last entered (rows running out of slack force one).
   uint64_t PatchRecompactions() const { return patch_recompactions_; }
 
+  // --- Mutation versioning & patch delta --------------------------------
+
+  // Monotonic counter bumped by every topology/weight/enabled mutation
+  // (AddEdge, Reset, SetEnabled, EnableAllEdges, BeginPatchMode, the
+  // Patch* family). Two reads returning the same value guarantee no
+  // mutation happened in between, so derived structures (landmark
+  // tables, cached shortest-path trees) can key their freshness on it.
+  uint64_t Version() const { return version_; }
+
+  // Enables/disables recording of touched edges into the patch delta.
+  // Off by default: the stepper's bulk weight refresh touches every
+  // live radio edge anyway, so recording there is pure overhead. With
+  // recording ON, mutations that carry endpoint information (SetEnabled,
+  // PatchAddEdge, PatchRemoveEdge, PatchEdgeWeight[Deferred]) append a
+  // TouchedEdge; mutations that can invalidate everything (AddEdge,
+  // Reset, EnableAllEdges, BeginPatchMode) set the overflow flag
+  // instead. The delta also overflows past a fixed cap, after which
+  // consumers must treat every edge as touched.
+  void SetPatchDeltaRecording(bool enabled) {
+    delta_recording_ = enabled;
+    if (enabled) {
+      ClearPatchDelta();
+    }
+  }
+  bool PatchDeltaRecording() const { return delta_recording_; }
+
+  // Touched edges since the last ClearPatchDelta. Meaningless when
+  // PatchDeltaOverflowed(); entries may repeat an edge.
+  std::span<const TouchedEdge> PatchDelta() const { return delta_; }
+  bool PatchDeltaOverflowed() const { return delta_overflowed_; }
+
+  // Epoch counter bumped by ClearPatchDelta, so a consumer that cached
+  // "my prefix of the delta is N entries" can tell a cleared-and-refilled
+  // delta from a grown one.
+  uint64_t PatchDeltaEpoch() const { return delta_epoch_; }
+
+  void ClearPatchDelta() {
+    delta_.clear();
+    delta_overflowed_ = false;
+    ++delta_epoch_;
+  }
+
  private:
+  // Past this many entries the delta stops being cheaper to intersect
+  // than a rebuild; flip to overflow and stop appending.
+  static constexpr size_t kMaxDeltaEntries = 4096;
+
+  void NoteTouch(EdgeId e, NodeId a, NodeId b) {
+    ++version_;
+    if (delta_recording_ && !delta_overflowed_) {
+      if (delta_.size() >= kMaxDeltaEntries) {
+        delta_overflowed_ = true;
+      } else {
+        delta_.push_back({e, a, b});
+      }
+    }
+  }
+  void NoteUntrackedMutation() {
+    ++version_;
+    if (delta_recording_) {
+      delta_overflowed_ = true;
+    }
+  }
+
   void EnsureAdjacency() const;
   // Lays out the slack-padded CSR over the live edges, rows ordered by
   // edge_key_. Used on patch-mode entry and when a row overflows.
@@ -261,6 +336,13 @@ class Graph {
   std::vector<int32_t> scratch_offsets_;
   std::vector<HalfEdge> scratch_halves_;
   std::vector<EdgeId> scratch_order_;
+
+  // Mutation versioning & patch delta (see the accessors above).
+  uint64_t version_{0};
+  bool delta_recording_{false};
+  bool delta_overflowed_{false};
+  uint64_t delta_epoch_{0};
+  std::vector<TouchedEdge> delta_;
 };
 
 }  // namespace leosim::graph

@@ -1,0 +1,111 @@
+#include "graph/tree_reuse.hpp"
+
+#include <algorithm>
+
+namespace leosim::graph {
+
+std::optional<Path> TreeReuseCache::RouteView::PathTo(NodeId n) const {
+  if (live_ != nullptr) {
+    return live_->PathTo(n);
+  }
+  const double d = (*dist_)[static_cast<size_t>(n)];
+  if (d == kInfDistance) {
+    return std::nullopt;
+  }
+  Path path;
+  path.distance = d;
+  for (NodeId cur = n; cur != src_;) {
+    const EdgeId e = (*via_)[static_cast<size_t>(cur)];
+    path.edges.push_back(e);
+    path.nodes.push_back(cur);
+    cur = graph_->OtherEnd(e, cur);
+  }
+  path.nodes.push_back(src_);
+  std::reverse(path.nodes.begin(), path.nodes.end());
+  std::reverse(path.edges.begin(), path.edges.end());
+  return path;
+}
+
+TreeReuseCache::Entry& TreeReuseCache::EntryFor(NodeId src) {
+  for (Entry& e : entries_) {
+    if (e.src == src) {
+      return e;
+    }
+  }
+  entries_.emplace_back();
+  entries_.back().src = src;
+  return entries_.back();
+}
+
+bool TreeReuseCache::CanReuse(const Entry& e, const Graph& g,
+                              std::span<const NodeId> targets) {
+  if (e.graph != &g || e.num_nodes != g.NumNodes()) {
+    return false;
+  }
+  // Only the stored call's targets are guaranteed settled, so the
+  // target list must match verbatim (same ids, same order — order
+  // cannot change the tree, but an exact compare is the cheapest
+  // equality that is trivially sufficient).
+  if (!std::equal(targets.begin(), targets.end(), e.targets.begin(),
+                  e.targets.end())) {
+    return false;
+  }
+  if (e.version == g.Version()) {
+    return true;  // no mutation at all since the build
+  }
+  if (g.PatchDeltaOverflowed() || g.PatchDeltaEpoch() != e.delta_epoch) {
+    return false;  // the touches since the build are not enumerable
+  }
+  const std::span<const TouchedEdge> delta = g.PatchDelta();
+  if (delta.size() < e.delta_len) {
+    return false;
+  }
+  // The endpoint-unlabeled test from the header's soundness argument:
+  // every edge touched since the build (the delta tail past the vetted
+  // prefix) must have both endpoints outside the stored search's
+  // labeled set.
+  for (size_t i = e.delta_len; i < delta.size(); ++i) {
+    const TouchedEdge& t = delta[i];
+    if (e.dist[static_cast<size_t>(t.a)] != kInfDistance ||
+        e.dist[static_cast<size_t>(t.b)] != kInfDistance) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TreeReuseCache::RouteView TreeReuseCache::Route(const Graph& g, NodeId src,
+                                                std::span<const NodeId> targets,
+                                                DijkstraWorkspace& workspace,
+                                                ShortestPathTree& tree) {
+  RouteView view;
+  if (!g.PatchDeltaRecording()) {
+    tree.Build(g, src, targets, workspace);
+    view.live_ = &tree;
+    return view;
+  }
+  Entry& entry = EntryFor(src);
+  if (CanReuse(entry, g, targets)) {
+    ++stats_.reuses;
+  } else {
+    ++stats_.rebuilds;
+    tree.Build(g, src, targets, workspace);
+    tree.ExportState(&entry.dist, &entry.via);
+    entry.graph = &g;
+    entry.num_nodes = g.NumNodes();
+    entry.targets.assign(targets.begin(), targets.end());
+  }
+  // Re-anchor the vetted-delta watermark in both branches: everything
+  // currently in the delta is now known to leave the stored tree intact
+  // (reuse) or predates the rebuild (it is baked into the tree).
+  entry.version = g.Version();
+  entry.delta_epoch = g.PatchDeltaEpoch();
+  entry.delta_len = g.PatchDelta().size();
+  view.graph_ = &g;
+  view.src_ = src;
+  view.dist_ = &entry.dist;
+  view.via_ = &entry.via;
+  return view;
+}
+
+}  // namespace leosim::graph

@@ -1,0 +1,111 @@
+// Cross-snapshot ShortestPathTree reuse for slot-sequential sweeps.
+//
+// A fine-spaced temporal sweep rebuilds each source's multi-target
+// Dijkstra every slot even when the slot's graph changes barely touch
+// that source's corridor. TreeReuseCache keeps the last built tree per
+// source (distances + predecessor edges exported out of the transient
+// DijkstraWorkspace) and answers the next slot from it when the graph's
+// patch delta provably cannot have changed the answer.
+//
+// Soundness of the reuse test: Dijkstra labels every neighbour of every
+// node it pops (relaxing against an untouched +infinity distance always
+// succeeds), so a node with a stored distance of +infinity is at least
+// two hops outside the popped set. A touched edge with BOTH endpoints
+// unlabeled therefore cannot appear on, or shorten, any path the stored
+// search explored or could have explored before its targets settled: a
+// fresh search on the mutated graph pops the same nodes at the same
+// distances in the same order and stops at the same early exit — the
+// stored tree IS the fresh tree, bit for bit. Any touched edge with a
+// labeled endpoint (or an overflowed/cleared delta, or a different
+// target set — only targets are guaranteed settled) forces a rebuild.
+//
+// Reuse requires the graph to record its patch delta
+// (Graph::SetPatchDeltaRecording). Without recording, Route() degrades
+// to a plain ShortestPathTree::Build passthrough with zero overhead —
+// the right mode for sweeps whose stepper reweighs every live radio
+// edge each slot, where no delta could ever be disjoint.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/dijkstra.hpp"
+#include "graph/graph.hpp"
+#include "graph/sssp_tree.hpp"
+
+namespace leosim::graph {
+
+class TreeReuseCache {
+ public:
+  struct Stats {
+    uint64_t reuses{0};
+    uint64_t rebuilds{0};
+  };
+
+  // Answers for one Route() call. Backed either by the live tree (the
+  // recording-off passthrough — valid until the workspace's next
+  // search) or by the cache's stored arrays (valid until the next
+  // Route() for the same source).
+  class RouteView {
+   public:
+    // Distance to a target of the routed call (kInfDistance when
+    // unreachable); same settlement caveat as ShortestPathTree.
+    double DistanceTo(NodeId n) const {
+      if (live_ != nullptr) {
+        return live_->DistanceTo(n);
+      }
+      return (*dist_)[static_cast<size_t>(n)];
+    }
+
+    // Full path to a target; nullopt when unreachable. The stored-array
+    // walk is ShortestPathTree::PathTo verbatim, so reused trees yield
+    // the same Path objects a fresh Build would.
+    std::optional<Path> PathTo(NodeId n) const;
+
+   private:
+    friend class TreeReuseCache;
+    const ShortestPathTree* live_{nullptr};
+    const Graph* graph_{nullptr};
+    NodeId src_{-1};
+    const std::vector<double>* dist_{nullptr};
+    const std::vector<EdgeId>* via_{nullptr};
+  };
+
+  // Routes src -> targets over g: reuses the stored tree when the reuse
+  // test above passes, otherwise rebuilds through `tree`/`workspace`
+  // and refreshes the store. With delta recording off this is exactly
+  // tree.Build(g, src, targets, workspace).
+  RouteView Route(const Graph& g, NodeId src, std::span<const NodeId> targets,
+                  DijkstraWorkspace& workspace, ShortestPathTree& tree);
+
+  const Stats& stats() const { return stats_; }
+
+  // Drops every stored tree (stats are kept).
+  void Clear() { entries_.clear(); }
+
+ private:
+  struct Entry {
+    NodeId src{-1};
+    // Freshness keys: the graph object, its version at build time, and
+    // how much of which delta epoch the reuse test has already vetted.
+    const Graph* graph{nullptr};
+    uint64_t version{0};
+    uint64_t delta_epoch{0};
+    size_t delta_len{0};
+    int num_nodes{0};
+    std::vector<NodeId> targets;  // exact call order, compared verbatim
+    std::vector<double> dist;
+    std::vector<EdgeId> via;
+  };
+
+  Entry& EntryFor(NodeId src);
+  static bool CanReuse(const Entry& e, const Graph& g,
+                       std::span<const NodeId> targets);
+
+  std::vector<Entry> entries_;
+  Stats stats_;
+};
+
+}  // namespace leosim::graph

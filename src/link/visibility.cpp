@@ -56,6 +56,41 @@ bool IsVisible(const geo::Vec3& ground_ecef, const geo::Vec3& sat_ecef,
                            SinThreshold(ground_ecef, min_elevation_deg));
 }
 
+double ElevationSinThreshold(const geo::Vec3& ground_ecef,
+                             double min_elevation_deg) {
+  return SinThreshold(ground_ecef, min_elevation_deg);
+}
+
+size_t ElevationTestBatch(const geo::Vec3& ground_ecef, double threshold,
+                          const geo::Vec3* sat_ecef, const int* candidates,
+                          size_t num_candidates, int* out_sats,
+                          double* out_ranges) {
+  const double gx = ground_ecef.x;
+  const double gy = ground_ecef.y;
+  const double gz = ground_ecef.z;
+  size_t n_out = 0;
+  for (size_t k = 0; k < num_candidates; ++k) {
+    const int sat = candidates[k];
+    const geo::Vec3& p = sat_ecef[static_cast<size_t>(sat)];
+    // Verbatim AboveSinThreshold chain (to_sat = sat - ground, then the
+    // dot/norm comparison), written on raw doubles with the same
+    // association order as Vec3::Dot/Norm so every candidate's verdict —
+    // and the range of every passing one — matches the scalar path
+    // bit-for-bit. Branchless compaction: the write always happens, the
+    // cursor only advances on a pass (writes are at n_out <= k, so
+    // aliasing out_sats with candidates is safe).
+    const double dx = p.x - gx;
+    const double dy = p.y - gy;
+    const double dz = p.z - gz;
+    const double dot = gx * dx + gy * dy + gz * dz;
+    const double dn = std::sqrt(dx * dx + dy * dy + dz * dz);
+    out_sats[n_out] = sat;
+    out_ranges[n_out] = dn;
+    n_out += (dot >= threshold * dn) ? 1 : 0;
+  }
+  return n_out;
+}
+
 std::vector<int> VisibleSatellitesBruteForce(const geo::Vec3& ground_ecef,
                                              const std::vector<geo::Vec3>& sat_ecef,
                                              double min_elevation_deg) {
@@ -77,6 +112,16 @@ SatelliteIndex::SatelliteIndex(const std::vector<geo::Vec3>& sat_ecef,
 void SatelliteIndex::Rebuild(const std::vector<geo::Vec3>& sat_ecef,
                              double coverage_radius_km) {
   sat_ecef_.assign(sat_ecef.begin(), sat_ecef.end());
+  RebuildCells(coverage_radius_km);
+}
+
+void SatelliteIndex::Rebuild(const geo::Soa3& sat_soa,
+                             double coverage_radius_km) {
+  geo::PackInto(sat_soa, &sat_ecef_);
+  RebuildCells(coverage_radius_km);
+}
+
+void SatelliteIndex::RebuildCells(double coverage_radius_km) {
   radius_deg_ = geo::RadToDeg(coverage_radius_km / geo::kEarthRadiusKm);
   sin_radius_ = std::sin(geo::DegToRad(radius_deg_));
   // Half-radius cells: the scanned cell block is the coverage cap's
@@ -186,6 +231,68 @@ void SatelliteIndex::VisibleInto(const geo::Vec3& ground_ecef,
     }
   }
   std::sort(out->begin(), out->end());
+}
+
+void SatelliteIndex::VisibleWithRangeInto(const geo::Vec3& ground_ecef,
+                                          double min_elevation_deg,
+                                          std::vector<int>* out,
+                                          std::vector<double>* ranges) const {
+  out->clear();
+  ranges->clear();
+  if (sat_ecef_.empty()) {
+    return;
+  }
+  const LatLonDeg g = SphericalLatLonDeg(ground_ecef);
+  const double threshold = SinThreshold(ground_ecef, min_elevation_deg);
+  const int centre_li =
+      std::clamp(static_cast<int>((g.lat + 90.0) / cell_deg_), 0, lat_cells_ - 1);
+  // Same cap bounding box as VisibleInto (see the comment there).
+  const double cos_lat = std::cos(geo::DegToRad(g.lat));
+  int lon_span;
+  if (sin_radius_ >= cos_lat) {
+    lon_span = lon_cells_;
+  } else {
+    const double lon_radius_deg = geo::RadToDeg(std::asin(sin_radius_ / cos_lat));
+    lon_span = static_cast<int>(std::ceil(lon_radius_deg / cell_deg_));
+  }
+  const int centre_wi = static_cast<int>((g.lon + 180.0) / cell_deg_);
+  const int lo = centre_wi - lon_span;
+  const int hi = centre_wi + lon_span;
+  // Pass 1: gather candidate ids from the cap's cell block, untested
+  // (each satellite lives in exactly one cell, so no duplicates).
+  for (int dli = -lat_span_; dli <= lat_span_; ++dli) {
+    const int li = centre_li + dli;
+    if (li < 0 || li >= lat_cells_) {
+      continue;
+    }
+    const int row_base = li * lon_cells_;
+    const auto gather_cell = [&](int cell) {
+      const size_t begin = static_cast<size_t>(cell_offsets_[static_cast<size_t>(cell)]);
+      const size_t end =
+          static_cast<size_t>(cell_offsets_[static_cast<size_t>(cell) + 1]);
+      for (size_t k = begin; k < end; ++k) {
+        out->push_back(cell_sats_[k]);
+      }
+    };
+    if (hi - lo + 1 >= lon_cells_) {
+      for (int wi = 0; wi < lon_cells_; ++wi) {
+        gather_cell(row_base + wi);
+      }
+    } else {
+      for (int raw = lo; raw <= hi; ++raw) {
+        const int wi = ((raw % lon_cells_) + lon_cells_) % lon_cells_;
+        gather_cell(row_base + wi);
+      }
+    }
+  }
+  // Pass 2: one contiguous batch test over the candidates, compacting the
+  // id list in place and emitting each survivor's slant range.
+  ranges->resize(out->size());
+  const size_t visible =
+      ElevationTestBatch(ground_ecef, threshold, sat_ecef_.data(), out->data(),
+                         out->size(), out->data(), ranges->data());
+  out->resize(visible);
+  ranges->resize(visible);
 }
 
 void SatelliteIndex::WithinRadiusInto(const geo::Vec3& centre_ecef,

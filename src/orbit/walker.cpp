@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "geo/angles.hpp"
 #include "geo/coordinates.hpp"
 
 namespace leosim::orbit {
@@ -27,6 +28,7 @@ Constellation Constellation::FromElements(
   for (const CircularOrbitElements& e : elements) {
     c.orbits_.emplace_back(e);
   }
+  c.AppendShellBasis(0);
   return c;
 }
 
@@ -53,7 +55,43 @@ int Constellation::AddShell(const OrbitalShell& shell) {
       orbits_.emplace_back(elements);
     }
   }
+  AppendShellBasis(start);
   return start;
+}
+
+void Constellation::AppendShellBasis(int begin) {
+  const int end = NumSatellites();
+  ShellBasis basis;
+  basis.begin = begin;
+  basis.end = end;
+  sat_u0_rad_.reserve(end);
+  sat_cos_raan0_.reserve(end);
+  sat_sin_raan0_.reserve(end);
+  for (int i = begin; i < end; ++i) {
+    const CircularOrbit& o = orbits_[i];
+    sat_u0_rad_.push_back(o.u0_rad());
+    sat_cos_raan0_.push_back(o.cos_raan0());
+    sat_sin_raan0_.push_back(o.sin_raan0());
+  }
+  if (begin < end) {
+    const CircularOrbit& first = orbits_[begin];
+    basis.radius_km = first.radius_km();
+    basis.mean_motion_rad_s = first.mean_motion_rad_s();
+    basis.cos_inc = first.cos_inc();
+    basis.sin_inc = first.sin_inc();
+    basis.uniform = true;
+    for (int i = begin; i < end; ++i) {
+      const CircularOrbit& o = orbits_[i];
+      if (o.radius_km() != basis.radius_km ||
+          o.mean_motion_rad_s() != basis.mean_motion_rad_s ||
+          o.cos_inc() != basis.cos_inc || o.sin_inc() != basis.sin_inc ||
+          o.raan_drift_rad_s() != 0.0) {
+        basis.uniform = false;
+        break;
+      }
+    }
+  }
+  shell_basis_.push_back(basis);
 }
 
 SatelliteId Constellation::IdOf(int sat_index) const {
@@ -116,6 +154,94 @@ void Constellation::VelocitiesEcefInto(double seconds_since_epoch,
     const double ye = -s * p.x + c * p.y;
     out->push_back(
         {c * v.x + s * v.y + w * ye, -s * v.x + c * v.y - w * xe, v.z});
+  }
+}
+
+void Constellation::PropagateBatch(double seconds_since_epoch, geo::Soa3* eci,
+                                   std::vector<double>* phase) const {
+  const size_t n = orbits_.size();
+  eci->Resize(n);
+  phase->resize(n);
+  double* px = eci->x.data();
+  double* py = eci->y.data();
+  double* pz = eci->z.data();
+  double* pu = phase->data();
+  const double* u0 = sat_u0_rad_.data();
+  const double* cr = sat_cos_raan0_.data();
+  const double* sr = sat_sin_raan0_.data();
+  for (const ShellBasis& b : shell_basis_) {
+    if (b.uniform) {
+      const double r = b.radius_km;
+      const double rate = b.mean_motion_rad_s;
+      const double ci = b.cos_inc;
+      const double si = b.sin_inc;
+      for (int i = b.begin; i < b.end; ++i) {
+        // Verbatim CircularOrbit::PositionEci chain (no drift in a
+        // uniform shell): only the storage is SoA — the per-satellite
+        // operation order and expression shapes are unchanged, so every
+        // coordinate matches the scalar path bit-for-bit.
+        const double u = u0[i] + rate * seconds_since_epoch;
+        const double cu = std::cos(u);
+        const double su = std::sin(u);
+        px[i] = r * (cr[i] * cu - sr[i] * su * ci);
+        py[i] = r * (sr[i] * cu + cr[i] * su * ci);
+        pz[i] = r * su * si;
+        pu[i] = u;
+      }
+    } else {
+      for (int i = b.begin; i < b.end; ++i) {
+        const CircularOrbit& o = orbits_[i];
+        eci->Set(i, o.PositionEci(seconds_since_epoch));
+        pu[i] = o.u0_rad() + o.mean_motion_rad_s() * seconds_since_epoch;
+      }
+    }
+  }
+}
+
+void Constellation::VelocitiesEcefBatchInto(double seconds_since_epoch,
+                                            const geo::Soa3& eci,
+                                            std::vector<geo::Vec3>* out) const {
+  const size_t n = orbits_.size();
+  out->resize(n);
+  geo::Vec3* po = out->data();
+  const double w = geo::kEarthRotationRadPerSec;
+  const double theta = w * seconds_since_epoch;
+  const double c = std::cos(theta);
+  const double s = std::sin(theta);
+  const double* u0 = sat_u0_rad_.data();
+  const double* cr = sat_cos_raan0_.data();
+  const double* sr = sat_sin_raan0_.data();
+  for (const ShellBasis& b : shell_basis_) {
+    if (b.uniform) {
+      const double v = b.mean_motion_rad_s * b.radius_km;
+      const double rate = b.mean_motion_rad_s;
+      const double ci = b.cos_inc;
+      const double si = b.sin_inc;
+      for (int i = b.begin; i < b.end; ++i) {
+        // VelocityEci evaluated at u + pi/2 (verbatim chain), then the
+        // same frame map as VelocitiesEcefInto with the inertial
+        // position taken from the SoA block instead of recomputed.
+        const double u =
+            u0[i] + rate * seconds_since_epoch + geo::kPi / 2.0;
+        const double cu = std::cos(u);
+        const double su = std::sin(u);
+        const double vx = v * (cr[i] * cu - sr[i] * su * ci);
+        const double vy = v * (sr[i] * cu + cr[i] * su * ci);
+        const double vz = v * su * si;
+        const double xe = c * eci.x[i] + s * eci.y[i];
+        const double ye = -s * eci.x[i] + c * eci.y[i];
+        po[i] = {c * vx + s * vy + w * ye, -s * vx + c * vy - w * xe, vz};
+      }
+    } else {
+      for (int i = b.begin; i < b.end; ++i) {
+        const geo::Vec3 p = eci.At(i);
+        const geo::Vec3 v = orbits_[i].VelocityEci(seconds_since_epoch);
+        const double xe = c * p.x + s * p.y;
+        const double ye = -s * p.x + c * p.y;
+        po[i] = {c * v.x + s * v.y + w * ye, -s * v.x + c * v.y - w * xe,
+                 v.z};
+      }
+    }
   }
 }
 

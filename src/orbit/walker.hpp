@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "geo/soa.hpp"
 #include "geo/vec3.hpp"
 #include "orbit/propagator.hpp"
 
@@ -91,10 +92,57 @@ class Constellation {
   void VelocitiesEcefInto(double seconds_since_epoch,
                           std::vector<geo::Vec3>* out) const;
 
+  // --- SoA batch propagation (see geo/soa.hpp and DESIGN.md §7) ---
+  //
+  // Writes every satellite's inertial position into the SoA block and its
+  // argument of latitude u into *phase. The per-shell basis (radius, mean
+  // motion, inclination trig) is hoisted out of the satellite loop, which
+  // runs over contiguous per-satellite u0/RAAN arrays in index order.
+  // Each satellite's arithmetic chain is verbatim from
+  // CircularOrbit::PositionEci, so results are bit-identical to it; a
+  // shell whose orbits are heterogeneous (FromElements) or carry RAAN
+  // drift falls back to the scalar propagator satellite-by-satellite.
+  void PropagateBatch(double seconds_since_epoch, geo::Soa3* eci,
+                      std::vector<double>* phase) const;
+
+  // As VelocitiesEcefInto, but consuming the inertial positions already
+  // produced by PropagateBatch at the same timestamp instead of
+  // recomputing them (saves one sincos per satellite per step).
+  // Bit-identical to VelocitiesEcefInto provided `eci` holds the
+  // PositionEci values for this `seconds_since_epoch`.
+  void VelocitiesEcefBatchInto(double seconds_since_epoch,
+                               const geo::Soa3& eci,
+                               std::vector<geo::Vec3>* out) const;
+
  private:
+  // Hoisted per-shell constants for the batch kernels. `uniform` is true
+  // when every orbit in [begin, end) shares the shell's radius, mean
+  // motion, and inclination trig and has no RAAN drift — always the case
+  // for AddShell-built shells, checked per element for FromElements.
+  struct ShellBasis {
+    int begin{0};
+    int end{0};
+    bool uniform{false};
+    double radius_km{0.0};
+    double mean_motion_rad_s{0.0};
+    double cos_inc{0.0};
+    double sin_inc{0.0};
+  };
+
+  // Records the basis of the shell whose orbits start at `begin` (called
+  // once per AddShell/FromElements, after its orbits are in orbits_).
+  void AppendShellBasis(int begin);
+
   std::vector<OrbitalShell> shells_;
   std::vector<int> shell_start_index_;
   std::vector<CircularOrbit> orbits_;
+  std::vector<ShellBasis> shell_basis_;
+  // Per-satellite epoch basis, parallel to orbits_: argument of latitude
+  // at epoch and RAAN trig, copied verbatim from each CircularOrbit so
+  // the batch kernels read the exact construction-time values.
+  std::vector<double> sat_u0_rad_;
+  std::vector<double> sat_cos_raan0_;
+  std::vector<double> sat_sin_raan0_;
 };
 
 // The paper's two evaluation constellations (first-phase shells, FCC

@@ -1,0 +1,37 @@
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+// The hoisted form: invariant trig bound to const locals above the
+// per-element loop.
+void RotateBatch(double theta, std::vector<double>& x,
+                 std::vector<double>& y) {
+  const double c = std::cos(theta);
+  const double s = std::sin(theta);
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double xe = c * x[i] + s * y[i];
+    y[i] = -s * x[i] + c * y[i];
+    x[i] = xe;
+  }
+}
+
+// Loop-variant arguments are the whole point of a batch kernel: u is
+// computed per element, sqrt consumes per-element deltas. Never flagged.
+void PropagateBatch(double t, const std::vector<double>& u0,
+                    std::vector<double>& out) {
+  const double rate = 0.001;
+  for (size_t i = 0; i < u0.size(); ++i) {
+    const double u = u0[i] + rate * t;
+    out[i] = std::cos(u) + std::sin(u) + std::sqrt(u * u + 1.0);
+  }
+}
+
+// Not a *Batch entry point: scalar helpers may order their math however
+// reads best.
+double ColdRotate(double theta, double x) {
+  double acc = 0.0;
+  for (int k = 0; k < 4; ++k) {
+    acc += std::cos(theta) * x;
+  }
+  return acc;
+}

@@ -1,0 +1,24 @@
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+// Batch kernel recomputing the frame-rotation trig per element: theta
+// never changes across iterations, so cos/sin belong above the loop.
+void RotateBatch(double theta, std::vector<double>& x,
+                 std::vector<double>& y) {
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double c = std::cos(theta);
+    const double s = std::sin(theta);
+    const double xe = c * x[i] + s * y[i];
+    y[i] = -s * x[i] + c * y[i];
+    x[i] = xe;
+  }
+}
+
+// Same defect in a range-for with an unqualified call and a constant
+// argument — the rule keys on the argument, not the spelling.
+void ScaleBatch(std::vector<double>& x) {
+  for (double& v : x) {
+    v *= sqrt(2.0);
+  }
+}

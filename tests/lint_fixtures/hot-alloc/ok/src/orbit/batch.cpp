@@ -1,0 +1,15 @@
+#include <cstddef>
+#include <vector>
+
+// A *Batch kernel that sizes its output once and writes by index keeps
+// the steady state allocation-free.
+void PropagateBatch(double t, std::vector<double>& out) {
+  out.resize(8);
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = t + static_cast<double>(i);
+  }
+}
+
+// "Batch" elsewhere in the schedule name does not make a cold planner a
+// kernel; only the function's own name is consulted.
+void PlanSchedule(std::vector<double>& out) { out.push_back(3.0); }

@@ -1,0 +1,8 @@
+#include <vector>
+
+// A *Batch kernel entry point is a hot path even without a *Workspace
+// parameter: batch kernels are the innermost per-snapshot loops.
+void PropagateBatch(double t, std::vector<double>& out) {
+  (void)t;
+  out.push_back(1.0);  // growth in the hot path, no capacity reuse
+}

@@ -62,15 +62,24 @@ Rules (each maps to a repo invariant documented in DESIGN.md):
                    schema bump is one diff line and the Python tooling
                    (obs_report.py, trace_check.py) has a single place
                    to stay in sync with.
-  hot-alloc       Functions taking a *Workspace parameter, and every
+  hot-alloc       Functions taking a *Workspace parameter, every
                    method of a *Stepper class (steppers advance a
                    workspace held as a member, so their whole surface
-                   is the steady-state hot path), are the
+                   is the steady-state hot path), and every *Batch
+                   kernel entry point (PropagateBatch and friends are
+                   the innermost per-snapshot loops) are the
                    zero-steady-state-alloc paths; inside them `new`
                    expressions are forbidden and push_back/emplace_back
                    on a container requires a reserve/resize/clear of
                    that container in the same function (capacity reuse),
                    otherwise the workspace contract is silently broken.
+  batch-hoist     No per-element sin/cos/sqrt with a loop-invariant
+                   argument inside a *Batch kernel's for-loops: the
+                   hoisted form (const local above the loop) always
+                   exists, and an invariant transcendental in the
+                   per-element loop defeats the vectorization the batch
+                   kernels exist for. Loop-variant arguments (cos(u)
+                   with u computed per satellite) are never flagged.
 
 File discovery walks `git ls-files` plus untracked-but-not-ignored files
 (tests/lint_fixtures/ excluded — those files violate rules on purpose),
@@ -538,10 +547,12 @@ def check_schema_header(ctx: LintContext) -> list[Finding]:
 
 
 # ---------------------------------------------------------------------------
-# hot-alloc: workspace-taking functions — and every method of a *Stepper
+# hot-alloc: workspace-taking functions — every method of a *Stepper
 # class, which advances a workspace held as a member rather than a
-# parameter — are the zero-steady-state-alloc hot paths (DESIGN.md §7);
-# allocation inside them defeats the contract.
+# parameter, and every *Batch kernel entry point (batch kernels are the
+# innermost per-snapshot loops; DESIGN.md §7) — are the
+# zero-steady-state-alloc hot paths; allocation inside them defeats the
+# contract.
 
 FUNC_BODY_OPEN_RE = re.compile(r"\)\s*(?:const\s*)?(?:noexcept\s*)?(?:->\s*[\w:<>,\s*&]+?\s*)?\{")
 CONTROL_KEYWORDS = {"if", "for", "while", "switch", "catch", "return", "sizeof",
@@ -553,10 +564,11 @@ PUSH_BACK_RE = re.compile(
 )
 
 
-def _workspace_function_bodies(code: str):
-    """Yields (body_start_index, body_text) for every function whose
-    parameter list mentions a *Workspace type or whose qualified name
-    belongs to a *Stepper class (SnapshotStepper::Step and friends)."""
+def _function_bodies(code: str):
+    """Yields (name, params, body_start_index, body_text) for every
+    function definition found by brace/paren matching over stripped
+    text. `name` keeps its qualifiers (`Constellation::PropagateBatch`);
+    `params` is the raw parameter-list text."""
     pos = 0
     while True:
         m = FUNC_BODY_OPEN_RE.search(code, pos)
@@ -588,10 +600,6 @@ def _workspace_function_bodies(code: str):
         name = code[k + 1:name_end]
         if not name or name.split("::")[-1] in CONTROL_KEYWORDS:
             continue
-        stepper_method = any(
-            part.endswith("Stepper") for part in name.split("::")[:-1])
-        if "Workspace" not in params and not stepper_method:
-            continue
         # Walk forward to the matching '}' of the body.
         depth, i = 1, m.end()
         while i < len(code) and depth > 0:
@@ -600,8 +608,28 @@ def _workspace_function_bodies(code: str):
             elif code[i] == "}":
                 depth -= 1
             i += 1
-        yield m.end(), code[m.end():i - 1]
+        yield name, params, m.end(), code[m.end():i - 1]
         pos = m.end()
+
+
+def _is_batch_entry_point(name: str) -> bool:
+    # PropagateBatch, EciToEcefBatch, ElevationTestBatch, and the *Into
+    # spellings (VelocitiesEcefBatchInto) are all batch kernels.
+    return "Batch" in name.split("::")[-1]
+
+
+def _workspace_function_bodies(code: str):
+    """Yields (body_start_index, body_text) for every hot-path function:
+    parameter list mentions a *Workspace type, qualified name belongs to
+    a *Stepper class (SnapshotStepper::Step and friends), or the name is
+    a *Batch kernel entry point."""
+    for name, params, body_start, body in _function_bodies(code):
+        stepper_method = any(
+            part.endswith("Stepper") for part in name.split("::")[:-1])
+        if ("Workspace" not in params and not stepper_method
+                and not _is_batch_entry_point(name)):
+            continue
+        yield body_start, body
 
 
 def check_hot_alloc(ctx: LintContext) -> list[Finding]:
@@ -639,6 +667,113 @@ def check_hot_alloc(ctx: LintContext) -> list[Finding]:
                     "function without reserve/resize/clear of the same "
                     "container; growth in the hot path defeats workspace "
                     "reuse"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# batch-hoist: per-element sin/cos/sqrt with a loop-invariant argument
+# inside a *Batch kernel loop. The batch kernels exist to keep the
+# per-satellite loop lean enough to vectorize; a transcendental whose
+# argument never changes across iterations belongs above the loop (the
+# hoisted form always exists: bind the result to a const local first).
+# Loop-VARIANT arguments (cos(u) with u computed per element) are the
+# whole point of the kernels and are never flagged.
+
+BATCH_MATH_CALL_RE = re.compile(r"\b(?:std::)?(sin|cos|sqrt)\s*\(")
+FOR_OPEN_RE = re.compile(r"\bfor\s*\(")
+IDENT_RE = re.compile(r"[A-Za-z_]\w*")
+# Identifiers written inside the loop: assignment / compound-assignment
+# targets (declarations with initializers included — `const double u =`
+# puts `u` right before the `=`) and ++/-- operands.
+MUTATED_IDENT_RE = re.compile(
+    r"([A-Za-z_]\w*)\s*(?:[-+*/%&|^]?=(?!=)|\+\+|--)|(?:\+\+|--)\s*([A-Za-z_]\w*)"
+)
+
+
+def _for_loops(body: str):
+    """Yields (header_text, body_start_index, body_text) for every
+    brace-bodied for-loop in `body`, nested loops included (each is
+    analyzed in its own right)."""
+    pos = 0
+    while True:
+        m = FOR_OPEN_RE.search(body, pos)
+        if m is None:
+            return
+        depth, i = 1, m.end()
+        while i < len(body) and depth > 0:
+            if body[i] == "(":
+                depth += 1
+            elif body[i] == ")":
+                depth -= 1
+            i += 1
+        pos = m.end()  # keep scanning inside the loop too (nesting)
+        if depth != 0:
+            return
+        header = body[m.end():i - 1]
+        j = i
+        while j < len(body) and body[j].isspace():
+            j += 1
+        if j >= len(body) or body[j] != "{":
+            continue  # single-statement loop: too rare here to model
+        depth, k = 1, j + 1
+        while k < len(body) and depth > 0:
+            if body[k] == "{":
+                depth += 1
+            elif body[k] == "}":
+                depth -= 1
+            k += 1
+        yield header, j + 1, body[j + 1:k - 1]
+
+
+def _loop_variant_idents(header: str, loop_body: str) -> set[str]:
+    variant: set[str] = set()
+    for text in (header, loop_body):
+        for m in MUTATED_IDENT_RE.finditer(text):
+            variant.add(m.group(1) or m.group(2))
+    # Range-for: `for (const ShellBasis& b : shells)` declares `b` —
+    # the last identifier before a top-level ':' (never part of '::').
+    depth = 0
+    for idx, c in enumerate(header):
+        if c in "([{":
+            depth += 1
+        elif c in ")]}":
+            depth -= 1
+        elif (c == ":" and depth == 0
+              and header[idx - 1:idx] != ":" and header[idx + 1:idx + 2] != ":"):
+            decl_idents = IDENT_RE.findall(header[:idx])
+            if decl_idents:
+                variant.add(decl_idents[-1])
+            break
+    return variant
+
+
+def check_batch_hoist(ctx: LintContext) -> list[Finding]:
+    findings = []
+    for rel in ctx.files("src/"):
+        code = ctx.stripped(rel)
+        for name, _params, body_start, body in _function_bodies(code):
+            if not _is_batch_entry_point(name):
+                continue
+            for header, loop_start, loop_body in _for_loops(body):
+                variant = _loop_variant_idents(header, loop_body)
+                for cm in BATCH_MATH_CALL_RE.finditer(loop_body):
+                    depth, i = 1, cm.end()
+                    while i < len(loop_body) and depth > 0:
+                        if loop_body[i] == "(":
+                            depth += 1
+                        elif loop_body[i] == ")":
+                            depth -= 1
+                        i += 1
+                    arg = loop_body[cm.end():i - 1]
+                    if set(IDENT_RE.findall(arg)) & variant:
+                        continue  # argument varies per element: fine
+                    offset = body_start + loop_start + cm.start()
+                    lineno = code.count("\n", 0, offset) + 1
+                    findings.append(Finding(
+                        rel, lineno, "batch-hoist",
+                        f"loop-invariant std::{cm.group(1)}() inside a *Batch "
+                        "kernel loop; hoist it above the per-element loop "
+                        "(bind the value to a const local outside the for)"))
     return findings
 
 
@@ -721,8 +856,12 @@ RULES: list[Rule] = [
          "versioned schema strings live only in src/obs/schemas.hpp",
          check_schema_header),
     Rule("hot-alloc",
-         "no allocation in workspace-taking or *Stepper hot-path functions",
+         "no allocation in workspace-taking, *Stepper, or *Batch hot-path "
+         "functions",
          check_hot_alloc),
+    Rule("batch-hoist",
+         "no loop-invariant sin/cos/sqrt inside *Batch kernel loops",
+         check_batch_hoist),
     Rule("self-contained",
          "every header compiles standalone", check_self_contained,
          needs_compiler=True),
